@@ -1,0 +1,46 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures validate examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the million-event kernel stress test.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure's data files into figures/.
+figures:
+	$(GO) run ./cmd/tibfit-figures -out figures -runs 3
+
+# Rerun the paper's headline claims against the live simulation.
+validate:
+	$(GO) run ./cmd/tibfit-validate
+
+examples:
+	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
+
+# Brief continuous fuzzing of the fuzz targets (5s each).
+fuzz:
+	$(GO) test -fuzz FuzzCluster -fuzztime 5s ./internal/cluster/
+	$(GO) test -fuzz FuzzCircleSet -fuzztime 5s ./internal/cluster/
+	$(GO) test -fuzz FuzzMajorityForms -fuzztime 5s ./internal/analysis/
+	$(GO) test -fuzz FuzzBinomialPMF -fuzztime 5s ./internal/analysis/
+	$(GO) test -fuzz FuzzLoadStation -fuzztime 5s ./internal/leach/
+
+clean:
+	rm -rf figures
+	$(GO) clean -testcache

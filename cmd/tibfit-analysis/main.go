@@ -1,0 +1,75 @@
+// Command tibfit-analysis evaluates the paper's §5 closed forms: the
+// majority-voting success probability (figure 10), the trust-decay
+// transition function and its roots (figure 11), and the k_max bound.
+//
+// Usage:
+//
+//	tibfit-analysis -fig 10 [-n 10] [-q 0.5]
+//	tibfit-analysis -fig 11 [-n 10]
+//	tibfit-analysis -fig kmax
+//	tibfit-analysis -success -n 10 -m 6 -p 0.95 -q 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tibfit/tibfit/internal/analysis"
+	"github.com/tibfit/tibfit/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tibfit-analysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tibfit-analysis", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "", "closed-form figure: 10, 11, or kmax")
+		success = fs.Bool("success", false, "evaluate one majority-voting success probability")
+		n       = fs.Int("n", 10, "event neighbors")
+		m       = fs.Int("m", 5, "faulty event neighbors (with -success)")
+		p       = fs.Float64("p", 0.95, "correct-node report probability")
+		q       = fs.Float64("q", 0.5, "faulty-node report probability")
+		format  = fs.String("format", "table", "output format: table, csv, or plot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	emit := func(id string) error {
+		f, err := experiment.Generate(id, experiment.FigureOptions{})
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(f.CSV())
+		case "plot":
+			fmt.Print(f.Plot(64, 16))
+		default:
+			fmt.Print(f.Table())
+		}
+		return nil
+	}
+
+	switch {
+	case *success:
+		prob := analysis.MajoritySuccess(*n, *m, *p, *q)
+		fmt.Printf("P(success | n=%d, m=%d, p=%g, q=%g) = %.6f\n", *n, *m, *p, *q, prob)
+		return nil
+	case *fig == "10":
+		return emit("figure10")
+	case *fig == "11":
+		return emit("figure11")
+	case *fig == "kmax" || *fig == "11-roots":
+		return emit("figure11-roots")
+	default:
+		fs.Usage()
+		return fmt.Errorf("pass -fig 10|11|kmax or -success")
+	}
+}

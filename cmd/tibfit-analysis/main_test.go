@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no action", nil},
+		{"unknown figure", []string{"-fig", "12"}},
+		{"bad flag", []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+func TestRunHappyPaths(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"figure 10", []string{"-fig", "10"}},
+		{"figure 11", []string{"-fig", "11"}},
+		{"figure 11 csv", []string{"-fig", "11", "-format", "csv"}},
+		{"kmax", []string{"-fig", "kmax"}},
+		{"roots alias", []string{"-fig", "11-roots"}},
+		{"success probability", []string{"-success", "-n", "10", "-m", "6", "-p", "0.95", "-q", "0.5"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err != nil {
+				t.Fatalf("run(%v) = %v", tt.args, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesFigureFiles(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-out", dir,
+		"-only", "figure10,figure11-roots",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"figure10.txt", "figure10.csv",
+		"figure11-roots.txt", "figure11-roots.csv",
+	} {
+		path := filepath.Join(dir, f)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing output %s: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("empty output %s", f)
+		}
+	}
+	// CSV files must have a header and data rows.
+	data, _ := os.ReadFile(filepath.Join(dir, "figure10.csv"))
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "x,") {
+		t.Fatalf("csv malformed:\n%s", data)
+	}
+}
+
+func TestRunSimulatedFigureReducedScale(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-out", dir,
+		"-only", "figure2",
+		"-runs", "1",
+		"-events", "20",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure2.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-only", "figure99", "-out", t.TempDir()}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

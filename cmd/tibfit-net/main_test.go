@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	if err := run([]string{"-nodes", "36", "-events", "30", "-rounds", "2"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultihop(t *testing.T) {
+	if err := run([]string{"-nodes", "36", "-events", "30", "-multihop"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"non-square nodes", []string{"-nodes", "37"}},
+		{"zero rounds", []string{"-rounds", "0"}},
+		{"bad scheme", []string{"-scheme", "magic", "-events", "10"}},
+		{"missing load file", []string{"-load", "/definitely/not/here.json"}},
+		{"bad flag", []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, os.Stdout); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trust.json")
+	if err := run([]string{"-nodes", "36", "-events", "40", "-save", path}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version"`) {
+		t.Fatalf("saved file lacks version:\n%s", data)
+	}
+	if err := run([]string{"-nodes", "36", "-events", "20", "-load", path}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}

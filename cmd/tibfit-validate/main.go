@@ -1,0 +1,252 @@
+// Command tibfit-validate reruns the paper's headline claims against the
+// live simulation and prints a PASS/FAIL report — the one-shot answer to
+// "does this reproduction still reproduce?". It exits non-zero if any
+// check fails.
+//
+// Usage:
+//
+//	tibfit-validate [-quick] [-seed 1]
+//
+// -quick shrinks event counts for a ~2s run; the default takes ~30s and
+// uses the paper's full event counts with several replicates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/tibfit/tibfit/internal/analysis"
+	"github.com/tibfit/tibfit/internal/experiment"
+	"github.com/tibfit/tibfit/internal/node"
+	"github.com/tibfit/tibfit/internal/workload"
+)
+
+func main() {
+	ok, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tibfit-validate:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// check is one claim: its description, the paper's wording, and a
+// function returning (measured summary, pass).
+type check struct {
+	name  string
+	claim string
+	run   func() (string, bool, error)
+}
+
+func run(args []string, out *os.File) (bool, error) {
+	fs := flag.NewFlagSet("tibfit-validate", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "smaller event counts (~2s)")
+		seed  = fs.Int64("seed", 1, "base random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+
+	runs, e1, e2 := 5, 100, 500
+	if *quick {
+		runs, e1, e2 = 1, 60, 150
+	}
+
+	exp1 := func(mut func(*experiment.Exp1Config)) (experiment.Exp1Result, error) {
+		cfg := experiment.DefaultExp1()
+		cfg.Runs = runs
+		cfg.Events = e1
+		cfg.Seed = *seed
+		mut(&cfg)
+		return experiment.RunExp1(cfg)
+	}
+	exp2 := func(mut func(*experiment.Exp2Config)) (experiment.Exp2Result, error) {
+		cfg := experiment.DefaultExp2()
+		cfg.Runs = runs
+		cfg.Events = e2
+		cfg.Seed = *seed
+		mut(&cfg)
+		return experiment.RunExp2(cfg)
+	}
+
+	checks := []check{
+		{
+			name:  "exp1-70pct",
+			claim: "binary accuracy > 85% with 70% of nodes compromised (fig 2)",
+			run: func() (string, bool, error) {
+				res, err := exp1(func(c *experiment.Exp1Config) { c.FaultyFraction = 0.7 })
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("accuracy %.1f%%", res.Accuracy*100), res.Accuracy > 0.85, nil
+			},
+		},
+		{
+			name:  "exp1-false-alarms-help",
+			claim: "false alarms improve reliability at 80% compromise (fig 3)",
+			run: func() (string, bool, error) {
+				quiet, err := exp1(func(c *experiment.Exp1Config) { c.FaultyFraction = 0.8 })
+				if err != nil {
+					return "", false, err
+				}
+				noisy, err := exp1(func(c *experiment.Exp1Config) {
+					c.FaultyFraction = 0.8
+					c.FalseAlarmProb = 0.75
+				})
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("FA0 %.1f%% vs FA75 %.1f%%", quiet.Accuracy*100, noisy.Accuracy*100),
+					noisy.Accuracy >= quiet.Accuracy, nil
+			},
+		},
+		{
+			name:  "exp2-beats-baseline",
+			claim: "TIBFIT above stateless voting past 50% compromise (fig 4)",
+			run: func() (string, bool, error) {
+				tib, err := exp2(func(c *experiment.Exp2Config) { c.FaultyFraction = 0.55 })
+				if err != nil {
+					return "", false, err
+				}
+				base, err := exp2(func(c *experiment.Exp2Config) {
+					c.FaultyFraction = 0.55
+					c.Scheme = experiment.SchemeBaseline
+				})
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("TIBFIT %.1f%% vs baseline %.1f%%", tib.Accuracy*100, base.Accuracy*100),
+					tib.Accuracy > base.Accuracy, nil
+			},
+		},
+		{
+			name:  "exp2-level1",
+			claim: "level-1 adversaries: accuracy > 90% at 58% compromise (fig 5)",
+			run: func() (string, bool, error) {
+				res, err := exp2(func(c *experiment.Exp2Config) {
+					c.FaultyFraction = 0.58
+					c.Level = node.Level1
+				})
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("accuracy %.1f%%", res.Accuracy*100), res.Accuracy > 0.9, nil
+			},
+		},
+		{
+			name:  "exp2-level2",
+			claim: "collusion hurts both schemes; TIBFIT still ahead at 50% (fig 6)",
+			run: func() (string, bool, error) {
+				tib, err := exp2(func(c *experiment.Exp2Config) {
+					c.FaultyFraction = 0.5
+					c.Level = node.Level2
+				})
+				if err != nil {
+					return "", false, err
+				}
+				base, err := exp2(func(c *experiment.Exp2Config) {
+					c.FaultyFraction = 0.5
+					c.Level = node.Level2
+					c.Scheme = experiment.SchemeBaseline
+				})
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("TIBFIT %.1f%% vs baseline %.1f%%", tib.Accuracy*100, base.Accuracy*100),
+					tib.Accuracy > base.Accuracy, nil
+			},
+		},
+		{
+			name:  "exp3-decay",
+			claim: "gradual compromise: ~80% accuracy at 60% compromised (figs 8-9)",
+			run: func() (string, bool, error) {
+				decay := workload.DefaultDecay()
+				res, err := exp2(func(c *experiment.Exp2Config) {
+					c.Decay = &decay
+					c.Events = decay.EventsPerStep * 12
+				})
+				if err != nil {
+					return "", false, err
+				}
+				last := res.Windowed[len(res.Windowed)-1]
+				return fmt.Sprintf("windowed accuracy %.1f%% at 60%%", last*100), last >= 0.8, nil
+			},
+		},
+		{
+			name:  "analysis-forms",
+			claim: "convolution equals the paper's equations 2-3 (fig 10)",
+			run: func() (string, bool, error) {
+				worst := 0.0
+				for m := 0; m <= 10; m++ {
+					d := math.Abs(analysis.MajoritySuccess(10, m, 0.95, 0.5) -
+						analysis.MajoritySuccessPaperForm(10, m, 0.95, 0.5))
+					if d > worst {
+						worst = d
+					}
+				}
+				return fmt.Sprintf("max |Δ| %.2g", worst), worst < 1e-9, nil
+			},
+		},
+		{
+			name:  "analysis-roots",
+			claim: "larger λ tolerates faster compromise (fig 11)",
+			run: func() (string, bool, error) {
+				prev := math.Inf(1)
+				for _, l := range []float64{0.05, 0.1, 0.25, 0.5, 1} {
+					k, err := analysis.MinInterCompromiseEvents(l, 10)
+					if err != nil {
+						return "", false, err
+					}
+					if k >= prev {
+						return fmt.Sprintf("k not decreasing at λ=%v", l), false, nil
+					}
+					prev = k
+				}
+				return "roots strictly decreasing", true, nil
+			},
+		},
+		{
+			name:  "model-vs-sim",
+			claim: "reliability model tracks the simulation at 70% (extension)",
+			run: func() (string, bool, error) {
+				res, err := exp1(func(c *experiment.Exp1Config) { c.FaultyFraction = 0.7 })
+				if err != nil {
+					return "", false, err
+				}
+				pred := analysis.PredictedRunAccuracy(10, 7, e1, 0.99, 0.5, 0.1, 0.01)
+				d := math.Abs(pred - res.Accuracy)
+				return fmt.Sprintf("model %.1f%% vs sim %.1f%%", pred*100, res.Accuracy*100), d < 0.1, nil
+			},
+		},
+	}
+
+	fmt.Fprintf(out, "tibfit-validate: %d checks (seed %d, quick=%t)\n\n", len(checks), *seed, *quick)
+	allOK := true
+	for _, c := range checks {
+		start := time.Now()
+		detail, ok, err := c.run()
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", c.name, err)
+		}
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+			allOK = false
+		}
+		fmt.Fprintf(out, "%-4s %-24s %-38s %6.2fs\n", status, c.name, detail, time.Since(start).Seconds())
+		fmt.Fprintf(out, "     %s\n", c.claim)
+	}
+	fmt.Fprintln(out)
+	if allOK {
+		fmt.Fprintln(out, "all headline claims reproduce.")
+	} else {
+		fmt.Fprintln(out, "SOME CLAIMS FAILED — see above.")
+	}
+	return allOK, nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestValidateQuickPasses(t *testing.T) {
+	ok, err := run([]string{"-quick"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("quick validation reported failures")
+	}
+}
+
+func TestValidateBadFlag(t *testing.T) {
+	if _, err := run([]string{"-nope"}, os.Stdout); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestValidateSeedVariation(t *testing.T) {
+	// The claims are not seed-overfit: a different seed still passes.
+	ok, err := run([]string{"-quick", "-seed", "99"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("validation failed under seed 99")
+	}
+}

@@ -1,0 +1,78 @@
+package tibfit_test
+
+import (
+	"fmt"
+
+	"github.com/tibfit/tibfit"
+)
+
+// The discrete-event kernel: schedule, cancel, run.
+func ExampleNewKernel() {
+	k := tibfit.NewKernel()
+	k.After(2, func() { fmt.Println("second at", k.Now()) })
+	k.After(1, func() { fmt.Println("first at", k.Now()) })
+	cancelled := k.After(3, func() { fmt.Println("never") })
+	cancelled.Stop()
+	k.RunAll()
+	// Output:
+	// first at t=1.000
+	// second at t=2.000
+}
+
+// Shadow cluster heads mask a lying aggregator: the base station's
+// majority of three replicated conclusions stands.
+func ExampleNewShadowPanel() {
+	alwaysLie := tibfit.FlipCorruptor(1, func(float64) bool { return true })
+	panel, err := tibfit.NewShadowPanel(
+		tibfit.TrustParams{Lambda: 0.25, FaultRate: 0.1}, 3, alwaysLie, nil)
+	if err != nil {
+		panic(err)
+	}
+	rep := panel.Decide([]int{1, 2, 3}, []int{4})
+	fmt.Printf("final=%t disagreed=%t demoted=%t\n",
+		rep.Final.Occurred, rep.Disagreed, rep.Demoted)
+	// Output:
+	// final=true disagreed=true demoted=true
+}
+
+// The multi-hop relay forwards reports over a chain too long for one hop,
+// retrying lost transmissions per link.
+func ExampleNewMesh() {
+	kernel := tibfit.NewKernel()
+	cfg := tibfit.DefaultRadioConfig()
+	cfg.Range = 12
+	cfg.DropProb = 0
+	radio := tibfit.NewRadio(cfg, kernel, tibfit.NewRand(1))
+
+	pos := map[int]tibfit.Point{
+		0: {X: 0}, 1: {X: 10}, 2: {X: 20}, 3: {X: 30},
+	}
+	mesh, err := tibfit.NewMesh(tibfit.DefaultRelayConfig(), radio, kernel, pos)
+	if err != nil {
+		panic(err)
+	}
+	if err := mesh.BuildRoutes(0); err != nil {
+		panic(err)
+	}
+	mesh.Send(3, 0, func() { fmt.Println("report reached the sink") }, nil)
+	kernel.RunAll()
+	hops, _ := mesh.Hops(3, 0)
+	fmt.Println("hops:", hops)
+	// Output:
+	// report reached the sink
+	// hops: 3
+}
+
+// The closed-form hysteresis: a smart adversary that must keep its trust
+// estimate above the isolation threshold can only lie a fraction of the
+// time.
+func ExampleHysteresis() {
+	cycle, err := tibfit.Hysteresis(0.25, 0.1, 0.6, 0.02, 0.5, 0.8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lies %.0f events, must behave %.0f — duty %.0f%%\n",
+		cycle.LieEvents, cycle.RecoverEvents, cycle.Duty*100)
+	// Output:
+	// lies 4 events, must behave 24 — duty 14%
+}

@@ -1,0 +1,79 @@
+package tibfit_test
+
+import (
+	"fmt"
+
+	"github.com/tibfit/tibfit"
+)
+
+// The core loop: trust-weighted voting with settlement. Three chronic
+// liars fabricate an event; the honest majority votes it down and the
+// liars pay for it.
+func Example() {
+	table := tibfit.MustNewTrustTable(tibfit.TrustParams{Lambda: 0.25, FaultRate: 0.1})
+
+	liars := []int{7, 8, 9}
+	honest := []int{0, 1, 2, 3, 4, 5, 6}
+	for round := 0; round < 4; round++ {
+		dec := tibfit.DecideBinary(table, liars, honest)
+		tibfit.Apply(table, dec)
+	}
+	fmt.Printf("liar TI after 4 failed fabrications: %.3f\n", table.TI(7))
+	fmt.Printf("honest TI: %.3f\n", table.TI(0))
+	// Output:
+	// liar TI after 4 failed fabrications: 0.407
+	// honest TI: 1.000
+}
+
+// DecideBinary weighs reporters against silent event neighbors; the
+// heavier cumulative trust wins and ties conservatively reject.
+func ExampleDecideBinary() {
+	dec := tibfit.DecideBinary(tibfit.Baseline{}, []int{1, 2, 3}, []int{4, 5})
+	fmt.Printf("occurred=%t margin=%.0f\n", dec.Occurred, dec.Margin())
+
+	tie := tibfit.DecideBinary(tibfit.Baseline{}, []int{1, 2}, []int{3, 4})
+	fmt.Printf("tie occurred=%t\n", tie.Occurred)
+	// Output:
+	// occurred=true margin=1
+	// tie occurred=false
+}
+
+// ClusterReports groups location reports into event clusters of radius
+// r_error; badly localized reports end up in their own clusters, which
+// the subsequent vote throws out.
+func ExampleClusterReports() {
+	reports := []tibfit.Report{
+		{Node: 1, Loc: tibfit.Point{X: 50.2, Y: 49.8}},
+		{Node: 2, Loc: tibfit.Point{X: 49.5, Y: 50.4}},
+		{Node: 3, Loc: tibfit.Point{X: 50.9, Y: 50.1}},
+		{Node: 4, Loc: tibfit.Point{X: 80.0, Y: 12.0}}, // way off
+	}
+	clusters := tibfit.ClusterReports(reports, 5)
+	for _, c := range clusters {
+		fmt.Printf("cluster of %d at %v\n", len(c.Reports), c.Center)
+	}
+	// Output:
+	// cluster of 3 at (50.20, 50.10)
+	// cluster of 1 at (80.00, 12.00)
+}
+
+// MajoritySuccess evaluates the paper's closed-form baseline (§5): the
+// probability stateless majority voting detects an event.
+func ExampleMajoritySuccess() {
+	for _, m := range []int{2, 5, 8} {
+		p := tibfit.MajoritySuccess(10, m, 0.95, 0.5)
+		fmt.Printf("%d/10 faulty: %.3f\n", m, p)
+	}
+	// Output:
+	// 2/10 faulty: 0.998
+	// 5/10 faulty: 0.926
+	// 8/10 faulty: 0.610
+}
+
+// KMax is the §5 bound on how many events the trust state needs to absorb
+// the final tolerable compromise.
+func ExampleKMax() {
+	fmt.Printf("%.2f events at lambda=0.25\n", tibfit.KMax(0.25))
+	// Output:
+	// 4.39 events at lambda=0.25
+}

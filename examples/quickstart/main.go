@@ -1,0 +1,66 @@
+// Quickstart: the TIBFIT trust-weighted vote in fifteen lines.
+//
+// A cluster head tracks ten nodes. Nodes 7-9 are chronic liars: round
+// after round they report events that never happened. Watch their trust
+// indices collapse until their votes stop mattering — after which even
+// three liars reporting in unison cannot fake an event past two honest
+// witnesses.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"github.com/tibfit/tibfit"
+)
+
+func main() {
+	table := tibfit.MustNewTrustTable(tibfit.TrustParams{
+		Lambda:    0.25, // trust decay constant (Table 2)
+		FaultRate: 0.1,  // tolerated natural error rate f_r
+	})
+
+	liars := []int{7, 8, 9}
+	honest := []int{0, 1, 2, 3, 4, 5, 6}
+
+	fmt.Println("phase 1: liars fabricate events; the honest majority votes them down")
+	for round := 1; round <= 6; round++ {
+		// The liars report a nonexistent event; everyone else is silent.
+		dec := tibfit.DecideBinary(table, liars, honest)
+		tibfit.Apply(table, dec)
+		fmt.Printf("  round %d: occurred=%-5v  CTI %5.2f vs %5.2f  liar TI=%.3f\n",
+			round, dec.Occurred, dec.CTIFor, dec.CTIAgainst, table.TI(7))
+	}
+
+	fmt.Println("\nphase 2: a real event seen by only two honest nodes (1 and 2)")
+	reporters := []int{1, 2}
+	silent := append([]int{0, 3, 4, 5, 6}, liars...)
+	// Without trust, 2 reporters against 8 silent nodes would lose. The
+	// stateless baseline shows exactly that:
+	baselineDec := tibfit.DecideBinary(tibfit.Baseline{}, reporters, silent)
+	fmt.Printf("  baseline voting:  occurred=%v (%.0f vs %.0f)\n",
+		baselineDec.Occurred, baselineDec.CTIFor, baselineDec.CTIAgainst)
+
+	// Under TIBFIT the silent side is mostly discredited liars... but the
+	// five honest silent nodes still outweigh two reporters. Silence from
+	// honest event neighbors is evidence too — as it should be.
+	dec := tibfit.DecideBinary(table, reporters, silent)
+	fmt.Printf("  TIBFIT voting:    occurred=%v (%.2f vs %.2f)\n",
+		dec.Occurred, dec.CTIFor, dec.CTIAgainst)
+
+	fmt.Println("\nphase 3: the same event seen by five honest nodes")
+	reporters = []int{0, 1, 2, 3, 4}
+	silent = append([]int{5, 6}, liars...)
+	baselineDec = tibfit.DecideBinary(tibfit.Baseline{}, reporters, silent)
+	dec = tibfit.DecideBinary(table, reporters, silent)
+	fmt.Printf("  baseline voting:  occurred=%v (%.0f vs %.0f)  — a 5v5 tie fails\n",
+		baselineDec.Occurred, baselineDec.CTIFor, baselineDec.CTIAgainst)
+	fmt.Printf("  TIBFIT voting:    occurred=%v (%.2f vs %.2f)  — liars weigh ~nothing\n",
+		dec.Occurred, dec.CTIFor, dec.CTIAgainst)
+
+	fmt.Println("\nfinal trust indices:")
+	for _, id := range []int{0, 7} {
+		fmt.Printf("  node %d: TI=%.4f\n", id, table.TI(id))
+	}
+}

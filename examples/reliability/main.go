@@ -1,0 +1,69 @@
+// Reliability prediction: answering operational questions on paper.
+//
+// The paper's future work asks for a theoretical model that can "predict
+// system reliability under given constraints" (§7). This example uses the
+// semi-analytic reliability model to answer three questions an operator
+// would actually ask — without running a single simulation — then checks
+// the answers against the simulator.
+//
+// Run with: go run ./examples/reliability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tibfit/tibfit"
+)
+
+func main() {
+	const (
+		n      = 10   // cluster size (Table 1)
+		p      = 0.99 // correct nodes report 99% of events
+		miss   = 0.5  // faulty nodes miss half
+		lambda = 0.1
+		fr     = 0.01
+	)
+
+	fmt.Println("Q1: my cluster woke up 70% compromised. when is it reliable again?")
+	k, ok := tibfit.EventsToRecover(n, 7, p, miss, lambda, fr, 0.99, 1000)
+	if !ok {
+		log.Fatal("model says never")
+	}
+	fmt.Printf("    model: after ~%d events the per-event success passes 99%%\n\n", k)
+
+	fmt.Println("Q2: how much compromise can a 10-node cluster absorb long-term?")
+	for _, m := range []int{5, 7, 8, 9} {
+		acc := tibfit.PredictedRunAccuracy(n, m, 100, p, miss, lambda, fr)
+		verdict := "fine"
+		if acc < 0.9 {
+			verdict = "degraded"
+		}
+		if acc < 0.7 {
+			verdict = "failing"
+		}
+		fmt.Printf("    %d/10 faulty: predicted 100-event accuracy %.1f%%  (%s)\n",
+			m, acc*100, verdict)
+	}
+	fmt.Println()
+
+	fmt.Println("Q3: does the model agree with the simulator? (70% compromised)")
+	cfg := tibfit.DefaultExp1()
+	cfg.NER = fr
+	cfg.FaultyFraction = 0.7
+	cfg.Runs = 10
+	res, err := tibfit.RunExp1(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predicted := tibfit.PredictedRunAccuracy(n, 7, cfg.Events, p, miss, lambda, fr)
+	fmt.Printf("    model %.1f%% vs simulation %.1f%% over %d runs\n",
+		predicted*100, res.Accuracy*100, cfg.Runs)
+
+	fmt.Println()
+	fmt.Println("the model composes the paper's §5 binomial vote with self-")
+	fmt.Println("consistent expected-trust trajectories: each event's success")
+	fmt.Println("probability sets the verdict rates that move both populations'")
+	fmt.Println("trust before the next event. see `tibfit-sim -fig ext-reliability`")
+	fmt.Println("for the full curve against the simulation and the §5 baseline.")
+}

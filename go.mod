@@ -1,0 +1,3 @@
+module github.com/tibfit/tibfit
+
+go 1.22

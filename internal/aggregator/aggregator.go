@@ -1,0 +1,216 @@
+// Package aggregator implements the cluster-head side of TIBFIT: collecting
+// event reports off the channel, running the T_out aggregation windows, and
+// turning trust-weighted votes into event decisions.
+//
+// Two aggregators are provided, mirroring the paper's two detection modes:
+//
+//   - Binary (§3.1): every cluster member is an event neighbor of every
+//     event; the first report opens a T_out window; at expiry the reporter
+//     set R and silent set NR face off by cumulative trust index.
+//   - Location (§3.2, §3.3): reports carry (r, θ) offsets; the aggregator
+//     resolves them to absolute coordinates, groups them — either one
+//     window at a time or with the concurrent-event circle protocol — runs
+//     the K-means-style clustering, and holds one CTI vote per candidate
+//     event cluster, using CH-known node positions to derive each
+//     candidate's event-neighbor set.
+//
+// Both aggregators are agnostic to the weighing scheme (TIBFIT trust table
+// or stateless majority baseline) via core.Weigher, which is how the
+// paper's TIBFIT-vs-baseline comparisons are run through identical code.
+package aggregator
+
+import (
+	"fmt"
+
+	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/sim"
+	"github.com/tibfit/tibfit/internal/trace"
+)
+
+// Feedback receives the per-node verdicts implied by each decision. The
+// cluster head broadcasts its decisions; every one-hop member overhears
+// them, which is how smart adversaries maintain their trust estimates. The
+// simulator delivers that broadcast as a direct callback.
+type Feedback func(node int, correct bool)
+
+// BinaryOutcome describes one completed binary aggregation window.
+type BinaryOutcome struct {
+	// TriggerTime is the arrival of the report that opened the window.
+	TriggerTime sim.Time
+	// DecideTime is when the window expired and the vote ran.
+	DecideTime sim.Time
+	// Decision is the CTI vote result.
+	Decision core.BinaryDecision
+}
+
+// String summarizes the outcome for traces.
+func (o BinaryOutcome) String() string {
+	return fmt.Sprintf("trigger=%v decide=%v %v", o.TriggerTime, o.DecideTime, o.Decision)
+}
+
+// BinaryDecider lets a caller replace the default decide-and-settle step
+// — the hook through which the §3.4 shadow-cluster-head panel (or a fault
+// injector standing in for a compromised cluster head) takes over the
+// decision while the aggregator keeps owning windows and timers. The
+// implementation must apply its own trust updates; the returned decision
+// is what the cluster head announces.
+type BinaryDecider interface {
+	DecideAndSettle(reporters, silent []int) core.BinaryDecision
+}
+
+// BinaryConfig configures a binary aggregator.
+type BinaryConfig struct {
+	// Tout is the aggregation window length T_out.
+	Tout sim.Duration
+	// Members is the cluster's node set; in the paper's binary experiment
+	// every member is an event neighbor of every event.
+	Members []int
+	// Decider, when non-nil, replaces the default vote+settle step.
+	Decider BinaryDecider
+}
+
+// Binary is the §3.1 binary-event aggregator.
+type Binary struct {
+	cfg      BinaryConfig
+	weigher  core.Weigher
+	kernel   *sim.Kernel
+	feedback Feedback
+	onDecide func(BinaryOutcome)
+	tr       *trace.Trace
+
+	windowOpen    bool
+	windowTrigger sim.Time
+	reporters     map[int]bool
+	windows       int
+}
+
+// NewBinary returns a binary aggregator. onDecide is invoked after every
+// completed window; feedback (optional) receives per-node verdicts.
+func NewBinary(cfg BinaryConfig, w core.Weigher, kernel *sim.Kernel,
+	onDecide func(BinaryOutcome), feedback Feedback, tr *trace.Trace) (*Binary, error) {
+	if cfg.Tout <= 0 {
+		return nil, fmt.Errorf("aggregator: Tout must be positive, got %v", cfg.Tout)
+	}
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("aggregator: binary aggregator needs at least one member")
+	}
+	if w == nil || kernel == nil {
+		return nil, fmt.Errorf("aggregator: weigher and kernel are required")
+	}
+	members := make([]int, len(cfg.Members))
+	copy(members, cfg.Members)
+	cfg.Members = members
+	return &Binary{
+		cfg:       cfg,
+		weigher:   w,
+		kernel:    kernel,
+		feedback:  feedback,
+		onDecide:  onDecide,
+		tr:        tr,
+		reporters: make(map[int]bool),
+	}, nil
+}
+
+// Windows returns how many aggregation windows have completed.
+func (b *Binary) Windows() int { return b.windows }
+
+// Deliver hands the aggregator one event report that survived the channel.
+// The first report of a window opens it and schedules the T_out expiry.
+func (b *Binary) Deliver(nodeID int) {
+	if b.weigher.Isolated(nodeID) {
+		return // the sink no longer listens to isolated nodes
+	}
+	if !b.windowOpen {
+		b.windowOpen = true
+		b.windowTrigger = b.kernel.Now()
+		b.kernel.After(b.cfg.Tout, b.closeWindow)
+	}
+	b.reporters[nodeID] = true
+	b.tr.Emit(float64(b.kernel.Now()), trace.KindReportDelivered, nodeID, "binary report")
+}
+
+// closeWindow runs the §3.1 vote at T_out expiry.
+func (b *Binary) closeWindow() {
+	reporters := make([]int, 0, len(b.reporters))
+	silent := make([]int, 0, len(b.cfg.Members))
+	for _, id := range b.cfg.Members {
+		if b.reporters[id] {
+			reporters = append(reporters, id)
+		} else {
+			silent = append(silent, id)
+		}
+	}
+	var dec core.BinaryDecision
+	if b.cfg.Decider != nil {
+		dec = b.cfg.Decider.DecideAndSettle(reporters, silent)
+		// The decision broadcast still reaches every member.
+		if b.feedback != nil {
+			for _, id := range dec.Reporters {
+				b.feedback(id, dec.Occurred)
+			}
+			for _, id := range dec.Silent {
+				b.feedback(id, !dec.Occurred)
+			}
+		}
+	} else {
+		dec = core.DecideBinary(b.weigher, reporters, silent)
+		applyWithFeedback(b.weigher, dec, b.feedback)
+	}
+	b.windows++
+	out := BinaryOutcome{
+		TriggerTime: b.windowTrigger,
+		DecideTime:  b.kernel.Now(),
+		Decision:    dec,
+	}
+	b.tr.Emit(float64(b.kernel.Now()), trace.KindDecision, -1, "%v", dec)
+	b.windowOpen = false
+	b.reporters = make(map[int]bool, len(b.cfg.Members))
+	if b.onDecide != nil {
+		b.onDecide(out)
+	}
+}
+
+// applyWithFeedback commits a decision's trust updates and relays each
+// verdict to the feedback sink (the decision broadcast).
+func applyWithFeedback(w core.Weigher, d core.BinaryDecision, fb Feedback) {
+	for _, id := range d.Reporters {
+		w.Judge(id, d.Occurred)
+		if fb != nil {
+			fb(id, d.Occurred)
+		}
+	}
+	for _, id := range d.Silent {
+		w.Judge(id, !d.Occurred)
+		if fb != nil {
+			fb(id, !d.Occurred)
+		}
+	}
+}
+
+// Positions exposes the CH's knowledge of cluster-node locations (§2: "the
+// locations of the nodes at a given time are known to the CHs").
+type Positions interface {
+	// Pos returns the node's position and whether the node is known.
+	Pos(nodeID int) (geo.Point, bool)
+	// IDs returns all known node IDs.
+	IDs() []int
+}
+
+// PosMap is a map-backed Positions implementation.
+type PosMap map[int]geo.Point
+
+// Pos implements Positions.
+func (m PosMap) Pos(nodeID int) (geo.Point, bool) {
+	p, ok := m[nodeID]
+	return p, ok
+}
+
+// IDs implements Positions.
+func (m PosMap) IDs() []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}

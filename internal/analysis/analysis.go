@@ -1,0 +1,213 @@
+// Package analysis implements the paper's §5 mathematical analysis: the
+// closed-form success probability of stateless majority voting with a
+// mixture of correct and faulty reporters (equations 1-3, plotted as
+// figure 10), the failure-tolerance-rate equation whose roots figure 11
+// plots, and the k_max = ln3/λ bound on the final tolerated compromise.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p). Out-of-range k
+// yields 0. The implementation works in log space to stay stable for the
+// larger n values the sweep benchmarks use.
+func BinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+// logChoose returns ln C(n, k) via the log-gamma function.
+func logChoose(n, k int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// MajoritySuccess returns the probability that stateless majority voting
+// identifies a binary event with n event neighbors of which m are faulty,
+// where a correct node reports correctly with probability p and a faulty
+// node with probability q (§5, equations 1-3).
+//
+// Let X ~ Bin(n-m, p) be correct reports from correct nodes and
+// Y ~ Bin(m, q) from faulty nodes; success is Z = X+Y ≥ ⌊n/2⌋+1. The
+// implementation convolves the two binomials directly, which is
+// numerically identical to the paper's double sums (the equivalence is
+// asserted by a test that also evaluates the explicit equation 2/3 forms).
+func MajoritySuccess(n, m int, p, q float64) float64 {
+	if n <= 0 || m < 0 || m > n {
+		panic(fmt.Sprintf("analysis: invalid population n=%d m=%d", n, m))
+	}
+	need := n/2 + 1
+	var total float64
+	for k := 0; k <= n-m; k++ {
+		pk := BinomialPMF(n-m, p, k)
+		if pk == 0 {
+			continue
+		}
+		for i := max(0, need-k); i <= m; i++ {
+			total += pk * BinomialPMF(m, q, i)
+		}
+	}
+	if total > 1 {
+		total = 1 // guard against accumulated rounding above 1
+	}
+	return total
+}
+
+// MajoritySuccessPaperForm evaluates the paper's explicit equations 2 and
+// 3 (the m ≤ n-m and m > n-m branches). It exists to cross-validate
+// MajoritySuccess: both must agree to floating-point tolerance.
+func MajoritySuccessPaperForm(n, m int, p, q float64) float64 {
+	if n <= 0 || m < 0 || m > n {
+		panic(fmt.Sprintf("analysis: invalid population n=%d m=%d", n, m))
+	}
+	floorHalf := n / 2
+	ceilHalf := (n + 1) / 2
+	var total float64
+	if m <= n-m {
+		// Equation 2: outer index over correct-node report counts.
+		for j := 1; j <= ceilHalf; j++ {
+			z := floorHalf + j
+			lo := max(0, z-m)
+			hi := min(z, n-m)
+			for k := lo; k <= hi; k++ {
+				i := z - k
+				total += BinomialPMF(n-m, p, k) * BinomialPMF(m, q, i)
+			}
+		}
+	} else {
+		// Equation 3: outer index over faulty-node report counts.
+		for j := 1; j <= ceilHalf; j++ {
+			z := floorHalf + j
+			lo := max(0, z-(n-m))
+			hi := min(z, m)
+			for k := lo; k <= hi; k++ {
+				i := z - k
+				total += BinomialPMF(m, q, k) * BinomialPMF(n-m, p, i)
+			}
+		}
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// Figure10Point is one sample of the figure 10 curves.
+type Figure10Point struct {
+	FaultyPercent float64
+	Success       float64
+}
+
+// Figure10Curve returns the expected accuracy of the stateless baseline as
+// the faulty fraction grows, for n event neighbors, faulty-node report
+// probability q, and correct-node report probability p — the curves of
+// figure 10 (n=10, q=0.5, p ∈ {0.99, 0.95, 0.90, 0.85}).
+func Figure10Curve(n int, p, q float64) []Figure10Point {
+	out := make([]Figure10Point, 0, n+1)
+	for m := 0; m <= n; m++ {
+		out = append(out, Figure10Point{
+			FaultyPercent: 100 * float64(m) / float64(n),
+			Success:       MajoritySuccess(n, m, p, q),
+		})
+	}
+	return out
+}
+
+// TransitionF evaluates f(k) = e^{-kλ(N-1)} - 2e^{-kλ} + 1, the §5
+// expression whose positive root is the number of events k between
+// successive compromises that TIBFIT needs to keep deciding correctly
+// while the network decays from N-1 correct nodes down to 3.
+func TransitionF(k, lambda float64, n int) float64 {
+	return math.Exp(-k*lambda*float64(n-1)) - 2*math.Exp(-k*lambda) + 1
+}
+
+// MinInterCompromiseEvents solves TransitionF(k) = 0 for the meaningful
+// positive root by bisection: the minimum number of events between
+// compromises that the trust state can absorb (figure 11's x-axis
+// crossings). It returns an error when no sign change exists for the
+// given parameters (e.g. n < 3, where the expression has no positive
+// root).
+//
+// f(0) = 0 is a trivial root; for λ > 0 and n ≥ 3 the function dips
+// negative just above zero and re-crosses at the root the paper plots.
+func MinInterCompromiseEvents(lambda float64, n int) (float64, error) {
+	if lambda <= 0 {
+		return 0, fmt.Errorf("analysis: lambda must be positive, got %v", lambda)
+	}
+	if n < 3 {
+		return 0, fmt.Errorf("analysis: need at least 3 nodes, got %d", n)
+	}
+	// Find a bracketing interval: start just above zero (negative side)
+	// and grow until f is positive.
+	lo := 1e-9 / lambda
+	if TransitionF(lo, lambda, n) >= 0 {
+		return 0, fmt.Errorf("analysis: no negative dip for lambda=%v n=%d", lambda, n)
+	}
+	hi := 1 / lambda
+	for i := 0; TransitionF(hi, lambda, n) < 0; i++ {
+		hi *= 2
+		if i > 200 {
+			return 0, fmt.Errorf("analysis: failed to bracket root for lambda=%v n=%d", lambda, n)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TransitionF(mid, lambda, n) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// KMax returns k_max = ln(3)/λ, the §5 bound on the rounds needed before
+// the system with three remaining correct nodes can tolerate its final
+// compromise (solving 3·e^{-k·λ} = 1).
+func KMax(lambda float64) float64 {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("analysis: lambda must be positive, got %v", lambda))
+	}
+	return math.Log(3) / lambda
+}
+
+// Figure11Point is one sample of a figure 11 curve.
+type Figure11Point struct {
+	K float64
+	F float64
+}
+
+// Figure11Curve samples f(k) over [0, kMax] at the given number of points
+// for one λ — the raw curves of figure 11, whose x-axis crossings are the
+// tolerable compromise rates.
+func Figure11Curve(lambda float64, n, samples int, kMax float64) []Figure11Point {
+	if samples < 2 {
+		samples = 2
+	}
+	out := make([]Figure11Point, 0, samples)
+	for i := 0; i < samples; i++ {
+		k := kMax * float64(i) / float64(samples-1)
+		out = append(out, Figure11Point{K: k, F: TransitionF(k, lambda, n)})
+	}
+	return out
+}

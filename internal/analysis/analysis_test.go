@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBinomialPMFKnownValues(t *testing.T) {
+	tests := []struct {
+		n    int
+		p    float64
+		k    int
+		want float64
+	}{
+		{4, 0.5, 2, 0.375},
+		{4, 0.5, 0, 0.0625},
+		{4, 0.5, 4, 0.0625},
+		{10, 0.1, 0, math.Pow(0.9, 10)},
+		{3, 0.25, 1, 3 * 0.25 * 0.75 * 0.75},
+	}
+	for _, tt := range tests {
+		if got := BinomialPMF(tt.n, tt.p, tt.k); !almostEqual(got, tt.want, 1e-12) {
+			t.Fatalf("PMF(%d, %v, %d) = %v, want %v", tt.n, tt.p, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialPMFEdges(t *testing.T) {
+	if BinomialPMF(5, 0.5, -1) != 0 || BinomialPMF(5, 0.5, 6) != 0 {
+		t.Fatal("out-of-range k not zero")
+	}
+	if BinomialPMF(5, 0, 0) != 1 || BinomialPMF(5, 0, 1) != 0 {
+		t.Fatal("p=0 edge wrong")
+	}
+	if BinomialPMF(5, 1, 5) != 1 || BinomialPMF(5, 1, 4) != 0 {
+		t.Fatal("p=1 edge wrong")
+	}
+}
+
+// Property: the PMF sums to 1 over its support.
+func TestBinomialPMFSumsToOneProperty(t *testing.T) {
+	check := func(n uint8, p float64) bool {
+		nn := 1 + int(n%40)
+		pp := math.Abs(math.Mod(p, 1))
+		var sum float64
+		for k := 0; k <= nn; k++ {
+			sum += BinomialPMF(nn, pp, k)
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMajoritySuccessNoFaulty(t *testing.T) {
+	// With no faulty nodes and p=1 the vote always succeeds.
+	if got := MajoritySuccess(10, 0, 1, 0.5); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("P = %v, want 1", got)
+	}
+	// With p=0 nobody reports: never a majority.
+	if got := MajoritySuccess(10, 0, 0, 0.5); got != 0 {
+		t.Fatalf("P = %v, want 0", got)
+	}
+}
+
+func TestMajoritySuccessAllFaulty(t *testing.T) {
+	// All nodes faulty with q=0.5 and N=10: success needs ≥6 of Bin(10,½).
+	want := 0.0
+	for k := 6; k <= 10; k++ {
+		want += BinomialPMF(10, 0.5, k)
+	}
+	if got := MajoritySuccess(10, 10, 0.99, 0.5); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("P = %v, want %v", got, want)
+	}
+}
+
+func TestMajoritySuccessMonotoneInFaulty(t *testing.T) {
+	// With p > q, more faulty nodes can never help.
+	prev := 1.0
+	for m := 0; m <= 10; m++ {
+		cur := MajoritySuccess(10, m, 0.95, 0.5)
+		if cur > prev+1e-12 {
+			t.Fatalf("P(success) increased at m=%d: %v > %v", m, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestMajoritySuccessSteepDropPastHalf(t *testing.T) {
+	// §5: "accuracy begins to fall off steeply once fifty percent of the
+	// network is compromised."
+	at50 := MajoritySuccess(10, 5, 0.95, 0.5)
+	at80 := MajoritySuccess(10, 8, 0.95, 0.5)
+	if at50 < 0.8 {
+		t.Fatalf("P at 50%% = %v, expected still serviceable", at50)
+	}
+	if at80 > at50-0.2 {
+		t.Fatalf("P at 80%% = %v vs %v at 50%%, expected a steep drop", at80, at50)
+	}
+}
+
+func TestMajoritySuccessPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { MajoritySuccess(0, 0, 0.5, 0.5) },
+		func() { MajoritySuccess(5, -1, 0.5, 0.5) },
+		func() { MajoritySuccess(5, 6, 0.5, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: the direct convolution equals the paper's explicit equation
+// 2/3 double sums.
+func TestConvolutionMatchesPaperFormProperty(t *testing.T) {
+	check := func(n uint8, m uint8, p, q float64) bool {
+		nn := 1 + int(n%20)
+		mm := int(m) % (nn + 1)
+		pp := math.Abs(math.Mod(p, 1))
+		qq := math.Abs(math.Mod(q, 1))
+		return almostEqual(
+			MajoritySuccess(nn, mm, pp, qq),
+			MajoritySuccessPaperForm(nn, mm, pp, qq),
+			1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure10CurveShape(t *testing.T) {
+	curve := Figure10Curve(10, 0.99, 0.5)
+	if len(curve) != 11 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	if curve[0].FaultyPercent != 0 || curve[10].FaultyPercent != 100 {
+		t.Fatalf("x range = %v .. %v", curve[0].FaultyPercent, curve[10].FaultyPercent)
+	}
+	if curve[0].Success < 0.99 {
+		t.Fatalf("accuracy with no faults = %v", curve[0].Success)
+	}
+	// Figure 10's headline: the knee is past 50%.
+	if curve[5].Success < 0.8 {
+		t.Fatalf("accuracy at 50%% = %v, want ≥ 0.8", curve[5].Success)
+	}
+	// With q=0.5 faulty nodes still report truthfully half the time, so
+	// the curve bottoms out near P(Bin(10,½) ≥ 6) ≈ 0.38, not zero.
+	if curve[9].Success > 0.6 {
+		t.Fatalf("accuracy at 90%% = %v, want steep drop", curve[9].Success)
+	}
+}
+
+func TestFigure10HigherPIsBetter(t *testing.T) {
+	lo := Figure10Curve(10, 0.85, 0.5)
+	hi := Figure10Curve(10, 0.99, 0.5)
+	for i := range lo {
+		if lo[i].Success > hi[i].Success+1e-12 {
+			t.Fatalf("p=0.85 beats p=0.99 at %v%%", lo[i].FaultyPercent)
+		}
+	}
+}
+
+func TestTransitionFProperties(t *testing.T) {
+	// f(0) = 0 by construction.
+	if got := TransitionF(0, 0.25, 10); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("f(0) = %v", got)
+	}
+	// f dips negative just above zero and approaches 1 as k → ∞.
+	if TransitionF(0.5, 0.25, 10) >= 0 {
+		t.Fatal("f not negative in the dip")
+	}
+	if got := TransitionF(1000, 0.25, 10); !almostEqual(got, 1, 1e-9) {
+		t.Fatalf("f(∞) = %v", got)
+	}
+}
+
+func TestMinInterCompromiseEventsIsRoot(t *testing.T) {
+	for _, lambda := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
+		k, err := MinInterCompromiseEvents(lambda, 10)
+		if err != nil {
+			t.Fatalf("lambda=%v: %v", lambda, err)
+		}
+		if k <= 0 {
+			t.Fatalf("lambda=%v: root %v not positive", lambda, k)
+		}
+		if f := TransitionF(k, lambda, 10); !almostEqual(f, 0, 1e-9) {
+			t.Fatalf("lambda=%v: f(root) = %v", lambda, f)
+		}
+	}
+}
+
+func TestMinInterCompromiseEventsDecreasesWithLambda(t *testing.T) {
+	// §5: "as λ increases, the frequency of nodes failing that can be
+	// tolerated increases" — i.e. the required spacing k shrinks.
+	prev := math.Inf(1)
+	for _, lambda := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
+		k, err := MinInterCompromiseEvents(lambda, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k >= prev {
+			t.Fatalf("k(λ=%v) = %v not below %v", lambda, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestMinInterCompromiseEventsScaleInvariance(t *testing.T) {
+	// f depends on k only through kλ, so k·λ is constant across λ.
+	k1, _ := MinInterCompromiseEvents(0.1, 10)
+	k2, _ := MinInterCompromiseEvents(0.2, 10)
+	if !almostEqual(k1*0.1, k2*0.2, 1e-6) {
+		t.Fatalf("kλ not invariant: %v vs %v", k1*0.1, k2*0.2)
+	}
+}
+
+func TestMinInterCompromiseEventsErrors(t *testing.T) {
+	if _, err := MinInterCompromiseEvents(0, 10); err == nil {
+		t.Fatal("accepted λ=0")
+	}
+	if _, err := MinInterCompromiseEvents(0.25, 2); err == nil {
+		t.Fatal("accepted n<3")
+	}
+}
+
+func TestKMax(t *testing.T) {
+	if got, want := KMax(0.25), math.Log(3)/0.25; !almostEqual(got, want, 1e-12) {
+		t.Fatalf("KMax = %v, want %v", got, want)
+	}
+	// 3·e^{-λ·k_max} = 1 by definition.
+	if got := 3 * math.Exp(-0.25*KMax(0.25)); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("3e^{-λ k_max} = %v", got)
+	}
+}
+
+func TestKMaxPanicsOnBadLambda(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	KMax(0)
+}
+
+func TestFigure11CurveSampling(t *testing.T) {
+	pts := Figure11Curve(0.25, 10, 25, 10)
+	if len(pts) != 25 {
+		t.Fatalf("got %d samples", len(pts))
+	}
+	if pts[0].K != 0 || !almostEqual(pts[24].K, 10, 1e-12) {
+		t.Fatalf("k range = %v .. %v", pts[0].K, pts[24].K)
+	}
+	// Minimum sample count is clamped.
+	if got := Figure11Curve(0.25, 10, 1, 10); len(got) != 2 {
+		t.Fatalf("clamped samples = %d", len(got))
+	}
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMajorityForms cross-checks the convolution implementation against
+// the paper's explicit equation-2/3 forms on arbitrary parameters, and
+// pins the probability axioms.
+func FuzzMajorityForms(f *testing.F) {
+	f.Add(uint8(10), uint8(5), 0.95, 0.5)
+	f.Add(uint8(1), uint8(0), 0.0, 1.0)
+	f.Add(uint8(19), uint8(19), 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, n, m uint8, p, q float64) {
+		nn := int(n%24) + 1
+		mm := int(m) % (nn + 1)
+		if math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Skip()
+		}
+		pp := math.Abs(math.Mod(p, 1))
+		qq := math.Abs(math.Mod(q, 1))
+		a := MajoritySuccess(nn, mm, pp, qq)
+		b := MajoritySuccessPaperForm(nn, mm, pp, qq)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("forms disagree: %v vs %v (n=%d m=%d p=%v q=%v)", a, b, nn, mm, pp, qq)
+		}
+		if a < 0 || a > 1 {
+			t.Fatalf("probability out of range: %v", a)
+		}
+	})
+}
+
+// FuzzBinomialPMF pins the PMF axioms on arbitrary inputs.
+func FuzzBinomialPMF(f *testing.F) {
+	f.Add(uint8(10), 0.3)
+	f.Fuzz(func(t *testing.T, n uint8, p float64) {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Skip()
+		}
+		nn := int(n%64) + 1
+		pp := math.Abs(math.Mod(p, 1))
+		var sum float64
+		for k := 0; k <= nn; k++ {
+			v := BinomialPMF(nn, pp, k)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("PMF(%d, %v, %d) = %v", nn, pp, k, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("PMF sums to %v", sum)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Smart adversaries (§2.1 levels 1-2) run a trust hysteresis: lie while
+// their self-estimated TI is above lowerTI, behave until it recovers past
+// upperTI (§4.2 uses 0.5 and 0.8). This file derives the closed-form
+// consequences — the duty cycle of the lying phase and the adversary's
+// effective error rate — which is the mechanism behind figure 5's result
+// that TIBFIT forces level-1 nodes "to lie less frequently and therefore
+// helps to improve the accuracy of the event determination."
+
+// HysteresisCycle describes one full lie/recover oscillation.
+type HysteresisCycle struct {
+	// LieEvents is the expected number of judged events spent in the
+	// lying phase before the estimate hits lowerTI.
+	LieEvents float64
+	// RecoverEvents is the expected number spent behaving correctly
+	// until the estimate recovers past upperTI.
+	RecoverEvents float64
+	// Duty is LieEvents / (LieEvents + RecoverEvents): the fraction of
+	// judged events during which the node is actually lying.
+	Duty float64
+	// EffectiveErrRate is Duty × errWhileLying — the error rate the rest
+	// of the system actually experiences from this adversary.
+	EffectiveErrRate float64
+}
+
+// Hysteresis computes the §4.2 oscillation for an adversary whose reports
+// are judged wrong with probability errLying while lying and errHonest
+// while behaving (errHonest < f_r, or recovery never happens). lambda and
+// fr are the trust parameters the adversary mirrors; lowerTI < upperTI
+// are the thresholds.
+//
+// Derivation: the estimator's accumulator must climb from
+// v_hi = -ln(upperTI)/λ to v_lo = -ln(lowerTI)/λ during the lying phase,
+// at expected drift errLying·(1-f_r) - (1-errLying)·f_r per judged event,
+// and descend the same distance during recovery at drift
+// (1-errHonest)·f_r - errHonest·(1-f_r).
+func Hysteresis(lambda, fr, errLying, errHonest, lowerTI, upperTI float64) (HysteresisCycle, error) {
+	switch {
+	case lambda <= 0:
+		return HysteresisCycle{}, fmt.Errorf("analysis: lambda must be positive, got %v", lambda)
+	case lowerTI <= 0 || upperTI >= 1 || lowerTI >= upperTI:
+		return HysteresisCycle{}, fmt.Errorf("analysis: need 0 < lowerTI < upperTI < 1, got %v, %v", lowerTI, upperTI)
+	}
+	lieDrift := errLying*(1-fr) - (1-errLying)*fr
+	if lieDrift <= 0 {
+		return HysteresisCycle{}, fmt.Errorf("analysis: lying drift %v not positive — the adversary never sinks", lieDrift)
+	}
+	recoverDrift := (1-errHonest)*fr - errHonest*(1-fr)
+	if recoverDrift <= 0 {
+		return HysteresisCycle{}, fmt.Errorf("analysis: recovery drift %v not positive — the adversary never recovers", recoverDrift)
+	}
+	span := (-math.Log(lowerTI) + math.Log(upperTI)) / lambda // v_lo - v_hi
+	cycle := HysteresisCycle{
+		LieEvents:     span / lieDrift,
+		RecoverEvents: span / recoverDrift,
+	}
+	cycle.Duty = cycle.LieEvents / (cycle.LieEvents + cycle.RecoverEvents)
+	cycle.EffectiveErrRate = cycle.Duty * errLying
+	return cycle, nil
+}
+
+// Table2Level1Cycle evaluates the hysteresis at the paper's experiment-2
+// parameters: λ=0.25, f_r=0.1, thresholds 0.5/0.8, a level-1 node whose
+// lying reports are judged wrong roughly 62% of the time (25% deliberate
+// drops plus honest-looking reports that still miss r_error at σ=4.25),
+// and whose honest-phase reports err ~5%.
+func Table2Level1Cycle() HysteresisCycle {
+	c, err := Hysteresis(0.25, 0.1, 0.62, 0.05, 0.5, 0.8)
+	if err != nil {
+		panic(err) // constants are valid by construction
+	}
+	return c
+}

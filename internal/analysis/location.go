@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tibfit/tibfit/internal/geo"
+)
+
+// Location-mode reliability prediction. Experiment 2's accuracy is driven
+// by per-event quorum geometry: an event drawn uniformly over the field
+// sees however many sensors fall within r_s of it, the compromised subset
+// of that neighborhood follows a hypergeometric draw from the population,
+// and the CTI vote at the true event's cluster then plays out as in the
+// binary model with location-aware report probabilities:
+//
+//	p = (1 - channel loss) · P(honest noise ≤ r_error)
+//	q = (1 - miss) · (1 - channel loss) · P(faulty noise ≤ r_error)
+//
+// (a report farther than r_error from the true location leaves the
+// event's cluster and votes against it, which is the same as silence for
+// this candidate). Composing the three stages gives a closed-form
+// predictor for figure 4's curves.
+
+// NeighborHist is the distribution of event-neighbor counts: Prob[k] is
+// the probability a uniformly placed event has exactly k sensors in range.
+type NeighborHist struct {
+	Prob []float64
+	Mean float64
+}
+
+// NeighborCounts integrates the neighbor-count distribution over the
+// deployment area on a uniform evaluation lattice of gridSteps×gridSteps
+// event positions — deterministic numerical integration, no sampling.
+func NeighborCounts(area geo.Rect, sensors []geo.Point, senseRadius float64, gridSteps int) (NeighborHist, error) {
+	if len(sensors) == 0 {
+		return NeighborHist{}, fmt.Errorf("analysis: no sensors")
+	}
+	if senseRadius <= 0 || gridSteps < 2 {
+		return NeighborHist{}, fmt.Errorf("analysis: need positive radius and ≥2 grid steps")
+	}
+	hist := make([]float64, len(sensors)+1)
+	total := 0
+	for i := 0; i < gridSteps; i++ {
+		for j := 0; j < gridSteps; j++ {
+			ev := geo.Point{
+				X: area.Min.X + (float64(i)+0.5)*area.Width()/float64(gridSteps),
+				Y: area.Min.Y + (float64(j)+0.5)*area.Height()/float64(gridSteps),
+			}
+			k := 0
+			for _, s := range sensors {
+				if s.Within(ev, senseRadius) {
+					k++
+				}
+			}
+			hist[k]++
+			total++
+		}
+	}
+	out := NeighborHist{Prob: make([]float64, len(hist))}
+	for k, c := range hist {
+		p := c / float64(total)
+		out.Prob[k] = p
+		out.Mean += float64(k) * p
+	}
+	return out, nil
+}
+
+// Hypergeometric returns P(drawing k faulty in a neighborhood of size n
+// from a population of popN sensors of which popFaulty are faulty).
+func Hypergeometric(popN, popFaulty, n, k int) float64 {
+	if k < 0 || k > n || k > popFaulty || n-k > popN-popFaulty {
+		return 0
+	}
+	// C(popFaulty,k)·C(popN-popFaulty,n-k)/C(popN,n) in log space.
+	lg := logChoose(popFaulty, k) + logChoose(popN-popFaulty, n-k) - logChoose(popN, n)
+	return expSafe(lg)
+}
+
+func expSafe(lg float64) float64 {
+	// math.Exp of very negative values underflows to 0, which is fine.
+	return math.Exp(lg)
+}
+
+// LocationParams carries the per-node probabilities of a useful report.
+type LocationParams struct {
+	// PCorrect is a correct neighbor's probability of contributing a
+	// within-r_error report: (1-loss)·P(|noise| ≤ r_error).
+	PCorrect float64
+	// PFaulty is a lying neighbor's same probability:
+	// (1-miss)·(1-loss)·P(|noise| ≤ r_error).
+	PFaulty float64
+	// TICorrect and TIFaulty are the populations' trust levels (1 at the
+	// start of a run; feed ExpectedTI trajectories for later epochs).
+	TICorrect float64
+	TIFaulty  float64
+}
+
+// LocationSuccess predicts the probability an event is detected within
+// r_error: the neighbor count is drawn from hist, its faulty split is
+// hypergeometric, and the trust-weighted vote follows TIBFITBinarySuccess.
+// Neighborhoods with no sensors can never be detected.
+func LocationSuccess(hist NeighborHist, popN, popFaulty int, p LocationParams) float64 {
+	var success float64
+	for n, pn := range hist.Prob {
+		if pn == 0 || n == 0 {
+			continue
+		}
+		for m := 0; m <= n; m++ {
+			pm := Hypergeometric(popN, popFaulty, n, m)
+			if pm == 0 {
+				continue
+			}
+			success += pn * pm * TIBFITBinarySuccess(n, m, p.PCorrect, p.PFaulty, p.TICorrect, p.TIFaulty)
+		}
+	}
+	return success
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/workload"
+)
+
+func table2Hist(t *testing.T) NeighborHist {
+	t.Helper()
+	area := geo.NewRect(100, 100)
+	sensors := workload.GridPlacement(area, 100)
+	hist, err := NeighborCounts(area, sensors, 20, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hist
+}
+
+func TestNeighborCountsTable2Geometry(t *testing.T) {
+	hist := table2Hist(t)
+	// Mean neighborhood: density 0.01/unit² × π·400 ≈ 12.6, reduced by
+	// boundary clipping (events near edges see truncated disks).
+	if hist.Mean < 9 || hist.Mean > 12.6 {
+		t.Fatalf("mean neighbors = %v, want ~10-12", hist.Mean)
+	}
+	var sum float64
+	for _, p := range hist.Prob {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+	// On this grid every field point is within 20 of some sensor.
+	if hist.Prob[0] != 0 {
+		t.Fatalf("P(no neighbors) = %v on a 10x10 grid with r_s=20", hist.Prob[0])
+	}
+}
+
+func TestNeighborCountsValidation(t *testing.T) {
+	area := geo.NewRect(10, 10)
+	if _, err := NeighborCounts(area, nil, 5, 10); err == nil {
+		t.Fatal("no sensors accepted")
+	}
+	if _, err := NeighborCounts(area, []geo.Point{{X: 1, Y: 1}}, 0, 10); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+	if _, err := NeighborCounts(area, []geo.Point{{X: 1, Y: 1}}, 5, 1); err == nil {
+		t.Fatal("single grid step accepted")
+	}
+}
+
+func TestHypergeometricAxioms(t *testing.T) {
+	// Sums to one over k.
+	var sum float64
+	for k := 0; k <= 12; k++ {
+		sum += Hypergeometric(100, 40, 12, k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("hypergeometric sums to %v", sum)
+	}
+	// Known value: drawing 2 from a 4/6 split, P(both faulty) =
+	// C(4,2)/C(10,2) = 6/45.
+	if got, want := Hypergeometric(10, 4, 2, 2), 6.0/45; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("P = %v, want %v", got, want)
+	}
+	// Impossible draws are zero.
+	if Hypergeometric(10, 2, 5, 3) != 0 {
+		t.Fatal("drew more faulty than exist")
+	}
+	if Hypergeometric(10, 9, 5, 0) != 0 {
+		t.Fatal("drew more correct than exist")
+	}
+}
+
+// TestLocationSuccessMatchesSimulationEarly cross-validates the location
+// model against experiment 2's measured early-window accuracy (both
+// populations still at full trust), across the compromise sweep.
+func TestLocationSuccessMatchesSimulationEarly(t *testing.T) {
+	hist := table2Hist(t)
+	const (
+		loss   = 0.005
+		miss   = 0.25
+		sigmaC = 1.6
+		sigmaF = 4.25
+		rErr   = 5.0
+	)
+	params := LocationParams{
+		PCorrect:  (1 - loss) * (1 - rng.RayleighExceedProb(sigmaC, rErr)),
+		PFaulty:   (1 - miss) * (1 - loss) * (1 - rng.RayleighExceedProb(sigmaF, rErr)),
+		TICorrect: 1,
+		TIFaulty:  1,
+	}
+	// The baseline scheme holds trust at 1 forever, so the full-trust
+	// model should track the baseline's whole-run accuracy. The model is
+	// a mild upper bound: it counts every within-r_error report as a
+	// clean vote, while in the simulation noisy-but-in-tolerance faulty
+	// reports also drag the declared centroid, losing a few extra events
+	// at heavy compromise. Tolerances widen accordingly.
+	tests := []struct {
+		faulty   int
+		simulted float64 // measured figure-4 baseline numbers (3 runs)
+		tol      float64
+	}{
+		{10, 0.996, 0.03},
+		{40, 0.892, 0.06},
+		{50, 0.791, 0.09},
+		{58, 0.679, 0.12},
+	}
+	for _, tt := range tests {
+		got := LocationSuccess(hist, 100, tt.faulty, params)
+		if math.Abs(got-tt.simulted) > tt.tol {
+			t.Fatalf("faulty=%d: model %.3f vs simulated baseline %.3f (tol %.2f)",
+				tt.faulty, got, tt.simulted, tt.tol)
+		}
+		if got < tt.simulted-0.02 {
+			t.Fatalf("faulty=%d: model %.3f below simulation %.3f — should be an upper bound",
+				tt.faulty, got, tt.simulted)
+		}
+	}
+}
+
+func TestLocationSuccessImprovesWithTrustDecay(t *testing.T) {
+	hist := table2Hist(t)
+	base := LocationParams{PCorrect: 0.95, PFaulty: 0.5, TICorrect: 1, TIFaulty: 1}
+	decayed := base
+	decayed.TIFaulty = 0.1
+	before := LocationSuccess(hist, 100, 58, base)
+	after := LocationSuccess(hist, 100, 58, decayed)
+	if after <= before {
+		t.Fatalf("trust decay did not help: %v -> %v", before, after)
+	}
+	if after < 0.95 {
+		t.Fatalf("discredited liars should leave accuracy high, got %v", after)
+	}
+}

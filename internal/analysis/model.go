@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's future work asks for "a more extensive theoretical model to
+// demonstrate correctness and predict system reliability" (§7). This file
+// supplies the binary-mode version: a semi-analytic predictor of TIBFIT's
+// per-event success probability that composes the §5 binomial machinery
+// with the expected trust trajectories, and is cross-validated against
+// the live simulation by the test suite.
+//
+// Model. At event k there are N-m correct nodes with trust t_c and m
+// faulty nodes with trust t_f (use ExpectedTI to follow the trajectory).
+// A correct node reports with probability p; a faulty node with
+// probability q. With X ~ Bin(N-m, p) correct reporters and Y ~ Bin(m, q)
+// faulty reporters, the event is declared iff
+//
+//	X·t_c + Y·t_f > (N-m-X)·t_c + (m-Y)·t_f
+//
+// i.e. the reporting side's CTI beats the silent side's. The predictor
+// enumerates the (X, Y) lattice — O(N·m) per evaluation.
+
+// TIBFITBinarySuccess returns the probability that the trust-weighted
+// vote declares a real event, given the population split, the per-node
+// report probabilities, and the current trust levels of the two
+// populations. With t_c = t_f = 1 it reduces exactly to the §5 baseline
+// MajoritySuccess (a property the tests pin).
+func TIBFITBinarySuccess(n, m int, p, q, tiCorrect, tiFaulty float64) float64 {
+	if n <= 0 || m < 0 || m > n {
+		panic(fmt.Sprintf("analysis: invalid population n=%d m=%d", n, m))
+	}
+	if tiCorrect < 0 || tiFaulty < 0 {
+		panic("analysis: trust levels must be non-negative")
+	}
+	nc := n - m
+	var success float64
+	for x := 0; x <= nc; x++ {
+		px := BinomialPMF(nc, p, x)
+		if px == 0 {
+			continue
+		}
+		for y := 0; y <= m; y++ {
+			py := BinomialPMF(m, q, y)
+			if py == 0 {
+				continue
+			}
+			forCTI := float64(x)*tiCorrect + float64(y)*tiFaulty
+			againstCTI := float64(nc-x)*tiCorrect + float64(m-y)*tiFaulty
+			if forCTI > againstCTI {
+				success += px * py
+			}
+		}
+	}
+	if success > 1 {
+		success = 1
+	}
+	return success
+}
+
+// ReliabilityPoint is one sample of a predicted reliability curve.
+type ReliabilityPoint struct {
+	Event     int
+	TICorrect float64
+	TIFaulty  float64
+	PSuccess  float64
+	PBaseline float64
+}
+
+// ReliabilityCurve predicts TIBFIT's per-event success probability over a
+// run of the binary experiment: N event neighbors, m level-0 faulty nodes
+// compromised from event zero, faulty miss probability missProb, correct
+// report probability p, trust parameters (λ, f_r).
+//
+// The trust trajectories are computed self-consistently, because verdicts
+// depend on vote outcomes which depend on trust: at each event the model
+// evaluates the success probability P from the current expected trust
+// levels, then advances both populations' expected fault accumulators
+// using the exact judged-wrong probabilities the protocol induces —
+//
+//	w_faulty  = P·(1-q) + (1-P)·q     (silent when the event is declared,
+//	                                   or reporting when it is rejected)
+//	w_correct = P·(1-p) + (1-P)·p
+//
+// with q = 1-missProb. This captures the coupling the naive trajectory
+// misses: when a heavily compromised network loses votes, the silent
+// liars are *rewarded* and the honest reporters punished, which slows
+// recovery exactly as the simulation shows. The baseline column holds
+// the §5 stateless result — constant, since majority voting is memoryless.
+func ReliabilityCurve(n, m, events int, p, missProb, lambda, fr float64) []ReliabilityPoint {
+	if events <= 0 {
+		return nil
+	}
+	q := 1 - missProb
+	base := MajoritySuccess(n, m, p, q)
+	out := make([]ReliabilityPoint, 0, events)
+	var vC, vF float64
+	step := func(v, wrong float64) float64 {
+		v += wrong*(1-fr) - (1-wrong)*fr
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	for k := 0; k < events; k++ {
+		tc := math.Exp(-lambda * vC)
+		tf := math.Exp(-lambda * vF)
+		prob := TIBFITBinarySuccess(n, m, p, q, tc, tf)
+		out = append(out, ReliabilityPoint{
+			Event:     k,
+			TICorrect: tc,
+			TIFaulty:  tf,
+			PSuccess:  prob,
+			PBaseline: base,
+		})
+		vF = step(vF, prob*(1-q)+(1-prob)*q)
+		vC = step(vC, prob*(1-p)+(1-prob)*p)
+	}
+	return out
+}
+
+// PredictedRunAccuracy averages the reliability curve — the number to
+// compare against a simulated run's measured accuracy.
+func PredictedRunAccuracy(n, m, events int, p, missProb, lambda, fr float64) float64 {
+	curve := ReliabilityCurve(n, m, events, p, missProb, lambda, fr)
+	if len(curve) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, pt := range curve {
+		sum += pt.PSuccess
+	}
+	return sum / float64(len(curve))
+}
+
+// EventsToRecover predicts how many events the model needs before the
+// per-event success probability climbs back above the target, for a
+// network that starts with m-of-n faulty. It returns ok=false if the
+// model never reaches the target within horizon events.
+func EventsToRecover(n, m int, p, missProb, lambda, fr, target float64, horizon int) (int, bool) {
+	for _, pt := range ReliabilityCurve(n, m, horizon, p, missProb, lambda, fr) {
+		if pt.PSuccess >= target {
+			return pt.Event, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTIBFITSuccessReducesToBaselineAtFullTrust(t *testing.T) {
+	// With both populations at trust 1, the CTI vote is one-node-one-vote
+	// with a strict-majority threshold — not identical to §5's ⌊N/2⌋+1
+	// rule for even splits, but equal wherever the reporting count can't
+	// tie. For odd N the two coincide exactly.
+	for _, n := range []int{9, 11, 15} {
+		for m := 0; m <= n; m++ {
+			got := TIBFITBinarySuccess(n, m, 0.95, 0.5, 1, 1)
+			want := MajoritySuccess(n, m, 0.95, 0.5)
+			// The CTI rule declares when reporters strictly outweigh the
+			// silent side: R > N/2, identical to ⌊N/2⌋+1 for odd N.
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("n=%d m=%d: CTI model %v != baseline %v", n, m, got, want)
+			}
+		}
+	}
+}
+
+func TestTIBFITSuccessImprovesAsFaultyTrustDecays(t *testing.T) {
+	prev := 0.0
+	for i, tf := range []float64{1, 0.8, 0.5, 0.2, 0.05, 0} {
+		p := TIBFITBinarySuccess(10, 7, 0.99, 0.5, 1, tf)
+		if i > 0 && p < prev-1e-12 {
+			t.Fatalf("success fell to %v as faulty trust decayed to %v", p, tf)
+		}
+		prev = p
+	}
+	// Fully discredited faulty nodes: only correct reports matter, and
+	// p=0.99 of 3 correct nodes beats an empty silent side almost surely.
+	if final := TIBFITBinarySuccess(10, 7, 0.99, 0.5, 1, 0); final < 0.97 {
+		t.Fatalf("success with discredited liars = %v", final)
+	}
+}
+
+func TestTIBFITSuccessPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { TIBFITBinarySuccess(0, 0, 0.5, 0.5, 1, 1) },
+		func() { TIBFITBinarySuccess(5, 6, 0.5, 0.5, 1, 1) },
+		func() { TIBFITBinarySuccess(5, 2, 0.5, 0.5, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: the model output is a probability and is monotone in the
+// correct population's trust.
+func TestTIBFITSuccessBoundsProperty(t *testing.T) {
+	check := func(n, m uint8, p, q, tc, tf float64) bool {
+		nn := int(n%15) + 1
+		mm := int(m) % (nn + 1)
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Abs(math.Mod(v, 1))
+		}
+		pp, qq, tcc, tff := clamp(p), clamp(q), clamp(tc), clamp(tf)
+		v := TIBFITBinarySuccess(nn, mm, pp, qq, tcc, tff)
+		if v < 0 || v > 1 {
+			return false
+		}
+		// More correct-side trust never hurts.
+		hi := TIBFITBinarySuccess(nn, mm, pp, qq, math.Min(1, tcc+0.3), tff)
+		return hi >= v-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReliabilityCurveShape(t *testing.T) {
+	curve := ReliabilityCurve(10, 7, 100, 0.99, 0.5, 0.1, 0.01)
+	if len(curve) != 100 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[0].PSuccess >= curve[99].PSuccess {
+		t.Fatalf("reliability did not improve: %v .. %v",
+			curve[0].PSuccess, curve[99].PSuccess)
+	}
+	// Early the model matches the stateless baseline (trust still 1).
+	if math.Abs(curve[0].PSuccess-curve[0].PBaseline) > 1e-9 {
+		t.Fatalf("event 0: model %v != baseline %v", curve[0].PSuccess, curve[0].PBaseline)
+	}
+	// Late in the run TIBFIT is far above the baseline.
+	if curve[99].PSuccess < curve[99].PBaseline+0.2 {
+		t.Fatalf("event 99: model %v vs baseline %v", curve[99].PSuccess, curve[99].PBaseline)
+	}
+	if ReliabilityCurve(10, 7, 0, 0.99, 0.5, 0.1, 0.01) != nil {
+		t.Fatal("zero-event curve not nil")
+	}
+}
+
+func TestEventsToRecover(t *testing.T) {
+	k, ok := EventsToRecover(10, 7, 0.99, 0.5, 0.1, 0.01, 0.99, 500)
+	if !ok {
+		t.Fatal("model never recovers")
+	}
+	if k <= 0 || k > 200 {
+		t.Fatalf("recovery at event %d, want a few dozen", k)
+	}
+	// A hopeless configuration (everyone faulty) never recovers: with all
+	// nodes on the same trajectory the vote stays a coin flip.
+	if _, ok := EventsToRecover(10, 10, 0.99, 0.5, 0.1, 0.01, 0.99, 200); ok {
+		t.Fatal("all-faulty network reported recoverable")
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file extends §5 with the expected trust-index trajectory — the
+// closed form behind the paper's narrative that "correctly functioning
+// nodes will have a TI approaching one while faulty and malicious nodes
+// will have a lower TI" (§3), and behind the CTI race in the decay
+// analysis. The experiment suite cross-validates these curves against the
+// live simulation.
+
+// ExpectedV returns E[v] after k judged reports for a node whose reports
+// are judged faulty with probability errRate, under fault rate fr,
+// ignoring the floor at zero (the floor only helps, so this is an upper
+// bound on v and thus a lower bound on TI):
+//
+//	E[v_k] = k · (errRate·(1-fr) - (1-errRate)·fr)
+//
+// clamped below at zero because v can never be negative in expectation
+// once the drift is toward the floor.
+func ExpectedV(fr, errRate float64, k int) float64 {
+	if k < 0 {
+		panic(fmt.Sprintf("analysis: negative report count %d", k))
+	}
+	drift := errRate*(1-fr) - (1-errRate)*fr
+	v := float64(k) * drift
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ExpectedTI returns the trust index at the expected fault accumulator
+// after k judged reports: exp(-λ·E[v_k]). By Jensen's inequality this is
+// a lower bound on E[exp(-λ·v_k)] for the unfloored walk, and simulation
+// confirms it tracks the sample mean tightly for the paper's parameter
+// ranges (see TestExpectedTIMatchesSimulation).
+func ExpectedTI(lambda, fr, errRate float64, k int) float64 {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("analysis: lambda must be positive, got %v", lambda))
+	}
+	return math.Exp(-lambda * ExpectedV(fr, errRate, k))
+}
+
+// ReportsUntilTI returns the expected number of judged reports before a
+// node erring at errRate sinks to the target trust index. It returns
+// ok=false when the node's drift is non-positive (it never sinks —
+// erring at or below the natural rate keeps trust at one).
+func ReportsUntilTI(lambda, fr, errRate, targetTI float64) (int, bool) {
+	if lambda <= 0 || targetTI <= 0 || targetTI >= 1 {
+		return 0, false
+	}
+	drift := errRate*(1-fr) - (1-errRate)*fr
+	if drift <= 0 {
+		return 0, false
+	}
+	vNeeded := -math.Log(targetTI) / lambda
+	return int(math.Ceil(vNeeded / drift)), true
+}
+
+// CTITrajectory returns the §5 decay-analysis cumulative trust of the
+// faulty side after the network has been corrupted one node per k events
+// for steps compromises: e^{-kλ} + e^{-2kλ} + ... + e^{-steps·kλ},
+// assuming (as §5 does) that faulty nodes always fail once compromised.
+func CTITrajectory(lambda, k float64, steps int) float64 {
+	var sum float64
+	for i := 1; i <= steps; i++ {
+		sum += math.Exp(-float64(i) * k * lambda)
+	}
+	return sum
+}
+
+// DecayHoldsAt reports whether the §5 condition for continued 100%
+// accuracy holds when nCorrect honest nodes (TI 1) face a faulty side
+// whose compromises arrived k events apart, steps compromises in: the
+// honest CTI must exceed the faulty CTI by more than 2, the §5 margin
+// for surviving the *next* compromise flipping a node across.
+func DecayHoldsAt(lambda, k float64, nCorrect, steps int) bool {
+	return float64(nCorrect)-1 > CTITrajectory(lambda, k, steps)+1
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// Circle is the symbolic circle of radius rError the cluster head draws
+// around the first report of a suspected event (paper §3.3). Reports that
+// land inside the circle join it; its timer expires T_out after the
+// anchoring report arrived.
+type Circle struct {
+	Center   geo.Point // location of the anchoring (first) report
+	Deadline sim.Time  // anchor arrival time + T_out
+	Reports  []Report
+}
+
+// String summarizes the circle for traces.
+func (c *Circle) String() string {
+	return fmt.Sprintf("center=%v deadline=%v n=%d", c.Center, c.Deadline, len(c.Reports))
+}
+
+// CircleSet tracks the open circles for the concurrent-event protocol. The
+// aggregation rule from §3.3:
+//
+//  1. The first report anchors a circle of radius rError with its own
+//     T_out timer; later reports within rError of the anchor join it.
+//  2. A report outside every open circle anchors a new circle with its own
+//     timer.
+//  3. When a circle's timer expires, its reports are clustered — unless it
+//     overlaps other circles, in which case the cluster head waits for all
+//     timers in the overlapping group and clusters the union.
+//
+// Overlap is transitive for the purpose of rule 3, so readiness is decided
+// per connected component of the overlap graph.
+type CircleSet struct {
+	rError float64
+	tout   sim.Duration
+	open   []*Circle
+}
+
+// NewCircleSet returns an empty circle tracker.
+func NewCircleSet(rError float64, tout sim.Duration) *CircleSet {
+	if rError <= 0 {
+		panic(fmt.Sprintf("cluster: rError must be positive, got %v", rError))
+	}
+	return &CircleSet{rError: rError, tout: tout}
+}
+
+// Open returns the number of circles currently open.
+func (s *CircleSet) Open() int { return len(s.open) }
+
+// Add routes a report arriving at time now into an existing circle or a
+// new one. It returns the circle the report joined and whether the circle
+// is new (its deadline timer still needs scheduling).
+func (s *CircleSet) Add(r Report, now sim.Time) (c *Circle, isNew bool) {
+	for _, c := range s.open {
+		if c.Center.Within(r.Loc, s.rError) {
+			c.Reports = append(c.Reports, r)
+			return c, false
+		}
+	}
+	c = &Circle{Center: r.Loc, Deadline: now.Add(s.tout), Reports: []Report{r}}
+	s.open = append(s.open, c)
+	return c, true
+}
+
+// Collect removes and returns every connected overlap component in which
+// all circle deadlines have passed by now. Each returned group is the
+// union of the component's reports, ready for the §3.2 clustering pass.
+// Components still waiting on a timer are left open.
+func (s *CircleSet) Collect(now sim.Time) [][]Report {
+	if len(s.open) == 0 {
+		return nil
+	}
+	comps := s.components()
+	var groups [][]Report
+	taken := make(map[*Circle]bool)
+	for _, comp := range comps {
+		ready := true
+		for _, c := range comp {
+			if c.Deadline > now {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		var union []Report
+		for _, c := range comp {
+			union = append(union, c.Reports...)
+			taken[c] = true
+		}
+		groups = append(groups, union)
+	}
+	if len(taken) > 0 {
+		kept := s.open[:0]
+		for _, c := range s.open {
+			if !taken[c] {
+				kept = append(kept, c)
+			}
+		}
+		s.open = kept
+	}
+	return groups
+}
+
+// NextDeadline returns the earliest deadline among open circles, or ok =
+// false when none are open. The aggregator uses it to schedule its next
+// collection timer.
+func (s *CircleSet) NextDeadline() (t sim.Time, ok bool) {
+	if len(s.open) == 0 {
+		return 0, false
+	}
+	t = s.open[0].Deadline
+	for _, c := range s.open[1:] {
+		if c.Deadline < t {
+			t = c.Deadline
+		}
+	}
+	return t, true
+}
+
+// components partitions open circles into connected components of the
+// overlap graph. Two circles of radius rError overlap when their centers
+// are within 2·rError.
+func (s *CircleSet) components() [][]*Circle {
+	n := len(s.open)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	touch := 2 * s.rError
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.open[i].Center.Dist(s.open[j].Center) <= touch {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]*Circle)
+	for i, c := range s.open {
+		r := find(i)
+		groups[r] = append(groups[r], c)
+	}
+	out := make([][]*Circle, 0, len(groups))
+	for i := 0; i < n; i++ {
+		if find(i) == i {
+			out = append(out, groups[i])
+		}
+	}
+	return out
+}

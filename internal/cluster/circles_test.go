@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+const tout = sim.Duration(1)
+
+func TestCircleSetPanicsOnBadRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for rError <= 0")
+		}
+	}()
+	NewCircleSet(0, tout)
+}
+
+func TestFirstReportAnchorsCircle(t *testing.T) {
+	s := NewCircleSet(rError, tout)
+	c, isNew := s.Add(Report{Node: 1, Loc: geo.Point{X: 10, Y: 10}}, 0)
+	if !isNew {
+		t.Fatal("first report did not create a circle")
+	}
+	if c.Center != (geo.Point{X: 10, Y: 10}) {
+		t.Fatalf("center = %v", c.Center)
+	}
+	if c.Deadline != sim.Time(tout) {
+		t.Fatalf("deadline = %v, want %v", c.Deadline, tout)
+	}
+	if s.Open() != 1 {
+		t.Fatalf("Open() = %d", s.Open())
+	}
+}
+
+func TestNearbyReportJoinsCircle(t *testing.T) {
+	s := NewCircleSet(rError, tout)
+	first, _ := s.Add(Report{Node: 1, Loc: geo.Point{X: 10, Y: 10}}, 0)
+	second, isNew := s.Add(Report{Node: 2, Loc: geo.Point{X: 12, Y: 11}}, 0.5)
+	if isNew || second != first {
+		t.Fatal("report within rError did not join the anchor circle")
+	}
+	if len(first.Reports) != 2 {
+		t.Fatalf("circle has %d reports, want 2", len(first.Reports))
+	}
+	// Joining must not extend the anchor's deadline (§3.3: the timer
+	// belongs to the anchoring report).
+	if first.Deadline != sim.Time(tout) {
+		t.Fatalf("deadline moved to %v", first.Deadline)
+	}
+}
+
+func TestDistantReportAnchorsNewCircle(t *testing.T) {
+	s := NewCircleSet(rError, tout)
+	_, _ = s.Add(Report{Node: 1, Loc: geo.Point{X: 10, Y: 10}}, 0)
+	c2, isNew := s.Add(Report{Node: 2, Loc: geo.Point{X: 40, Y: 40}}, 0.25)
+	if !isNew {
+		t.Fatal("distant report joined the wrong circle")
+	}
+	if c2.Deadline != sim.Time(0.25)+sim.Time(tout) {
+		t.Fatalf("second circle deadline = %v", c2.Deadline)
+	}
+	if s.Open() != 2 {
+		t.Fatalf("Open() = %d", s.Open())
+	}
+}
+
+func TestCollectSingleCircle(t *testing.T) {
+	s := NewCircleSet(rError, tout)
+	_, _ = s.Add(Report{Node: 1, Loc: geo.Point{X: 10, Y: 10}}, 0)
+	if groups := s.Collect(0.5); groups != nil {
+		t.Fatalf("collected before deadline: %v", groups)
+	}
+	groups := s.Collect(1)
+	if len(groups) != 1 || len(groups[0]) != 1 {
+		t.Fatalf("Collect = %v", groups)
+	}
+	if s.Open() != 0 {
+		t.Fatalf("Open() after collect = %d", s.Open())
+	}
+}
+
+func TestCollectWaitsForOverlappingCircles(t *testing.T) {
+	// §3.3 rule 4: overlapping circles are clustered together, after all
+	// their timers have expired.
+	s := NewCircleSet(rError, tout)
+	_, _ = s.Add(Report{Node: 1, Loc: geo.Point{X: 10, Y: 10}}, 0)
+	// 8 < 2·rError away: overlapping, anchored later.
+	_, _ = s.Add(Report{Node: 2, Loc: geo.Point{X: 18, Y: 10}}, 0.8)
+
+	if groups := s.Collect(1); groups != nil {
+		t.Fatalf("collected overlapping component before all deadlines: %v", groups)
+	}
+	groups := s.Collect(1.8)
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1 merged", len(groups))
+	}
+	if len(groups[0]) != 2 {
+		t.Fatalf("merged group has %d reports, want 2", len(groups[0]))
+	}
+}
+
+func TestCollectIndependentComponentsSeparately(t *testing.T) {
+	s := NewCircleSet(rError, tout)
+	_, _ = s.Add(Report{Node: 1, Loc: geo.Point{X: 0, Y: 0}}, 0)
+	_, _ = s.Add(Report{Node: 2, Loc: geo.Point{X: 50, Y: 0}}, 0.5)
+	groups := s.Collect(1)
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups at t=1, want 1", len(groups))
+	}
+	if groups[0][0].Node != 1 {
+		t.Fatalf("wrong circle collected first: %v", groups)
+	}
+	if s.Open() != 1 {
+		t.Fatalf("Open() = %d, want the later circle still open", s.Open())
+	}
+	groups = s.Collect(1.5)
+	if len(groups) != 1 || groups[0][0].Node != 2 {
+		t.Fatalf("second collect = %v", groups)
+	}
+}
+
+func TestOverlapIsTransitive(t *testing.T) {
+	// Circles A-B overlap and B-C overlap but A-C do not; all three must
+	// form one component.
+	s := NewCircleSet(rError, tout)
+	_, _ = s.Add(Report{Node: 1, Loc: geo.Point{X: 0, Y: 0}}, 0)
+	_, _ = s.Add(Report{Node: 2, Loc: geo.Point{X: 9, Y: 0}}, 0.1)
+	_, _ = s.Add(Report{Node: 3, Loc: geo.Point{X: 18, Y: 0}}, 0.2)
+	groups := s.Collect(1.2)
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("transitive overlap not merged: %v", groups)
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	s := NewCircleSet(rError, tout)
+	if _, ok := s.NextDeadline(); ok {
+		t.Fatal("empty set reported a deadline")
+	}
+	_, _ = s.Add(Report{Node: 1, Loc: geo.Point{X: 0, Y: 0}}, 2)
+	_, _ = s.Add(Report{Node: 2, Loc: geo.Point{X: 50, Y: 0}}, 1)
+	d, ok := s.NextDeadline()
+	if !ok || d != sim.Time(1)+sim.Time(tout) {
+		t.Fatalf("NextDeadline = %v, %t", d, ok)
+	}
+}

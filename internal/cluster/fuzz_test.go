@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// FuzzCluster drives the §3.2 heuristic with arbitrary report coordinates
+// and checks its invariants never break: every report lands in exactly
+// one cluster, and final centers stay pairwise more than r_error apart.
+func FuzzCluster(f *testing.F) {
+	f.Add(int64(1), uint8(5), 5.0)
+	f.Add(int64(42), uint8(30), 1.0)
+	f.Add(int64(-7), uint8(2), 100.0)
+	f.Fuzz(func(t *testing.T, seed int64, count uint8, rErr float64) {
+		if math.IsNaN(rErr) || math.IsInf(rErr, 0) || rErr <= 0 || rErr > 1e6 {
+			t.Skip()
+		}
+		n := int(count%64) + 1
+		// A tiny deterministic generator from the seed; positions may
+		// coincide, sit on a line, or collapse to one point — all legal.
+		reports := make([]Report, n)
+		state := uint64(seed)
+		next := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state%2000000)/1000 - 1000
+		}
+		for i := range reports {
+			reports[i] = Report{Node: i, Loc: geo.Point{X: next(), Y: next()}}
+		}
+
+		clusters := Cluster(reports, rErr)
+
+		total := 0
+		seen := make(map[int]bool)
+		for _, c := range clusters {
+			total += len(c.Reports)
+			for _, r := range c.Reports {
+				if seen[r.Node] {
+					t.Fatalf("node %d appears in two clusters", r.Node)
+				}
+				seen[r.Node] = true
+			}
+			if !c.Center.IsFinite() {
+				t.Fatalf("non-finite center %v", c.Center)
+			}
+		}
+		if total != n {
+			t.Fatalf("%d reports clustered, want %d", total, n)
+		}
+		for i := range clusters {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := clusters[i].Center.Dist(clusters[j].Center); d <= rErr {
+					t.Fatalf("centers %v apart, want > %v", d, rErr)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCircleSet checks the §3.3 circle bookkeeping against arbitrary
+// report sequences: Collect never returns a report twice and never loses
+// one once its component's deadlines have all passed.
+func FuzzCircleSet(f *testing.F) {
+	f.Add(int64(3), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, count uint8) {
+		n := int(count%48) + 1
+		s := NewCircleSet(5, 1)
+		state := uint64(seed)
+		next := func(mod int) float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state % uint64(mod))
+		}
+		now := 0.0
+		collected := make(map[int]bool)
+		added := 0
+		for i := 0; i < n; i++ {
+			now += next(100) / 100
+			s.Add(Report{Node: i, Loc: geo.Point{X: next(60), Y: next(60)}}, simTime(now))
+			added++
+			for _, group := range s.Collect(simTime(now)) {
+				for _, r := range group {
+					if collected[r.Node] {
+						t.Fatalf("report %d collected twice", r.Node)
+					}
+					collected[r.Node] = true
+				}
+			}
+		}
+		// Far-future collect drains everything still open.
+		for _, group := range s.Collect(simTime(now + 1e6)) {
+			for _, r := range group {
+				if collected[r.Node] {
+					t.Fatalf("report %d collected twice at drain", r.Node)
+				}
+				collected[r.Node] = true
+			}
+		}
+		if len(collected) != added {
+			t.Fatalf("collected %d of %d reports", len(collected), added)
+		}
+		if s.Open() != 0 {
+			t.Fatalf("%d circles leaked", s.Open())
+		}
+	})
+}
+
+// simTime converts a float test time into the kernel's Time type.
+func simTime(v float64) sim.Time { return sim.Time(v) }

@@ -1,0 +1,247 @@
+// Package cluster implements the spatial grouping machinery of TIBFIT's
+// location-determination mode: the K-means-style heuristic that organizes
+// location reports into event clusters (paper §3.2), and the symbolic
+// circle bookkeeping that separates concurrent events before clustering
+// (paper §3.3).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tibfit/tibfit/internal/geo"
+)
+
+// Report is one location report as seen by the cluster head after polar
+// conversion: which node sent it and the absolute location it indicates.
+type Report struct {
+	Node int
+	Loc  geo.Point
+}
+
+// EventCluster is one group of mutually consistent reports. Center is the
+// cluster's center of gravity (cg) — the average location indicated by the
+// member reports — which the protocol takes as the event location.
+type EventCluster struct {
+	Center  geo.Point
+	Reports []Report
+}
+
+// Nodes returns the sorted IDs of the nodes whose reports are members.
+func (c EventCluster) Nodes() []int {
+	out := make([]int, 0, len(c.Reports))
+	for _, r := range c.Reports {
+		out = append(out, r.Node)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String summarizes the cluster for traces.
+func (c EventCluster) String() string {
+	return fmt.Sprintf("cg=%v n=%d", c.Center, len(c.Reports))
+}
+
+// maxRounds bounds the refinement loop. The paper's heuristic converges in
+// a handful of rounds on its workloads; the bound only guards against
+// pathological oscillation on adversarial inputs.
+const maxRounds = 64
+
+// Cluster groups event reports into disjoint event clusters of radius
+// rError following §3.2:
+//
+//  1. Seed centers with the farthest pair of reports.
+//  2. Promote any report farther than rError from every current center to
+//     a new center, until no report can form a separate cluster.
+//  3. Assign every report to its nearest center and recompute each
+//     cluster's center of gravity.
+//  4. While two or more centers lie within rError of each other, replace
+//     them with their weighted average and repeat the assignment round,
+//     until cluster constituency stops changing.
+//
+// The result is a set of clusters whose centers are pairwise more than
+// rError apart, covering every report. Reports from nodes whose
+// localization error exceeds rError land in separate (typically tiny)
+// clusters, which the subsequent CTI vote throws out — this is the
+// mechanism by which TIBFIT discards badly localized reports.
+//
+// A nil or empty input yields no clusters. rError must be positive.
+func Cluster(reports []Report, rError float64) []EventCluster {
+	if len(reports) == 0 {
+		return nil
+	}
+	if rError <= 0 {
+		panic(fmt.Sprintf("cluster: rError must be positive, got %v", rError))
+	}
+	// Canonicalize processing order so the heuristic's tie-breaks (and
+	// therefore its output) do not depend on report arrival order.
+	sorted := make([]Report, len(reports))
+	copy(sorted, reports)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	reports = sorted
+	centers := seedCenters(reports, rError)
+	var clusters []EventCluster
+	prev := ""
+	for round := 0; round < maxRounds; round++ {
+		clusters = assign(reports, centers)
+		centers = mergeCenters(clusters, rError)
+		sig := signature(clusters)
+		if sig == prev && len(centers) == len(clusters) {
+			break
+		}
+		prev = sig
+	}
+	// Final assignment against the merged centers so that the returned
+	// clusters are consistent with the centers' separation invariant.
+	clusters = assign(reports, centers)
+	for i := range clusters {
+		cg, _ := geo.Centroid(locations(clusters[i].Reports))
+		clusters[i].Center = cg
+	}
+	sortClusters(clusters)
+	return clusters
+}
+
+// seedCenters performs steps 1-2: farthest-pair seeding plus promotion of
+// every report that cannot be covered by an existing center.
+func seedCenters(reports []Report, rError float64) []geo.Point {
+	if len(reports) == 1 {
+		return []geo.Point{reports[0].Loc}
+	}
+	ai, bi, maxD2 := farthestPair(reports)
+	if maxD2 <= rError*rError {
+		// All reports are mutually within rError: a single cluster.
+		cg, _ := geo.Centroid(locations(reports))
+		return []geo.Point{cg}
+	}
+	centers := []geo.Point{reports[ai].Loc, reports[bi].Loc}
+	for _, r := range reports {
+		if minDist2(r.Loc, centers) > rError*rError {
+			centers = append(centers, r.Loc)
+		}
+	}
+	return centers
+}
+
+// farthestPair returns the indices of the two reports with the greatest
+// pairwise distance and that squared distance. O(n²), as in the paper's
+// step 1 which sorts all pairwise distances.
+func farthestPair(reports []Report) (ai, bi int, maxD2 float64) {
+	for i := range reports {
+		for j := i + 1; j < len(reports); j++ {
+			if d2 := reports[i].Loc.Dist2(reports[j].Loc); d2 > maxD2 {
+				ai, bi, maxD2 = i, j, d2
+			}
+		}
+	}
+	return ai, bi, maxD2
+}
+
+// assign groups every report with its nearest center (step 4) and sets
+// each cluster's center to the member centroid.
+func assign(reports []Report, centers []geo.Point) []EventCluster {
+	members := make([][]Report, len(centers))
+	for _, r := range reports {
+		best, bestD2 := 0, r.Loc.Dist2(centers[0])
+		for ci := 1; ci < len(centers); ci++ {
+			if d2 := r.Loc.Dist2(centers[ci]); d2 < bestD2 {
+				best, bestD2 = ci, d2
+			}
+		}
+		members[best] = append(members[best], r)
+	}
+	clusters := make([]EventCluster, 0, len(centers))
+	for _, m := range members {
+		if len(m) == 0 {
+			continue // a merged-away or out-competed center
+		}
+		cg, _ := geo.Centroid(locations(m))
+		clusters = append(clusters, EventCluster{Center: cg, Reports: m})
+	}
+	return clusters
+}
+
+// mergeCenters implements step 5: while any two centers lie within rError,
+// replace them with their weighted average (weights = member counts).
+func mergeCenters(clusters []EventCluster, rError float64) []geo.Point {
+	type wc struct {
+		p geo.Point
+		w float64
+	}
+	cs := make([]wc, len(clusters))
+	for i, c := range clusters {
+		cs[i] = wc{p: c.Center, w: float64(len(c.Reports))}
+	}
+	merged := true
+	for merged {
+		merged = false
+	outer:
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				if cs[i].p.Dist(cs[j].p) <= rError {
+					w := cs[i].w + cs[j].w
+					avg, ok := geo.WeightedCentroid(
+						[]geo.Point{cs[i].p, cs[j].p},
+						[]float64{cs[i].w, cs[j].w})
+					if !ok {
+						avg = cs[i].p
+						w = 1
+					}
+					cs[i] = wc{p: avg, w: w}
+					cs = append(cs[:j], cs[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+	}
+	out := make([]geo.Point, len(cs))
+	for i, c := range cs {
+		out[i] = c.p
+	}
+	return out
+}
+
+// signature fingerprints cluster constituency for convergence detection.
+func signature(clusters []EventCluster) string {
+	parts := make([]string, len(clusters))
+	for i, c := range clusters {
+		ids := c.Nodes()
+		parts[i] = fmt.Sprint(ids)
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}
+
+// sortClusters orders clusters by descending size then by center for
+// deterministic output.
+func sortClusters(clusters []EventCluster) {
+	sort.Slice(clusters, func(i, j int) bool {
+		if len(clusters[i].Reports) != len(clusters[j].Reports) {
+			return len(clusters[i].Reports) > len(clusters[j].Reports)
+		}
+		ci, cj := clusters[i].Center, clusters[j].Center
+		if ci.X != cj.X {
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+}
+
+func locations(reports []Report) []geo.Point {
+	out := make([]geo.Point, len(reports))
+	for i, r := range reports {
+		out[i] = r.Loc
+	}
+	return out
+}
+
+func minDist2(p geo.Point, centers []geo.Point) float64 {
+	best := p.Dist2(centers[0])
+	for _, c := range centers[1:] {
+		if d2 := p.Dist2(c); d2 < best {
+			best = d2
+		}
+	}
+	return best
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+const rError = 5.0
+
+func reportsAt(locs ...geo.Point) []Report {
+	out := make([]Report, len(locs))
+	for i, l := range locs {
+		out[i] = Report{Node: i, Loc: l}
+	}
+	return out
+}
+
+func TestClusterEmpty(t *testing.T) {
+	if got := Cluster(nil, rError); got != nil {
+		t.Fatalf("Cluster(nil) = %v", got)
+	}
+}
+
+func TestClusterPanicsOnBadRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for rError <= 0")
+		}
+	}()
+	Cluster(reportsAt(geo.Point{}), 0)
+}
+
+func TestClusterSingleReport(t *testing.T) {
+	cs := Cluster(reportsAt(geo.Point{X: 3, Y: 4}), rError)
+	if len(cs) != 1 {
+		t.Fatalf("got %d clusters, want 1", len(cs))
+	}
+	if cs[0].Center != (geo.Point{X: 3, Y: 4}) {
+		t.Fatalf("center = %v", cs[0].Center)
+	}
+}
+
+func TestClusterTightGroupIsOne(t *testing.T) {
+	cs := Cluster(reportsAt(
+		geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 1}, geo.Point{X: 2, Y: 0}, geo.Point{X: 1, Y: -1},
+	), rError)
+	if len(cs) != 1 {
+		t.Fatalf("got %d clusters, want 1: %v", len(cs), cs)
+	}
+	if len(cs[0].Reports) != 4 {
+		t.Fatalf("cluster has %d reports, want 4", len(cs[0].Reports))
+	}
+}
+
+func TestClusterTwoDistantGroups(t *testing.T) {
+	cs := Cluster(reportsAt(
+		geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 0}, geo.Point{X: 0, Y: 1},
+		geo.Point{X: 50, Y: 50}, geo.Point{X: 51, Y: 50},
+	), rError)
+	if len(cs) != 2 {
+		t.Fatalf("got %d clusters, want 2: %v", len(cs), cs)
+	}
+	// Largest first.
+	if len(cs[0].Reports) != 3 || len(cs[1].Reports) != 2 {
+		t.Fatalf("cluster sizes = %d, %d", len(cs[0].Reports), len(cs[1].Reports))
+	}
+}
+
+func TestClusterOutlierFormsOwnCluster(t *testing.T) {
+	// §3.2: reports localized more than r_error away form separate
+	// clusters and get thrown out by the subsequent vote.
+	cs := Cluster(reportsAt(
+		geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 0}, geo.Point{X: 0, Y: 1}, geo.Point{X: 1, Y: 1},
+		geo.Point{X: 20, Y: 0},
+	), rError)
+	if len(cs) != 2 {
+		t.Fatalf("got %d clusters, want 2: %v", len(cs), cs)
+	}
+	outlier := cs[1]
+	if len(outlier.Reports) != 1 || outlier.Reports[0].Node != 4 {
+		t.Fatalf("outlier cluster = %v", outlier)
+	}
+}
+
+func TestClusterCenterIsCentroid(t *testing.T) {
+	cs := Cluster(reportsAt(geo.Point{X: 0, Y: 0}, geo.Point{X: 2, Y: 0}, geo.Point{X: 1, Y: 3}), rError)
+	if len(cs) != 1 {
+		t.Fatalf("got %d clusters", len(cs))
+	}
+	want := geo.Point{X: 1, Y: 1}
+	if cs[0].Center.Dist(want) > 1e-9 {
+		t.Fatalf("center = %v, want %v", cs[0].Center, want)
+	}
+}
+
+func TestClusterNodesSorted(t *testing.T) {
+	reports := []Report{
+		{Node: 9, Loc: geo.Point{X: 0, Y: 0}},
+		{Node: 2, Loc: geo.Point{X: 1, Y: 0}},
+		{Node: 5, Loc: geo.Point{X: 0, Y: 1}},
+	}
+	cs := Cluster(reports, rError)
+	ids := cs[0].Nodes()
+	want := []int{2, 5, 9}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestClusterThreeGroups(t *testing.T) {
+	cs := Cluster(reportsAt(
+		geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 1},
+		geo.Point{X: 30, Y: 0}, geo.Point{X: 31, Y: 1},
+		geo.Point{X: 0, Y: 30}, geo.Point{X: 1, Y: 31},
+	), rError)
+	if len(cs) != 3 {
+		t.Fatalf("got %d clusters, want 3: %v", len(cs), cs)
+	}
+}
+
+// TestClusterSeparationInvariant verifies the §3.2 postcondition on random
+// inputs: final cluster centers are pairwise more than r_error apart, every
+// report belongs to exactly one cluster, and no report is closer to another
+// cluster's center than to its own.
+func TestClusterSeparationInvariant(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(40)
+		reports := make([]Report, n)
+		for i := range reports {
+			reports[i] = Report{
+				Node: i,
+				Loc:  geo.Point{X: src.Uniform(0, 100), Y: src.Uniform(0, 100)},
+			}
+		}
+		cs := Cluster(reports, rError)
+
+		total := 0
+		for _, c := range cs {
+			total += len(c.Reports)
+		}
+		if total != n {
+			t.Fatalf("trial %d: %d reports in clusters, want %d", trial, total, n)
+		}
+
+		for i := range cs {
+			for j := i + 1; j < len(cs); j++ {
+				if d := cs[i].Center.Dist(cs[j].Center); d <= rError {
+					t.Fatalf("trial %d: centers %v and %v only %v apart",
+						trial, cs[i].Center, cs[j].Center, d)
+				}
+			}
+		}
+
+		for ci, c := range cs {
+			for _, r := range c.Reports {
+				own := r.Loc.Dist(c.Center)
+				for cj, other := range cs {
+					if cj == ci {
+						continue
+					}
+					if r.Loc.Dist(other.Center) < own-1e-9 {
+						t.Fatalf("trial %d: report %v closer to cluster %d than its own %d",
+							trial, r, cj, ci)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: clustering is insensitive to report order up to cluster
+// identity (same partition of node IDs).
+func TestClusterOrderInsensitiveProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(20)
+		reports := make([]Report, n)
+		for i := range reports {
+			reports[i] = Report{
+				Node: i,
+				Loc:  geo.Point{X: src.Uniform(0, 60), Y: src.Uniform(0, 60)},
+			}
+		}
+		a := Cluster(reports, rError)
+
+		shuffled := make([]Report, n)
+		copy(shuffled, reports)
+		src.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := Cluster(shuffled, rError)
+
+		return partitionSignature(a) == partitionSignature(b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func partitionSignature(cs []EventCluster) string {
+	return signature(cs)
+}
+
+func TestFarthestPair(t *testing.T) {
+	reports := reportsAt(geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 1}, geo.Point{X: 10, Y: 0})
+	ai, bi, d2 := farthestPair(reports)
+	if ai != 0 || bi != 2 {
+		t.Fatalf("farthest pair = (%d, %d)", ai, bi)
+	}
+	if math.Abs(d2-100) > 1e-9 {
+		t.Fatalf("d2 = %v, want 100", d2)
+	}
+}
+
+func TestMergeCentersCombinesClose(t *testing.T) {
+	clusters := []EventCluster{
+		{Center: geo.Point{X: 0, Y: 0}, Reports: make([]Report, 3)},
+		{Center: geo.Point{X: 4, Y: 0}, Reports: make([]Report, 1)},
+		{Center: geo.Point{X: 50, Y: 0}, Reports: make([]Report, 2)},
+	}
+	centers := mergeCenters(clusters, rError)
+	if len(centers) != 2 {
+		t.Fatalf("got %d centers, want 2: %v", len(centers), centers)
+	}
+	// Weighted average of (0,0)x3 and (4,0)x1 is (1,0).
+	if centers[0].Dist(geo.Point{X: 1, Y: 0}) > 1e-9 {
+		t.Fatalf("merged center = %v, want (1,0)", centers[0])
+	}
+}

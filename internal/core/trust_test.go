@@ -1,0 +1,366 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testParams() Params {
+	return Params{Lambda: 0.1, FaultRate: 0.01}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		params  Params
+		wantErr bool
+	}{
+		{"valid", Params{Lambda: 0.1, FaultRate: 0.01}, false},
+		{"valid zero fault rate", Params{Lambda: 0.25, FaultRate: 0}, false},
+		{"valid with threshold", Params{Lambda: 0.25, FaultRate: 0.1, RemovalThreshold: 0.3}, false},
+		{"zero lambda", Params{Lambda: 0, FaultRate: 0.01}, true},
+		{"negative lambda", Params{Lambda: -1, FaultRate: 0.01}, true},
+		{"fault rate one", Params{Lambda: 0.1, FaultRate: 1}, true},
+		{"negative fault rate", Params{Lambda: 0.1, FaultRate: -0.1}, true},
+		{"threshold one", Params{Lambda: 0.1, FaultRate: 0.1, RemovalThreshold: 1}, true},
+		{"negative threshold", Params{Lambda: 0.1, FaultRate: 0.1, RemovalThreshold: -0.1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.params.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %t", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewTableRejectsInvalidParams(t *testing.T) {
+	if _, err := NewTable(Params{}); err == nil {
+		t.Fatal("NewTable accepted zero params")
+	}
+}
+
+func TestMustNewTablePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewTable did not panic on invalid params")
+		}
+	}()
+	MustNewTable(Params{})
+}
+
+func TestFreshNodeHasFullTrust(t *testing.T) {
+	tab := MustNewTable(testParams())
+	if ti := tab.TI(7); ti != 1 {
+		t.Fatalf("fresh node TI = %v, want 1", ti)
+	}
+	if v := tab.V(7); v != 0 {
+		t.Fatalf("fresh node v = %v, want 0", v)
+	}
+	if w := tab.Weight(7); w != 1 {
+		t.Fatalf("fresh node weight = %v, want 1", w)
+	}
+}
+
+func TestJudgeFaultyFollowsPaperFormula(t *testing.T) {
+	// §3: each faulty report adds 1-f_r to v; TI = exp(-λ·v).
+	p := Params{Lambda: 0.1, FaultRate: 0.01}
+	tab := MustNewTable(p)
+	tab.Judge(1, false)
+	wantV := 1 - p.FaultRate
+	if v := tab.V(1); math.Abs(v-wantV) > 1e-12 {
+		t.Fatalf("v after one faulty report = %v, want %v", v, wantV)
+	}
+	wantTI := math.Exp(-p.Lambda * wantV)
+	if ti := tab.TI(1); math.Abs(ti-wantTI) > 1e-12 {
+		t.Fatalf("TI after one faulty report = %v, want %v", ti, wantTI)
+	}
+}
+
+func TestJudgeCorrectRecoversSlowly(t *testing.T) {
+	p := Params{Lambda: 0.1, FaultRate: 0.01}
+	tab := MustNewTable(p)
+	tab.Judge(1, false)
+	before := tab.V(1)
+	tab.Judge(1, true)
+	wantV := before - p.FaultRate
+	if v := tab.V(1); math.Abs(v-wantV) > 1e-12 {
+		t.Fatalf("v after recovery = %v, want %v", v, wantV)
+	}
+	// One faulty report takes (1-f_r)/f_r = 99 correct reports to erase.
+	for i := 0; i < 97; i++ {
+		tab.Judge(1, true)
+	}
+	if ti := tab.TI(1); ti >= 1 {
+		t.Fatalf("TI fully recovered after 98 correct reports, want < 1 (ti=%v)", ti)
+	}
+	tab.Judge(1, true)
+	if v := tab.V(1); math.Abs(v) > 1e-9 {
+		t.Fatalf("v after 100 correct reports = %v, want ~0", v)
+	}
+}
+
+func TestVFloorsAtZero(t *testing.T) {
+	tab := MustNewTable(testParams())
+	for i := 0; i < 50; i++ {
+		tab.Judge(1, true)
+	}
+	if v := tab.V(1); v != 0 {
+		t.Fatalf("v = %v after only-correct reports, want 0", v)
+	}
+	if ti := tab.TI(1); ti != 1 {
+		t.Fatalf("TI = %v after only-correct reports, want 1", ti)
+	}
+}
+
+func TestIsolationAtThreshold(t *testing.T) {
+	p := Params{Lambda: 0.25, FaultRate: 0.1, RemovalThreshold: 0.3}
+	tab := MustNewTable(p)
+	// v needed: exp(-0.25 v) <= 0.3 → v >= 4.816; each faulty adds 0.9.
+	faults := 0
+	for !tab.Isolated(1) {
+		tab.Judge(1, false)
+		faults++
+		if faults > 100 {
+			t.Fatal("node never isolated")
+		}
+	}
+	wantFaults := int(math.Ceil(-math.Log(0.3) / 0.25 / 0.9))
+	if faults != wantFaults {
+		t.Fatalf("isolated after %d faults, want %d", faults, wantFaults)
+	}
+	if w := tab.Weight(1); w != 0 {
+		t.Fatalf("isolated node weight = %v, want 0", w)
+	}
+	// Further judgments are ignored.
+	rec, _ := tab.Record(1)
+	tab.Judge(1, true)
+	rec2, _ := tab.Record(1)
+	if rec2 != rec {
+		t.Fatalf("judgment mutated isolated node: %+v -> %+v", rec, rec2)
+	}
+}
+
+func TestIsolationDisabledByDefault(t *testing.T) {
+	tab := MustNewTable(testParams())
+	for i := 0; i < 1000; i++ {
+		tab.Judge(1, false)
+	}
+	if tab.Isolated(1) {
+		t.Fatal("node isolated with RemovalThreshold = 0")
+	}
+}
+
+func TestIsolatedNodesSorted(t *testing.T) {
+	p := Params{Lambda: 1, FaultRate: 0.1, RemovalThreshold: 0.9}
+	tab := MustNewTable(p)
+	for _, id := range []int{9, 3, 7} {
+		tab.Judge(id, false) // exp(-0.9) ≈ 0.407 <= 0.9 → isolated
+	}
+	got := tab.IsolatedNodes()
+	want := []int{3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("IsolatedNodes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IsolatedNodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCTISumsWeights(t *testing.T) {
+	tab := MustNewTable(Params{Lambda: 0.1, FaultRate: 0.01})
+	tab.Judge(1, false)
+	want := tab.TI(1) + tab.TI(2) + tab.TI(3)
+	if got := tab.CTI([]int{1, 2, 3}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CTI = %v, want %v", got, want)
+	}
+	if got := tab.CTI(nil); got != 0 {
+		t.Fatalf("CTI(nil) = %v, want 0", got)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	p := Params{Lambda: 0.25, FaultRate: 0.1, RemovalThreshold: 0.1}
+	tab := MustNewTable(p)
+	tab.Judge(1, false)
+	tab.Judge(1, false)
+	tab.Judge(2, true)
+	for i := 0; i < 20; i++ {
+		tab.Judge(3, false)
+	}
+	snap := tab.Snapshot()
+
+	restored := MustNewTable(p)
+	restored.Restore(snap)
+	for _, id := range []int{1, 2, 3} {
+		if got, want := restored.TI(id), tab.TI(id); got != want {
+			t.Fatalf("restored TI(%d) = %v, want %v", id, got, want)
+		}
+		if got, want := restored.Isolated(id), tab.Isolated(id); got != want {
+			t.Fatalf("restored Isolated(%d) = %v, want %v", id, got, want)
+		}
+	}
+
+	// The snapshot is a deep copy: mutating the original afterwards must
+	// not affect the restored table.
+	tab.Judge(2, false)
+	if restored.V(2) == tab.V(2) {
+		t.Fatal("snapshot aliased live records")
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	tab := MustNewTable(testParams())
+	for _, id := range []int{5, 1, 3} {
+		tab.Judge(id, true)
+	}
+	got := tab.Nodes()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLinearModeTrust(t *testing.T) {
+	p := Params{Lambda: 0.1, FaultRate: 0, Linear: true}
+	tab := MustNewTable(p)
+	tab.Judge(1, false) // v = 1
+	if got, want := tab.TI(1), 0.9; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("linear TI = %v, want %v", got, want)
+	}
+	for i := 0; i < 20; i++ {
+		tab.Judge(1, false)
+	}
+	if got := tab.TI(1); got != 0 {
+		t.Fatalf("linear TI floor = %v, want 0", got)
+	}
+}
+
+func TestLinearModeForgetsHistory(t *testing.T) {
+	// §3's complaint about the linear model: a node that lies half the
+	// time can still return to full trust, because each correct report
+	// undoes a whole fault. Under the exponential model a fault needs
+	// (1-f_r)/f_r correct reports to erase.
+	lin := MustNewTable(Params{Lambda: 0.1, FaultRate: 0.01, Linear: true})
+	exp := MustNewTable(Params{Lambda: 0.1, FaultRate: 0.01})
+	for i := 0; i < 5; i++ {
+		lin.Judge(1, false)
+		exp.Judge(1, false)
+	}
+	for i := 0; i < 5; i++ {
+		lin.Judge(1, true)
+		exp.Judge(1, true)
+	}
+	if lin.TI(1) != 1 {
+		t.Fatalf("linear TI after 5 faults + 5 corrections = %v, want full recovery", lin.TI(1))
+	}
+	if exp.TI(1) >= 0.7 {
+		t.Fatalf("exponential TI recovered too easily: %v", exp.TI(1))
+	}
+}
+
+func TestExpectedDeltaVZeroAtNaturalRate(t *testing.T) {
+	// §3: a node erring exactly at f_r has E[Δv] = 0.
+	for _, fr := range []float64{0.01, 0.05, 0.1, 0.5} {
+		p := Params{Lambda: 0.1, FaultRate: fr}
+		if dv := p.ExpectedDeltaV(fr); math.Abs(dv) > 1e-12 {
+			t.Fatalf("ExpectedDeltaV(fr=%v) = %v, want 0", fr, dv)
+		}
+		if dv := p.ExpectedDeltaV(fr * 2); dv <= 0 {
+			t.Fatalf("ExpectedDeltaV above natural rate = %v, want > 0", dv)
+		}
+		if dv := p.ExpectedDeltaV(fr / 2); dv >= 0 {
+			t.Fatalf("ExpectedDeltaV below natural rate = %v, want < 0", dv)
+		}
+	}
+}
+
+func TestBaselineProperties(t *testing.T) {
+	var b Baseline
+	if b.Name() != "baseline" {
+		t.Fatalf("Name() = %q", b.Name())
+	}
+	if b.Weight(42) != 1 {
+		t.Fatal("baseline weight != 1")
+	}
+	b.Judge(42, false) // must be a no-op
+	if b.Weight(42) != 1 || b.Isolated(42) {
+		t.Fatal("baseline kept state after Judge")
+	}
+}
+
+func TestNewWeigher(t *testing.T) {
+	if w, err := NewWeigher("tibfit", testParams()); err != nil || w.Name() != "tibfit" {
+		t.Fatalf("NewWeigher(tibfit) = %v, %v", w, err)
+	}
+	if w, err := NewWeigher("baseline", Params{}); err != nil || w.Name() != "baseline" {
+		t.Fatalf("NewWeigher(baseline) = %v, %v", w, err)
+	}
+	if _, err := NewWeigher("bogus", testParams()); !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("NewWeigher(bogus) err = %v, want ErrUnknownScheme", err)
+	}
+}
+
+// Property: TI is always in [0, 1] and non-increasing in v, for both the
+// exponential and linear penalty models.
+func TestTrustBoundsProperty(t *testing.T) {
+	check := func(lambda, v1, v2 float64, linear bool) bool {
+		lambda = 0.01 + math.Abs(math.Mod(lambda, 5))
+		v1 = math.Abs(math.Mod(v1, 100))
+		v2 = math.Abs(math.Mod(v2, 100))
+		p := Params{Lambda: lambda, FaultRate: 0.1, Linear: linear}
+		lo, hi := v1, v2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tLo, tHi := p.trustOf(lo), p.trustOf(hi)
+		return tLo >= 0 && tLo <= 1 && tHi >= 0 && tHi <= 1 && tHi <= tLo
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any sequence of verdicts keeps v non-negative and counts
+// consistent with the number of verdicts applied.
+func TestJudgeSequenceProperty(t *testing.T) {
+	check := func(verdicts []bool) bool {
+		tab := MustNewTable(Params{Lambda: 0.25, FaultRate: 0.1})
+		for _, ok := range verdicts {
+			tab.Judge(1, ok)
+		}
+		rec, found := tab.Record(1)
+		if len(verdicts) == 0 {
+			return !found
+		}
+		return rec.V >= 0 && rec.Correct+rec.Faulty == len(verdicts)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the node-side estimator tracks the sink's trust value exactly
+// when it observes the same verdict sequence.
+func TestEstimatorMirrorsTableProperty(t *testing.T) {
+	check := func(verdicts []bool) bool {
+		p := Params{Lambda: 0.25, FaultRate: 0.1}
+		tab := MustNewTable(p)
+		est := NewEstimator(p)
+		for _, ok := range verdicts {
+			tab.Judge(1, ok)
+			est.Observe(ok)
+		}
+		return math.Abs(tab.TI(1)-est.TI()) < 1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecideBinaryMajorityOfEqualWeights(t *testing.T) {
+	tests := []struct {
+		name      string
+		reporters []int
+		silent    []int
+		want      bool
+	}{
+		{"clear majority reports", []int{1, 2, 3}, []int{4}, true},
+		{"clear majority silent", []int{1}, []int{2, 3, 4}, false},
+		{"tie resolves to no event", []int{1, 2}, []int{3, 4}, false},
+		{"no reports", nil, []int{1, 2}, false},
+		{"all report", []int{1, 2}, nil, true},
+		{"nobody involved", nil, nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := DecideBinary(Baseline{}, tt.reporters, tt.silent)
+			if d.Occurred != tt.want {
+				t.Fatalf("Occurred = %t, want %t (%v)", d.Occurred, tt.want, d)
+			}
+		})
+	}
+}
+
+func TestDecideBinarySmallTrustedGroupBeatsLargeUntrusted(t *testing.T) {
+	// §3.1: "a smaller group of reliable nodes can win the vote against a
+	// larger group of unreliable nodes based on higher TI".
+	p := Params{Lambda: 0.25, FaultRate: 0.1}
+	tab := MustNewTable(p)
+	unreliable := []int{10, 11, 12, 13, 14}
+	for _, id := range unreliable {
+		for i := 0; i < 10; i++ {
+			tab.Judge(id, false)
+		}
+	}
+	reliable := []int{1, 2, 3}
+	d := DecideBinary(tab, reliable, unreliable)
+	if !d.Occurred {
+		t.Fatalf("3 reliable nodes lost to 5 distrusted nodes: %v", d)
+	}
+	if d.CTIFor <= d.CTIAgainst {
+		t.Fatalf("CTIFor %v <= CTIAgainst %v", d.CTIFor, d.CTIAgainst)
+	}
+}
+
+func TestDecideBinaryExcludesIsolated(t *testing.T) {
+	p := Params{Lambda: 1, FaultRate: 0, RemovalThreshold: 0.5}
+	tab := MustNewTable(p)
+	tab.Judge(9, false) // TI = e^-1 ≈ 0.37 → isolated
+	if !tab.Isolated(9) {
+		t.Fatal("setup: node 9 not isolated")
+	}
+	d := DecideBinary(tab, []int{9, 1}, []int{2, 3})
+	for _, id := range d.Reporters {
+		if id == 9 {
+			t.Fatal("isolated node included in reporter set")
+		}
+	}
+	if len(d.Reporters) != 1 || len(d.Silent) != 2 {
+		t.Fatalf("unexpected partition: %v", d)
+	}
+}
+
+func TestDecideBinarySortsSides(t *testing.T) {
+	d := DecideBinary(Baseline{}, []int{5, 1, 3}, []int{9, 7})
+	for i := 1; i < len(d.Reporters); i++ {
+		if d.Reporters[i-1] > d.Reporters[i] {
+			t.Fatalf("reporters not sorted: %v", d.Reporters)
+		}
+	}
+	for i := 1; i < len(d.Silent); i++ {
+		if d.Silent[i-1] > d.Silent[i] {
+			t.Fatalf("silent not sorted: %v", d.Silent)
+		}
+	}
+}
+
+func TestApplySettlesTrust(t *testing.T) {
+	p := Params{Lambda: 0.25, FaultRate: 0.1}
+
+	t.Run("event occurred", func(t *testing.T) {
+		tab := MustNewTable(p)
+		d := DecideBinary(tab, []int{1, 2, 3}, []int{4})
+		if !d.Occurred {
+			t.Fatal("setup: expected event")
+		}
+		Apply(tab, d)
+		for _, id := range []int{1, 2, 3} {
+			if tab.V(id) != 0 {
+				t.Fatalf("winner %d penalized: v=%v", id, tab.V(id))
+			}
+		}
+		if want := 1 - p.FaultRate; math.Abs(tab.V(4)-want) > 1e-12 {
+			t.Fatalf("loser v = %v, want %v", tab.V(4), want)
+		}
+	})
+
+	t.Run("event rejected", func(t *testing.T) {
+		tab := MustNewTable(p)
+		d := DecideBinary(tab, []int{1}, []int{2, 3, 4})
+		if d.Occurred {
+			t.Fatal("setup: expected rejection")
+		}
+		Apply(tab, d)
+		if want := 1 - p.FaultRate; math.Abs(tab.V(1)-want) > 1e-12 {
+			t.Fatalf("false reporter v = %v, want %v", tab.V(1), want)
+		}
+		for _, id := range []int{2, 3, 4} {
+			if tab.V(id) != 0 {
+				t.Fatalf("correct silent node %d penalized", id)
+			}
+		}
+	})
+}
+
+func TestDecisionMarginAndString(t *testing.T) {
+	d := DecideBinary(Baseline{}, []int{1, 2, 3}, []int{4})
+	if got, want := d.Margin(), 2.0; got != want {
+		t.Fatalf("Margin() = %v, want %v", got, want)
+	}
+	if s := d.String(); !strings.Contains(s, "occurred=true") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// Property: the vote outcome is exactly CTIFor > CTIAgainst, and both CTIs
+// are the sums of the respective sides' weights.
+func TestDecideBinaryConsistencyProperty(t *testing.T) {
+	check := func(rep, sil []uint8, faults []uint8) bool {
+		p := Params{Lambda: 0.25, FaultRate: 0.1}
+		tab := MustNewTable(p)
+		for _, f := range faults {
+			tab.Judge(int(f%16), false)
+		}
+		reporters := make([]int, 0, len(rep))
+		for _, r := range rep {
+			reporters = append(reporters, int(r%16))
+		}
+		silent := make([]int, 0, len(sil))
+		for _, s := range sil {
+			silent = append(silent, int(s%16)+16) // disjoint from reporters
+		}
+		d := DecideBinary(tab, reporters, silent)
+		var fore, against float64
+		for _, id := range d.Reporters {
+			fore += tab.Weight(id)
+		}
+		for _, id := range d.Silent {
+			against += tab.Weight(id)
+		}
+		return math.Abs(fore-d.CTIFor) < 1e-9 &&
+			math.Abs(against-d.CTIAgainst) < 1e-9 &&
+			d.Occurred == (d.CTIFor > d.CTIAgainst)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under the TIBFIT update rule, a node that always lies while a
+// trustworthy majority holds loses trust monotonically.
+func TestLiarTrustMonotoneProperty(t *testing.T) {
+	check := func(rounds uint8) bool {
+		p := Params{Lambda: 0.1, FaultRate: 0.05}
+		tab := MustNewTable(p)
+		prev := tab.TI(0)
+		for i := 0; i < int(rounds%64); i++ {
+			d := DecideBinary(tab, []int{0}, []int{1, 2, 3})
+			Apply(tab, d)
+			cur := tab.TI(0)
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorFloorsAtZero(t *testing.T) {
+	est := NewEstimator(Params{Lambda: 0.25, FaultRate: 0.1})
+	for i := 0; i < 10; i++ {
+		est.Observe(true)
+	}
+	if est.TI() != 1 {
+		t.Fatalf("estimator TI = %v after only-correct observations, want 1", est.TI())
+	}
+}

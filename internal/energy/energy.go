@@ -1,0 +1,103 @@
+// Package energy implements the first-order radio energy model that LEACH
+// cluster-head election depends on (Heinzelman et al., the paper's refs
+// [3][4]). Each node has a battery; transmitting costs electronics energy
+// plus amplifier energy proportional to distance squared, receiving costs
+// electronics energy. LEACH rotates cluster headship toward nodes with more
+// residual energy, which this package makes observable.
+package energy
+
+import "fmt"
+
+// Model holds the per-operation costs of the first-order radio model. All
+// energies are in abstract joule-like units; only ratios matter to LEACH.
+type Model struct {
+	// ElecPerBit is the energy to run the transmit or receive electronics
+	// for one bit.
+	ElecPerBit float64
+	// AmpPerBitPerDist2 is the transmit amplifier energy per bit per
+	// squared unit of distance.
+	AmpPerBitPerDist2 float64
+	// IdlePerTick is the background drain per virtual time unit.
+	IdlePerTick float64
+	// SensePerEvent is the cost of one sensing operation.
+	SensePerEvent float64
+}
+
+// DefaultModel returns the canonical LEACH first-order parameters scaled to
+// the reproduction's abstract units (50 nJ/bit electronics, 100 pJ/bit/m²
+// amplifier, in nanojoule units).
+func DefaultModel() Model {
+	return Model{
+		ElecPerBit:        50,
+		AmpPerBitPerDist2: 0.1,
+		IdlePerTick:       0.01,
+		SensePerEvent:     5,
+	}
+}
+
+// TxCost returns the energy to transmit bits over distance d.
+func (m Model) TxCost(bits int, d float64) float64 {
+	b := float64(bits)
+	return m.ElecPerBit*b + m.AmpPerBitPerDist2*b*d*d
+}
+
+// RxCost returns the energy to receive bits.
+func (m Model) RxCost(bits int) float64 {
+	return m.ElecPerBit * float64(bits)
+}
+
+// Battery tracks residual energy for one node. The zero value is a dead
+// battery; construct with NewBattery.
+type Battery struct {
+	capacity float64
+	residual float64
+	spent    float64
+}
+
+// NewBattery returns a battery with the given initial capacity.
+func NewBattery(capacity float64) *Battery {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Battery{capacity: capacity, residual: capacity}
+}
+
+// Residual returns the remaining energy.
+func (b *Battery) Residual() float64 { return b.residual }
+
+// Capacity returns the initial energy.
+func (b *Battery) Capacity() float64 { return b.capacity }
+
+// Spent returns the total energy drawn so far (capped at capacity).
+func (b *Battery) Spent() float64 { return b.spent }
+
+// Fraction returns residual/capacity in [0,1]; a zero-capacity battery
+// reports 0.
+func (b *Battery) Fraction() float64 {
+	if b.capacity == 0 {
+		return 0
+	}
+	return b.residual / b.capacity
+}
+
+// Alive reports whether any energy remains.
+func (b *Battery) Alive() bool { return b.residual > 0 }
+
+// Draw removes amount from the battery, flooring at zero, and reports
+// whether the battery is still alive afterwards. Negative draws are
+// ignored — energy harvesting is out of scope for the paper.
+func (b *Battery) Draw(amount float64) bool {
+	if amount > 0 {
+		if amount > b.residual {
+			amount = b.residual
+		}
+		b.residual -= amount
+		b.spent += amount
+	}
+	return b.Alive()
+}
+
+// String renders the battery as "residual/capacity".
+func (b *Battery) String() string {
+	return fmt.Sprintf("%.1f/%.1f", b.residual, b.capacity)
+}

@@ -1,0 +1,95 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBatteryLifecycle(t *testing.T) {
+	b := NewBattery(100)
+	if !b.Alive() || b.Residual() != 100 || b.Fraction() != 1 {
+		t.Fatalf("fresh battery: %v", b)
+	}
+	if !b.Draw(30) {
+		t.Fatal("Draw reported dead battery")
+	}
+	if b.Residual() != 70 || b.Spent() != 30 {
+		t.Fatalf("after draw: residual=%v spent=%v", b.Residual(), b.Spent())
+	}
+	if b.Fraction() != 0.7 {
+		t.Fatalf("fraction = %v", b.Fraction())
+	}
+}
+
+func TestBatteryFloorsAtZero(t *testing.T) {
+	b := NewBattery(10)
+	if b.Draw(25) {
+		t.Fatal("overdraw left battery alive")
+	}
+	if b.Residual() != 0 || b.Spent() != 10 {
+		t.Fatalf("after overdraw: residual=%v spent=%v", b.Residual(), b.Spent())
+	}
+}
+
+func TestBatteryIgnoresNegativeDraw(t *testing.T) {
+	b := NewBattery(10)
+	b.Draw(-5)
+	if b.Residual() != 10 {
+		t.Fatalf("negative draw changed residual: %v", b.Residual())
+	}
+}
+
+func TestNegativeCapacityClamps(t *testing.T) {
+	b := NewBattery(-5)
+	if b.Alive() || b.Capacity() != 0 || b.Fraction() != 0 {
+		t.Fatalf("negative capacity battery: %v", b)
+	}
+}
+
+func TestBatteryString(t *testing.T) {
+	b := NewBattery(100)
+	b.Draw(25)
+	if got := b.String(); got != "75.0/100.0" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTxCostGrowsWithDistanceAndBits(t *testing.T) {
+	m := DefaultModel()
+	if m.TxCost(100, 50) <= m.TxCost(100, 10) {
+		t.Fatal("tx cost not increasing with distance")
+	}
+	if m.TxCost(200, 10) <= m.TxCost(100, 10) {
+		t.Fatal("tx cost not increasing with bits")
+	}
+	if m.TxCost(100, 0) != m.ElecPerBit*100 {
+		t.Fatal("zero-distance tx cost should be electronics only")
+	}
+}
+
+func TestRxCost(t *testing.T) {
+	m := DefaultModel()
+	if m.RxCost(100) != m.ElecPerBit*100 {
+		t.Fatalf("rx cost = %v", m.RxCost(100))
+	}
+}
+
+// Property: draws never make residual negative and spent never exceeds
+// capacity.
+func TestBatteryInvariantProperty(t *testing.T) {
+	check := func(capacity float64, draws []float64) bool {
+		if capacity < 0 {
+			capacity = -capacity
+		}
+		b := NewBattery(capacity)
+		for _, d := range draws {
+			b.Draw(d)
+		}
+		slack := 1e-9 + 1e-12*b.Capacity()
+		return b.Residual() >= 0 && b.Spent() <= b.Capacity()+slack &&
+			b.Residual()+b.Spent() <= b.Capacity()+slack
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package experiment
+
+// Invariance tests: properties the implementation must preserve exactly,
+// not statistically.
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/node"
+)
+
+// TestRotationIsBehaviorPreserving asserts the §2 trust handoff is
+// lossless end to end: a run with one cluster-head term and a run with
+// ten terms (nine snapshot → base station → restore handoffs in between)
+// produce bit-identical results, because every rotation happens between
+// aggregation windows and carries the complete trust state.
+func TestRotationIsBehaviorPreserving(t *testing.T) {
+	base := quickExp2(t)
+	base.Events = 200
+	base.FaultyFraction = 0.5
+
+	one := base
+	one.CHTerms = 1
+	many := base
+	many.CHTerms = 10
+
+	resOne, err := RunExp2(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMany, err := RunExp2(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOne.Accuracy != resMany.Accuracy ||
+		resOne.FalsePositiveRate != resMany.FalsePositiveRate ||
+		resOne.MeanLocErr != resMany.MeanLocErr ||
+		resOne.MeanFaultyTI != resMany.MeanFaultyTI ||
+		resOne.IsolatedFaulty != resMany.IsolatedFaulty {
+		t.Fatalf("rotation changed behaviour:\n 1 term:  %+v\n10 terms: %+v", resOne, resMany)
+	}
+}
+
+// TestRotationPreservesIsolation asserts specifically that a node
+// isolated in one term stays isolated in the next: its record crosses the
+// handoff intact.
+func TestRotationPreservesIsolation(t *testing.T) {
+	cfg := quickExp2(t)
+	cfg.Events = 300
+	cfg.FaultyFraction = 0.4
+	cfg.CHTerms = 6
+	res, err := RunExp2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With six terms over 300 events, faulty nodes isolated early must
+	// still be counted isolated at the end of the final term.
+	if res.IsolatedFaulty < 10 {
+		t.Fatalf("only %v faulty isolations survived rotation", res.IsolatedFaulty)
+	}
+}
+
+// TestTrustWeightedCentroidImprovesBaselineContamination checks the
+// extension's point: when distrusted reports survive inside an accepted
+// cluster, weighting the declared location by trust tightens it. The
+// effect shows where faulty noise is large and compromise substantial.
+func TestTrustWeightedCentroid(t *testing.T) {
+	base := quickExp2(t)
+	base.Events = 300
+	base.FaultyFraction = 0.5
+	base.SigmaFaulty = 6.0
+	base.RemovalThreshold = 0 // keep faulty reports flowing in
+
+	plain := base
+	weighted := base
+	weighted.TrustWeightedCentroid = true
+
+	resPlain, err := RunExp2(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resWeighted, err := RunExp2(weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resWeighted.MeanLocErr >= resPlain.MeanLocErr {
+		t.Fatalf("trust weighting did not tighten localization: %v vs %v",
+			resWeighted.MeanLocErr, resPlain.MeanLocErr)
+	}
+	if resWeighted.Accuracy < resPlain.Accuracy-0.02 {
+		t.Fatalf("trust weighting cost accuracy: %v vs %v",
+			resWeighted.Accuracy, resPlain.Accuracy)
+	}
+}
+
+// TestSeedChangesRunButNotShape: different seeds change individual
+// results but not the qualitative claim (TIBFIT above baseline at high
+// compromise) — a guard against seed-overfitting in the other tests.
+func TestSeedChangesRunButNotShape(t *testing.T) {
+	for _, seed := range []int64{11, 23, 47} {
+		cfg := quickExp2(t)
+		cfg.Events = 250
+		cfg.FaultyFraction = 0.55
+		cfg.Seed = seed
+
+		tib := cfg
+		base := cfg
+		base.Scheme = SchemeBaseline
+		resT, err := RunExp2(tib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resB, err := RunExp2(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resT.Accuracy <= resB.Accuracy {
+			t.Fatalf("seed %d: TIBFIT %v not above baseline %v",
+				seed, resT.Accuracy, resB.Accuracy)
+		}
+	}
+}
+
+// TestCoincidenceGuardBluntsCollusion checks the §7 "more robust against
+// level 2" extension: collapsing implausibly coincident report cliques to
+// one witness defangs the common-fabricated-location half of the level-2
+// playbook. (The all-silent half is untouched — silence carries no
+// location to correlate — which is why the guard improves rather than
+// cures.)
+func TestCoincidenceGuardBluntsCollusion(t *testing.T) {
+	base := quickExp2(t)
+	base.Events = 400
+	base.Runs = 2
+	base.Level = node.Level2
+	base.FaultyFraction = 0.58
+
+	plain := base
+	guarded := base
+	guarded.CoincidenceGuard = 0.5
+
+	resPlain, err := RunExp2(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resGuarded, err := RunExp2(guarded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resGuarded.Accuracy < resPlain.Accuracy+0.08 {
+		t.Fatalf("guard gained only %.3f -> %.3f at 58%% collusion",
+			resPlain.Accuracy, resGuarded.Accuracy)
+	}
+	// Honest traffic must not be harmed: at low compromise the guard is
+	// inert (honest reports never coincide within half a unit).
+	lowPlain := base
+	lowPlain.FaultyFraction = 0.2
+	lowGuarded := lowPlain
+	lowGuarded.CoincidenceGuard = 0.5
+	a, err := RunExp2(lowPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExp2(lowGuarded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Accuracy < a.Accuracy-0.02 {
+		t.Fatalf("guard harmed the benign case: %.3f vs %.3f", b.Accuracy, a.Accuracy)
+	}
+}
+
+// TestLevel3ArmsRace pins the guard-vs-jitter arms race at 58%
+// compromise. Four measurements (level 2/3 × guard off/on) must show:
+//
+//  1. Exact-coincidence collusion (level 2) is the strongest attack
+//     against the unguarded protocol — jittering costs the attacker.
+//  2. Against the guarded protocol the jittering coalition (level 3) is
+//     the stronger attack: the jitter evades coincidence detection.
+//  3. Minimax: the adversary's best attack against the guarded system
+//     still leaves higher accuracy than its best attack against the
+//     unguarded one — the guard is a net win even against an adaptive
+//     adversary.
+func TestLevel3ArmsRace(t *testing.T) {
+	run := func(level node.Kind, guard float64) float64 {
+		cfg := quickExp2(t)
+		cfg.Events = 400
+		cfg.Runs = 3
+		cfg.FaultyFraction = 0.58
+		cfg.Level = level
+		cfg.CoincidenceGuard = guard
+		res, err := RunExp2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Accuracy
+	}
+	l2Plain := run(node.Level2, 0)
+	l2Guard := run(node.Level2, 0.5)
+	l3Plain := run(node.Level3, 0)
+	l3Guard := run(node.Level3, 0.5)
+
+	if l2Plain > l3Plain-0.05 {
+		// (1): level 2 should be the nastier attack unguarded.
+		t.Fatalf("unguarded: level2 %.3f not clearly below level3 %.3f", l2Plain, l3Plain)
+	}
+	if l3Guard > l2Guard-0.04 {
+		// (2): level 3 should be the nastier attack guarded.
+		t.Fatalf("guarded: level3 %.3f not clearly below level2 %.3f", l3Guard, l2Guard)
+	}
+	worstPlain := min(l2Plain, l3Plain)
+	worstGuard := min(l2Guard, l3Guard)
+	if worstGuard < worstPlain+0.05 {
+		// (3): the guard's minimax gain.
+		t.Fatalf("guard not a net win: worst guarded %.3f vs worst plain %.3f",
+			worstGuard, worstPlain)
+	}
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/analysis"
+)
+
+// TestReliabilityModelMatchesSimulation cross-validates the §7
+// "predict system reliability" model against the live binary experiment:
+// over the 40-80% compromise range the semi-analytic run-accuracy
+// prediction must track the simulated accuracy within a few points.
+func TestReliabilityModelMatchesSimulation(t *testing.T) {
+	// The mean-field recursion tracks the simulation tightly through 70%
+	// compromise. At 80% individual runs are bimodal — some fall into the
+	// poisoned fixed point where honest reporters keep losing votes — and
+	// a model of expectations cannot see that variance, so the tolerance
+	// widens. It must still beat the stateless closed form by a mile.
+	tests := []struct {
+		frac float64
+		tol  float64
+	}{
+		{0.4, 0.05},
+		{0.6, 0.05},
+		{0.7, 0.08},
+		{0.8, 0.15},
+	}
+	for _, tt := range tests {
+		cfg := DefaultExp1()
+		cfg.NER = 0.01
+		cfg.FalseAlarmProb = 0
+		cfg.FaultyFraction = tt.frac
+		cfg.Runs = 10
+		res, err := RunExp1(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := int(float64(cfg.Nodes)*tt.frac + 0.5)
+		predicted := analysis.PredictedRunAccuracy(
+			cfg.Nodes, m, cfg.Events, 1-cfg.NER, cfg.MissProb, cfg.Lambda, cfg.NER)
+		if diff := math.Abs(predicted - res.Accuracy); diff > tt.tol {
+			t.Fatalf("faulty=%.0f%%: model %.3f vs simulation %.3f (|Δ|=%.3f > %.2f)",
+				tt.frac*100, predicted, res.Accuracy, diff, tt.tol)
+		}
+		baseline := analysis.MajoritySuccess(cfg.Nodes, m, 1-cfg.NER, 1-cfg.MissProb)
+		if math.Abs(predicted-res.Accuracy) >= math.Abs(baseline-res.Accuracy) {
+			t.Fatalf("faulty=%.0f%%: model (%.3f) no better than stateless closed form (%.3f) against simulation %.3f",
+				tt.frac*100, predicted, baseline, res.Accuracy)
+		}
+	}
+}
+
+// TestModelPredictsBaselineTooLow confirms the model's baseline column
+// matches the stateless simulation in the regime where TIBFIT's advantage
+// comes purely from trust decay.
+func TestModelPredictsBaselineGap(t *testing.T) {
+	cfg := DefaultExp1()
+	cfg.NER = 0.01
+	cfg.FaultyFraction = 0.7
+	cfg.Runs = 10
+	cfg.Scheme = SchemeBaseline
+	res, err := RunExp1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := analysis.MajoritySuccess(cfg.Nodes, 7, 1-cfg.NER, 1-cfg.MissProb)
+	if diff := math.Abs(base - res.Accuracy); diff > 0.08 {
+		t.Fatalf("baseline: closed form %.3f vs simulation %.3f", base, res.Accuracy)
+	}
+}

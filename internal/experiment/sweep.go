@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tibfit/tibfit/internal/metrics"
+)
+
+// The paper's future work asks to "further explore the impact of
+// different system parameters on performance" (§7). The sweep harness
+// does exactly that: vary one protocol parameter over a value list while
+// holding an experiment config fixed, and emit a figure of accuracy (and
+// end-of-run trust separation) against the parameter.
+
+// exp1Setters maps sweepable parameter names to Exp1Config mutations.
+var exp1Setters = map[string]func(*Exp1Config, float64){
+	"lambda":     func(c *Exp1Config, v float64) { c.Lambda = v },
+	"ner":        func(c *Exp1Config, v float64) { c.NER = v },
+	"missprob":   func(c *Exp1Config, v float64) { c.MissProb = v },
+	"falsealarm": func(c *Exp1Config, v float64) { c.FalseAlarmProb = v },
+	"faulty":     func(c *Exp1Config, v float64) { c.FaultyFraction = v },
+	"tout":       func(c *Exp1Config, v float64) { c.Tout = v },
+}
+
+// exp2Setters maps sweepable parameter names to Exp2Config mutations.
+var exp2Setters = map[string]func(*Exp2Config, float64){
+	"lambda":       func(c *Exp2Config, v float64) { c.Lambda = v },
+	"faultrate":    func(c *Exp2Config, v float64) { c.FaultRate = v },
+	"removal":      func(c *Exp2Config, v float64) { c.RemovalThreshold = v },
+	"sigmacorrect": func(c *Exp2Config, v float64) { c.SigmaCorrect = v },
+	"sigmafaulty":  func(c *Exp2Config, v float64) { c.SigmaFaulty = v },
+	"missprob":     func(c *Exp2Config, v float64) { c.MissProb = v },
+	"faulty":       func(c *Exp2Config, v float64) { c.FaultyFraction = v },
+	"rerror":       func(c *Exp2Config, v float64) { c.RError = v },
+	"tout":         func(c *Exp2Config, v float64) { c.Tout = v },
+}
+
+// SweepParamsExp1 lists the parameter names SweepExp1 accepts, sorted.
+func SweepParamsExp1() []string { return sortedKeys(exp1Setters) }
+
+// SweepParamsExp2 lists the parameter names SweepExp2 accepts, sorted.
+func SweepParamsExp2() []string { return sortedKeys(exp2Setters) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SweepExp1 runs the binary experiment once per value of the named
+// parameter and returns accuracy and trust-separation series.
+func SweepExp1(param string, values []float64, base Exp1Config) (metrics.Figure, error) {
+	set, ok := exp1Setters[param]
+	if !ok {
+		return metrics.Figure{}, fmt.Errorf("experiment: unknown exp1 sweep parameter %q (known: %v)",
+			param, SweepParamsExp1())
+	}
+	if len(values) == 0 {
+		return metrics.Figure{}, fmt.Errorf("experiment: sweep needs at least one value")
+	}
+	fig := metrics.Figure{
+		ID:     "sweep-exp1-" + param,
+		Title:  fmt.Sprintf("Experiment 1 sweep over %s", param),
+		XLabel: param,
+		YLabel: "accuracy % / TI",
+	}
+	acc := metrics.Series{Label: "accuracy %"}
+	faultyTI := metrics.Series{Label: "mean faulty TI"}
+	correctTI := metrics.Series{Label: "mean correct TI"}
+	for _, v := range values {
+		cfg := base
+		set(&cfg, v)
+		res, err := RunExp1(cfg)
+		if err != nil {
+			return metrics.Figure{}, fmt.Errorf("sweep %s=%v: %w", param, v, err)
+		}
+		acc.Add(v, res.Accuracy*100)
+		faultyTI.Add(v, res.MeanFaultyTI)
+		correctTI.Add(v, res.MeanCorrectTI)
+	}
+	fig.Series = []metrics.Series{acc, faultyTI, correctTI}
+	return fig, nil
+}
+
+// SweepExp2 runs the location experiment once per value of the named
+// parameter and returns accuracy, false-positive, and isolation series.
+func SweepExp2(param string, values []float64, base Exp2Config) (metrics.Figure, error) {
+	set, ok := exp2Setters[param]
+	if !ok {
+		return metrics.Figure{}, fmt.Errorf("experiment: unknown exp2 sweep parameter %q (known: %v)",
+			param, SweepParamsExp2())
+	}
+	if len(values) == 0 {
+		return metrics.Figure{}, fmt.Errorf("experiment: sweep needs at least one value")
+	}
+	fig := metrics.Figure{
+		ID:     "sweep-exp2-" + param,
+		Title:  fmt.Sprintf("Experiment 2 sweep over %s", param),
+		XLabel: param,
+		YLabel: "accuracy % / count",
+	}
+	acc := metrics.Series{Label: "accuracy %"}
+	fp := metrics.Series{Label: "false positives/event"}
+	isoF := metrics.Series{Label: "isolated faulty"}
+	isoC := metrics.Series{Label: "isolated correct"}
+	for _, v := range values {
+		cfg := base
+		set(&cfg, v)
+		res, err := RunExp2(cfg)
+		if err != nil {
+			return metrics.Figure{}, fmt.Errorf("sweep %s=%v: %w", param, v, err)
+		}
+		acc.Add(v, res.Accuracy*100)
+		fp.Add(v, res.FalsePositiveRate)
+		isoF.Add(v, res.IsolatedFaulty)
+		isoC.Add(v, res.IsolatedCorrect)
+	}
+	fig.Series = []metrics.Series{acc, fp, isoF, isoC}
+	return fig, nil
+}

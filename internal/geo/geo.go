@@ -1,0 +1,143 @@
+// Package geo implements the 2-D geometry used throughout the TIBFIT
+// simulation: absolute points on the deployment plane, polar offsets as
+// carried in sensor event reports, distances, and centroids.
+//
+// Sensor nodes report event locations as (r, θ) relative to themselves
+// (paper §3.2); the cluster head, which knows node positions, converts the
+// polar offsets back to absolute coordinates before clustering.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is an absolute position on the deployment plane.
+type Point struct {
+	X, Y float64
+}
+
+// String renders the point with two decimals, the resolution at which the
+// paper reports locations.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Add returns p translated by the vector q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p with both coordinates multiplied by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparison-heavy inner loops such as clustering.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Within reports whether q lies within radius r of p (inclusive).
+func (p Point) Within(q Point, r float64) bool {
+	return p.Dist2(q) <= r*r
+}
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// Polar is an offset expressed as range and bearing, the representation
+// event reports carry on the wire (paper §3.2).
+type Polar struct {
+	R     float64 // range from the reporting node
+	Theta float64 // bearing in radians, measured from the +X axis
+}
+
+// ToPolar expresses the vector from origin to target as a polar offset.
+func ToPolar(origin, target Point) Polar {
+	d := target.Sub(origin)
+	return Polar{R: math.Hypot(d.X, d.Y), Theta: math.Atan2(d.Y, d.X)}
+}
+
+// FromPolar resolves a polar offset against its origin, recovering the
+// absolute location. This is the conversion the cluster head performs on
+// each incoming location report.
+func FromPolar(origin Point, off Polar) Point {
+	return Point{
+		X: origin.X + off.R*math.Cos(off.Theta),
+		Y: origin.Y + off.R*math.Sin(off.Theta),
+	}
+}
+
+// Centroid returns the arithmetic mean of the given points — the "center
+// of gravity" (cg) of an event cluster in the paper's terminology. The
+// second return value is false when pts is empty.
+func Centroid(pts []Point) (Point, bool) {
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(pts))
+	return Point{X: sx / n, Y: sy / n}, true
+}
+
+// WeightedCentroid returns the weighted mean of pts with the given weights.
+// It is used when merging overlapping cluster centers (paper §3.2 step 5).
+// The second return value is false when the inputs are empty, mismatched in
+// length, or the weights sum to zero.
+func WeightedCentroid(pts []Point, weights []float64) (Point, bool) {
+	if len(pts) == 0 || len(pts) != len(weights) {
+		return Point{}, false
+	}
+	var sx, sy, sw float64
+	for i, p := range pts {
+		w := weights[i]
+		sx += p.X * w
+		sy += p.Y * w
+		sw += w
+	}
+	if sw == 0 {
+		return Point{}, false
+	}
+	return Point{X: sx / sw, Y: sy / sw}, true
+}
+
+// Rect is an axis-aligned rectangle, used to describe the deployment area.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning (0,0) to (w,h).
+func NewRect(w, h float64) Rect {
+	return Rect{Min: Point{0, 0}, Max: Point{w, h}}
+}
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Width returns the horizontal extent of the rectangle.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of the rectangle.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Clamp returns p moved to the nearest point inside the rectangle.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}

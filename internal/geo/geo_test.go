@@ -1,0 +1,169 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, 0}, Point{1, 0}, 2},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Fatalf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+		if got := tt.p.Dist2(tt.q); !almostEqual(got, tt.want*tt.want, 1e-12) {
+			t.Fatalf("Dist2(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+		}
+	}
+}
+
+func TestWithin(t *testing.T) {
+	p := Point{0, 0}
+	if !p.Within(Point{3, 4}, 5) {
+		t.Fatal("boundary point not within (inclusive)")
+	}
+	if p.Within(Point{3, 4}, 4.99) {
+		t.Fatal("outside point reported within")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Point{1, 2}).IsFinite() {
+		t.Fatal("finite point reported non-finite")
+	}
+	for _, p := range []Point{
+		{math.NaN(), 0}, {0, math.NaN()},
+		{math.Inf(1), 0}, {0, math.Inf(-1)},
+	} {
+		if p.IsFinite() {
+			t.Fatalf("%v reported finite", p)
+		}
+	}
+}
+
+func TestPolarRoundTrip(t *testing.T) {
+	origin := Point{10, -3}
+	target := Point{-7, 22}
+	off := ToPolar(origin, target)
+	back := FromPolar(origin, off)
+	if !almostEqual(back.X, target.X, 1e-9) || !almostEqual(back.Y, target.Y, 1e-9) {
+		t.Fatalf("round trip %v -> %v -> %v", target, off, back)
+	}
+}
+
+// Property: polar conversion round-trips for arbitrary finite points.
+func TestPolarRoundTripProperty(t *testing.T) {
+	check := func(ox, oy, tx, ty float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		origin := Point{clamp(ox), clamp(oy)}
+		target := Point{clamp(tx), clamp(ty)}
+		back := FromPolar(origin, ToPolar(origin, target))
+		return back.Dist(target) < 1e-6*(1+target.Dist(Point{}))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance is symmetric, non-negative, and satisfies the
+// triangle inequality.
+func TestDistMetricProperty(t *testing.T) {
+	check := func(ax, ay, bx, by, cx, cy float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		return a.Dist(b) >= 0 &&
+			almostEqual(a.Dist(b), b.Dist(a), 1e-9) &&
+			a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if _, ok := Centroid(nil); ok {
+		t.Fatal("Centroid(nil) reported ok")
+	}
+	cg, ok := Centroid([]Point{{0, 0}, {2, 0}, {1, 3}})
+	if !ok || !almostEqual(cg.X, 1, 1e-12) || !almostEqual(cg.Y, 1, 1e-12) {
+		t.Fatalf("Centroid = %v, %t", cg, ok)
+	}
+}
+
+func TestWeightedCentroid(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}}
+	cg, ok := WeightedCentroid(pts, []float64{1, 3})
+	if !ok || !almostEqual(cg.X, 7.5, 1e-12) {
+		t.Fatalf("WeightedCentroid = %v, %t", cg, ok)
+	}
+	if _, ok := WeightedCentroid(pts, []float64{1}); ok {
+		t.Fatal("mismatched lengths reported ok")
+	}
+	if _, ok := WeightedCentroid(pts, []float64{0, 0}); ok {
+		t.Fatal("zero weights reported ok")
+	}
+	if _, ok := WeightedCentroid(nil, nil); ok {
+		t.Fatal("empty input reported ok")
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(100, 50)
+	if r.Width() != 100 || r.Height() != 50 {
+		t.Fatalf("rect dims = %v x %v", r.Width(), r.Height())
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{100, 50}) {
+		t.Fatal("rect excludes its corners")
+	}
+	if r.Contains(Point{-0.1, 0}) || r.Contains(Point{0, 50.1}) {
+		t.Fatal("rect contains outside points")
+	}
+	if got := r.Clamp(Point{-5, 60}); got != (Point{0, 50}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Point{3, 4}); got != (Point{3, 4}) {
+		t.Fatalf("Clamp moved interior point: %v", got)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1.234, 5.678}).String(); got != "(1.23, 5.68)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,37 @@
+package leach
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadStation feeds arbitrary bytes to the station loader: it must
+// either fail cleanly or produce a station that round-trips, and never
+// panic.
+func FuzzLoadStation(f *testing.F) {
+	f.Add([]byte(`{"version":1,"params":{"lambda":0.25,"fault_rate":0.1}}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"version":1,"params":{"lambda":0.25,"fault_rate":0.1},"trust":{"3":{"V":2,"Faulty":2}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadStation(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that loaded must save and reload identically.
+		var buf strings.Builder
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("loaded station failed to save: %v", err)
+		}
+		s2, err := LoadStation(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("saved station failed to reload: %v", err)
+		}
+		for _, id := range []int{0, 1, 3, 7} {
+			if s.TI(id) != s2.TI(id) {
+				t.Fatalf("TI(%d) changed across round trip", id)
+			}
+		}
+	})
+}

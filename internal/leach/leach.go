@@ -1,0 +1,308 @@
+// Package leach implements the LEACH-style rotating cluster-head election
+// the paper adopts for cluster formation (§2, refs [3][4]), extended with
+// TIBFIT's trust-index eligibility rule, plus the base station that
+// persists trust state across leadership changes.
+//
+// Per election round:
+//
+//  1. Every node that has not served as CH within the last 1/p rounds
+//     self-elects with probability p·(residual energy fraction) — LEACH's
+//     energy-aware rotation.
+//  2. The base station vetoes any self-elected node whose persisted trust
+//     index is below the eligibility threshold (TIBFIT's addition: "the TI
+//     of the node has to be higher than a threshold value to ensure that
+//     only sufficiently trusted nodes can become CHs") and re-initiates
+//     election if nobody survives the veto.
+//  3. Elected heads advertise; every other node affiliates with the head
+//     whose advertisement arrives with the strongest received signal.
+//  4. An outgoing head uploads its trust table to the base station; an
+//     incoming head downloads the state for its cluster.
+package leach
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/node"
+	"github.com/tibfit/tibfit/internal/radio"
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+// Config parameterizes elections.
+type Config struct {
+	// HeadFraction is LEACH's p: the desired fraction of nodes serving as
+	// cluster heads in any round.
+	HeadFraction float64
+	// TIThreshold is the minimum persisted trust index a node needs to be
+	// eligible for cluster headship (TIBFIT's addition to LEACH).
+	TIThreshold float64
+	// MaxRetries bounds how many times an election is re-initiated when
+	// every self-elected candidate is vetoed or nobody self-elects;
+	// afterwards the station appoints the most trusted eligible node
+	// directly. Zero means a sensible default.
+	MaxRetries int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.HeadFraction <= 0 || c.HeadFraction > 1 {
+		return fmt.Errorf("leach: HeadFraction must be in (0,1], got %v", c.HeadFraction)
+	}
+	if c.TIThreshold < 0 || c.TIThreshold >= 1 {
+		return fmt.Errorf("leach: TIThreshold must be in [0,1), got %v", c.TIThreshold)
+	}
+	return nil
+}
+
+const defaultMaxRetries = 8
+
+// Station is the base station: the durable home of trust state between
+// cluster-head terms and the authority that vetoes untrusted candidates.
+type Station struct {
+	params core.Params
+	trust  map[int]core.Record
+}
+
+// NewStation returns a base station persisting trust under params.
+func NewStation(params core.Params) (*Station, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Station{params: params, trust: make(map[int]core.Record)}, nil
+}
+
+// StoreSnapshot merges an outgoing cluster head's trust table into the
+// station's persisted state (§2: the CH "sends the aggregate TI
+// information that it has gathered ... to the base station before ending
+// its leadership").
+func (s *Station) StoreSnapshot(snap map[int]core.Record) {
+	for id, r := range snap {
+		s.trust[id] = r
+	}
+}
+
+// NewTable builds a trust table for a newly elected cluster head from the
+// persisted state (§2: a newly elected CH "requests the base station for
+// TI information for nodes in its cluster").
+func (s *Station) NewTable() *core.Table {
+	t := core.MustNewTable(s.params)
+	t.Restore(s.trust)
+	return t
+}
+
+// TI returns the persisted trust index for a node (1 if never reported).
+func (s *Station) TI(nodeID int) float64 {
+	if r, ok := s.trust[nodeID]; ok {
+		tmp := core.MustNewTable(s.params)
+		tmp.Restore(map[int]core.Record{nodeID: r})
+		return tmp.TI(nodeID)
+	}
+	return 1
+}
+
+// Eligible reports whether the node's persisted trust passes the
+// threshold and it is not isolated.
+func (s *Station) Eligible(nodeID int, threshold float64) bool {
+	if r, ok := s.trust[nodeID]; ok && r.Isolated {
+		return false
+	}
+	return s.TI(nodeID) >= threshold
+}
+
+// Result is the outcome of one election round.
+type Result struct {
+	// Heads are the elected cluster heads, sorted by ID.
+	Heads []int
+	// Affiliation maps every non-head node to its chosen head.
+	Affiliation map[int]int
+	// Vetoed lists self-elected candidates the station rejected on trust
+	// grounds this round.
+	Vetoed []int
+	// Retries is how many re-initiations the round needed.
+	Retries int
+	// Appointed indicates the station had to appoint a head directly
+	// after exhausting retries.
+	Appointed bool
+}
+
+// Clusters groups node IDs by their head, including the head itself.
+func (r Result) Clusters() map[int][]int {
+	out := make(map[int][]int, len(r.Heads))
+	for _, h := range r.Heads {
+		out[h] = []int{h}
+	}
+	for id, h := range r.Affiliation {
+		out[h] = append(out[h], id)
+	}
+	for _, members := range out {
+		sort.Ints(members)
+	}
+	return out
+}
+
+// Election runs LEACH rounds over a fixed node population.
+type Election struct {
+	cfg     Config
+	station *Station
+	channel *radio.Channel
+	src     *rng.Source
+	nodes   []*node.Node
+	round   int
+	lastled map[int]int // node ID -> round it last served (1-based)
+}
+
+// NewElection returns an election controller. The channel is used only for
+// its signal-strength model during affiliation.
+func NewElection(cfg Config, station *Station, channel *radio.Channel,
+	nodes []*node.Node, src *rng.Source) (*Election, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if station == nil || channel == nil || src == nil {
+		return nil, fmt.Errorf("leach: station, channel, and rng are required")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("leach: need at least one node")
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = defaultMaxRetries
+	}
+	return &Election{
+		cfg:     cfg,
+		station: station,
+		channel: channel,
+		src:     src,
+		nodes:   nodes,
+		lastled: make(map[int]int),
+	}, nil
+}
+
+// Round returns the number of completed election rounds.
+func (e *Election) Round() int { return e.round }
+
+// Run executes one election round and returns its result.
+func (e *Election) Run() Result {
+	e.round++
+	var res Result
+	cooloff := int(1 / e.cfg.HeadFraction)
+	for attempt := 0; ; attempt++ {
+		var heads []int
+		for _, n := range e.nodes {
+			if !e.eligibleNode(n, cooloff) {
+				continue
+			}
+			p := e.cfg.HeadFraction
+			if b := n.Battery(); b != nil {
+				p *= b.Fraction()
+			}
+			if !e.src.Bernoulli(p) {
+				continue
+			}
+			// Base-station veto on trust grounds (§2: "the central base
+			// station will cancel this node's effort to become a CH").
+			if !e.station.Eligible(n.ID(), e.cfg.TIThreshold) {
+				res.Vetoed = append(res.Vetoed, n.ID())
+				continue
+			}
+			heads = append(heads, n.ID())
+		}
+		if len(heads) > 0 {
+			sort.Ints(heads)
+			res.Heads = heads
+			break
+		}
+		if attempt >= e.cfg.MaxRetries {
+			if id, ok := e.appoint(); ok {
+				res.Heads = []int{id}
+				res.Appointed = true
+			}
+			break
+		}
+		res.Retries++
+	}
+	res.Affiliation = e.affiliate(res.Heads)
+	for _, h := range res.Heads {
+		e.lastled[h] = e.round
+		if n := e.nodeByID(h); n != nil {
+			n.MarkCH()
+		}
+	}
+	sort.Ints(res.Vetoed)
+	return res
+}
+
+// eligibleNode applies LEACH's rotation rule: a node that has led within
+// the cool-off window sits out, and a dead battery disqualifies.
+func (e *Election) eligibleNode(n *node.Node, cooloff int) bool {
+	if last, ok := e.lastled[n.ID()]; ok && e.round-last < cooloff {
+		return false
+	}
+	if b := n.Battery(); b != nil && !b.Alive() {
+		return false
+	}
+	return true
+}
+
+// appoint is the station's fallback: pick the eligible node with the
+// highest persisted trust (energy as tiebreaker).
+func (e *Election) appoint() (int, bool) {
+	bestID, bestTI, bestEnergy := -1, -1.0, -1.0
+	for _, n := range e.nodes {
+		if b := n.Battery(); b != nil && !b.Alive() {
+			continue
+		}
+		if !e.station.Eligible(n.ID(), e.cfg.TIThreshold) {
+			continue
+		}
+		ti := e.station.TI(n.ID())
+		energy := 1.0
+		if b := n.Battery(); b != nil {
+			energy = b.Fraction()
+		}
+		if ti > bestTI || (ti == bestTI && energy > bestEnergy) {
+			bestID, bestTI, bestEnergy = n.ID(), ti, energy
+		}
+	}
+	return bestID, bestID >= 0
+}
+
+// affiliate assigns every non-head node to the head whose advertisement it
+// receives most strongly (§2: "affiliates itself with a single CH based on
+// the strength of the signal received").
+func (e *Election) affiliate(heads []int) map[int]int {
+	out := make(map[int]int)
+	if len(heads) == 0 {
+		return out
+	}
+	headPos := make(map[int]geo.Point, len(heads))
+	for _, h := range heads {
+		if n := e.nodeByID(h); n != nil {
+			headPos[h] = n.Pos()
+		}
+	}
+	for _, n := range e.nodes {
+		if _, isHead := headPos[n.ID()]; isHead {
+			continue
+		}
+		best, bestRSS := -1, 0.0
+		for _, h := range heads {
+			rss := e.channel.RSS(n.Pos().Dist(headPos[h]))
+			if best == -1 || rss > bestRSS {
+				best, bestRSS = h, rss
+			}
+		}
+		out[n.ID()] = best
+	}
+	return out
+}
+
+func (e *Election) nodeByID(id int) *node.Node {
+	for _, n := range e.nodes {
+		if n.ID() == id {
+			return n
+		}
+	}
+	return nil
+}

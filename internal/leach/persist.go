@@ -1,0 +1,78 @@
+package leach
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/tibfit/tibfit/internal/core"
+)
+
+// The base station is the durable home of trust state (§2): cluster heads
+// upload their tables at the end of each term and successors download
+// them. A real deployment's base station also survives restarts, so the
+// station state is serializable — a versioned JSON document carrying the
+// trust parameters and every node record.
+
+// stationFile is the on-disk schema.
+type stationFile struct {
+	Version int                 `json:"version"`
+	Params  stationParams       `json:"params"`
+	Trust   map[int]core.Record `json:"trust"`
+}
+
+type stationParams struct {
+	Lambda           float64 `json:"lambda"`
+	FaultRate        float64 `json:"fault_rate"`
+	RemovalThreshold float64 `json:"removal_threshold"`
+	Linear           bool    `json:"linear,omitempty"`
+}
+
+const stationFileVersion = 1
+
+// Save writes the station's persisted trust state to w.
+func (s *Station) Save(w io.Writer) error {
+	doc := stationFile{
+		Version: stationFileVersion,
+		Params: stationParams{
+			Lambda:           s.params.Lambda,
+			FaultRate:        s.params.FaultRate,
+			RemovalThreshold: s.params.RemovalThreshold,
+			Linear:           s.params.Linear,
+		},
+		Trust: s.trust,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("leach: saving station state: %w", err)
+	}
+	return nil
+}
+
+// LoadStation reads a station saved with Save. The embedded trust
+// parameters are restored with it — a station loaded from disk must judge
+// with the same rule that produced its records.
+func LoadStation(r io.Reader) (*Station, error) {
+	var doc stationFile
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("leach: loading station state: %w", err)
+	}
+	if doc.Version != stationFileVersion {
+		return nil, fmt.Errorf("leach: unsupported station file version %d", doc.Version)
+	}
+	params := core.Params{
+		Lambda:           doc.Params.Lambda,
+		FaultRate:        doc.Params.FaultRate,
+		RemovalThreshold: doc.Params.RemovalThreshold,
+		Linear:           doc.Params.Linear,
+	}
+	s, err := NewStation(params)
+	if err != nil {
+		return nil, fmt.Errorf("leach: loaded station has invalid params: %w", err)
+	}
+	if doc.Trust != nil {
+		s.trust = doc.Trust
+	}
+	return s, nil
+}

@@ -1,0 +1,87 @@
+package leach
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/core"
+)
+
+func TestStationSaveLoadRoundTrip(t *testing.T) {
+	params := core.Params{Lambda: 0.25, FaultRate: 0.1, RemovalThreshold: 0.3}
+	station, err := NewStation(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := core.MustNewTable(params)
+	for i := 0; i < 7; i++ {
+		ch.Judge(3, false)
+	}
+	ch.Judge(5, true)
+	for i := 0; i < 30; i++ {
+		ch.Judge(9, false) // isolated
+	}
+	station.StoreSnapshot(ch.Snapshot())
+
+	var buf bytes.Buffer
+	if err := station.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{3, 5, 9, 42} {
+		if got, want := loaded.TI(id), station.TI(id); got != want {
+			t.Fatalf("loaded TI(%d) = %v, want %v", id, got, want)
+		}
+	}
+	if loaded.Eligible(9, 0.1) {
+		t.Fatal("isolated node eligible after reload")
+	}
+	// A table built from the loaded station matches one from the original.
+	if got, want := loaded.NewTable().TI(3), station.NewTable().TI(3); got != want {
+		t.Fatalf("rebuilt table TI = %v, want %v", got, want)
+	}
+}
+
+func TestStationSaveIsHumanReadable(t *testing.T) {
+	station, _ := NewStation(core.Params{Lambda: 0.25, FaultRate: 0.1})
+	ch := core.MustNewTable(core.Params{Lambda: 0.25, FaultRate: 0.1})
+	ch.Judge(1, false)
+	station.StoreSnapshot(ch.Snapshot())
+	var buf bytes.Buffer
+	if err := station.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version": 1`, `"lambda": 0.25`, `"trust"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("save output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadStationRejectsGarbage(t *testing.T) {
+	if _, err := LoadStation(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadStation(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := LoadStation(strings.NewReader(`{"version": 1, "params": {}}`)); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestLoadStationEmptyTrust(t *testing.T) {
+	doc := `{"version": 1, "params": {"lambda": 0.1, "fault_rate": 0.01}}`
+	s, err := LoadStation(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TI(1) != 1 {
+		t.Fatal("fresh station should report full trust")
+	}
+}

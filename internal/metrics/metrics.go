@@ -1,0 +1,213 @@
+// Package metrics implements the accuracy accounting the paper's
+// evaluation reports: per-event detection outcomes, localization error,
+// false-positive counts, windowed time series for the decay experiment,
+// and (x, y) series for regenerating figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accuracy accumulates binary detection outcomes.
+type Accuracy struct {
+	Detected int
+	Total    int
+}
+
+// Record adds one ground-truth event's outcome.
+func (a *Accuracy) Record(detected bool) {
+	a.Total++
+	if detected {
+		a.Detected++
+	}
+}
+
+// Rate returns Detected/Total (0 when empty).
+func (a Accuracy) Rate() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Detected) / float64(a.Total)
+}
+
+// String renders the accuracy as a percentage.
+func (a Accuracy) String() string {
+	return fmt.Sprintf("%.1f%% (%d/%d)", 100*a.Rate(), a.Detected, a.Total)
+}
+
+// Detection summarizes a full run of a location or binary experiment.
+type Detection struct {
+	Accuracy Accuracy
+	// FalsePositives counts declared events that matched no ground-truth
+	// occurrence.
+	FalsePositives int
+	// LocErrSum/LocErrCount accumulate localization error over correctly
+	// detected events.
+	LocErrSum   float64
+	LocErrCount int
+	// Windowed accumulates per-event outcomes for time-series views.
+	outcomes []bool
+}
+
+// RecordEvent adds a ground-truth event's outcome, with the localization
+// error when it was detected.
+func (d *Detection) RecordEvent(detected bool, locErr float64) {
+	d.Accuracy.Record(detected)
+	d.outcomes = append(d.outcomes, detected)
+	if detected && !math.IsNaN(locErr) {
+		d.LocErrSum += locErr
+		d.LocErrCount++
+	}
+}
+
+// RecordFalsePositive counts one unmatched declared event.
+func (d *Detection) RecordFalsePositive() { d.FalsePositives++ }
+
+// MeanLocErr returns the mean localization error over detections.
+func (d Detection) MeanLocErr() float64 {
+	if d.LocErrCount == 0 {
+		return 0
+	}
+	return d.LocErrSum / float64(d.LocErrCount)
+}
+
+// WindowedAccuracy returns detection accuracy over consecutive windows of
+// the given number of events — the view experiment 3's figures plot
+// against time. A trailing partial window is included.
+func (d Detection) WindowedAccuracy(window int) []float64 {
+	if window <= 0 || len(d.outcomes) == 0 {
+		return nil
+	}
+	var out []float64
+	for start := 0; start < len(d.outcomes); start += window {
+		end := start + window
+		if end > len(d.outcomes) {
+			end = len(d.outcomes)
+		}
+		hits := 0
+		for _, ok := range d.outcomes[start:end] {
+			if ok {
+				hits++
+			}
+		}
+		out = append(out, float64(hits)/float64(end-start))
+	}
+	return out
+}
+
+// EventCount returns the number of recorded ground-truth events.
+func (d Detection) EventCount() int { return len(d.outcomes) }
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends one sample.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// YAt returns the series value at x (exact match) and whether it exists.
+func (s Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a reproducible paper figure: named series over a common axis.
+type Figure struct {
+	ID     string // e.g. "figure2"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Lookup returns the series with the given label.
+func (f Figure) Lookup(label string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// Table renders the figure as an aligned text table: one row per x value,
+// one column per series — the form in which the reproduction reports the
+// paper's plots.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+
+	xs := f.xAxis()
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12.4g", x)
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, " %22.4f", y)
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for _, x := range f.xAxis() {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, "%.6f", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// xAxis returns the sorted union of all series' x values.
+func (f Figure) xAxis() []float64 {
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAccuracy(t *testing.T) {
+	var a Accuracy
+	if a.Rate() != 0 {
+		t.Fatal("empty accuracy rate != 0")
+	}
+	a.Record(true)
+	a.Record(true)
+	a.Record(false)
+	a.Record(true)
+	if a.Rate() != 0.75 {
+		t.Fatalf("rate = %v", a.Rate())
+	}
+	if got := a.String(); !strings.Contains(got, "75.0%") || !strings.Contains(got, "3/4") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDetectionLocError(t *testing.T) {
+	var d Detection
+	d.RecordEvent(true, 2)
+	d.RecordEvent(true, 4)
+	d.RecordEvent(false, math.NaN())
+	if d.MeanLocErr() != 3 {
+		t.Fatalf("MeanLocErr = %v", d.MeanLocErr())
+	}
+	if d.Accuracy.Rate() != 2.0/3 {
+		t.Fatalf("accuracy = %v", d.Accuracy.Rate())
+	}
+	d.RecordFalsePositive()
+	if d.FalsePositives != 1 {
+		t.Fatalf("false positives = %d", d.FalsePositives)
+	}
+}
+
+func TestDetectionMeanLocErrEmpty(t *testing.T) {
+	var d Detection
+	if d.MeanLocErr() != 0 {
+		t.Fatal("empty MeanLocErr != 0")
+	}
+}
+
+func TestWindowedAccuracy(t *testing.T) {
+	var d Detection
+	// 10 events: first 5 all detected, next 5 none.
+	for i := 0; i < 5; i++ {
+		d.RecordEvent(true, 0)
+	}
+	for i := 0; i < 5; i++ {
+		d.RecordEvent(false, 0)
+	}
+	got := d.WindowedAccuracy(5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("WindowedAccuracy = %v", got)
+	}
+	// Trailing partial window.
+	d.RecordEvent(true, 0)
+	got = d.WindowedAccuracy(5)
+	if len(got) != 3 || got[2] != 1 {
+		t.Fatalf("WindowedAccuracy with partial = %v", got)
+	}
+	if d.EventCount() != 11 {
+		t.Fatalf("EventCount = %d", d.EventCount())
+	}
+}
+
+func TestWindowedAccuracyEdges(t *testing.T) {
+	var d Detection
+	if d.WindowedAccuracy(5) != nil {
+		t.Fatal("empty detection produced windows")
+	}
+	d.RecordEvent(true, 0)
+	if d.WindowedAccuracy(0) != nil {
+		t.Fatal("zero window size produced windows")
+	}
+}
+
+func TestSeriesYAt(t *testing.T) {
+	var s Series
+	s.Add(10, 0.5)
+	s.Add(20, 0.9)
+	if y, ok := s.YAt(20); !ok || y != 0.9 {
+		t.Fatalf("YAt(20) = %v, %t", y, ok)
+	}
+	if _, ok := s.YAt(15); ok {
+		t.Fatal("YAt found missing x")
+	}
+}
+
+func testFigure() Figure {
+	s1 := Series{Label: "tibfit"}
+	s1.Add(10, 99)
+	s1.Add(20, 95)
+	s2 := Series{Label: "baseline"}
+	s2.Add(10, 98)
+	s2.Add(30, 60)
+	return Figure{
+		ID: "figX", Title: "test", XLabel: "% faulty", YLabel: "accuracy",
+		Series: []Series{s1, s2},
+	}
+}
+
+func TestFigureLookup(t *testing.T) {
+	f := testFigure()
+	if s, ok := f.Lookup("baseline"); !ok || s.Label != "baseline" {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := f.Lookup("missing"); ok {
+		t.Fatal("Lookup found missing series")
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	out := testFigure().Table()
+	for _, want := range []string{"figX", "tibfit", "baseline", "99.0000", "60.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// x=20 exists only in series 1; series 2's cell must be a dash.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "20") && strings.Contains(l, "-") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing-dash row not rendered:\n%s", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	out := testFigure().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "x,tibfit,baseline" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "10,99.000000,98.000000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// Missing cells are empty, x axis is the sorted union.
+	if !strings.HasPrefix(lines[2], "20,95.000000,") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "30,,60.000000") {
+		t.Fatalf("row = %q", lines[3])
+	}
+}
+
+func TestCSVEscapesCommasInLabels(t *testing.T) {
+	s := Series{Label: "a,b"}
+	s.Add(1, 2)
+	f := Figure{Series: []Series{s}}
+	if !strings.Contains(f.CSV(), "a;b") {
+		t.Fatal("comma in label not escaped")
+	}
+}

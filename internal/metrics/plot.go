@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII chart: one mark per series per x
+// position, y scaled into the given height. It is the CLI's -plot view,
+// letting a terminal user see the paper's curve shapes without leaving
+// the shell. Width counts the plot columns (x positions are mapped
+// linearly), height the rows. Series are marked with successive letters
+// shown in the legend.
+func (f Figure) Plot(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	xs := f.xAxis()
+	if len(xs) == 0 {
+		return fmt.Sprintf("# %s — no data\n", f.ID)
+	}
+	xMin, xMax := xs[0], xs[len(xs)-1]
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			yMin = math.Min(yMin, p.Y)
+			yMax = math.Max(yMax, p.Y)
+		}
+	}
+	if yMin == yMax {
+		yMin, yMax = yMin-1, yMax+1
+	}
+	if xMin == xMax {
+		xMin, xMax = xMin-1, xMax+1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		return clampInt(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		// Row 0 is the top of the chart.
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+		return clampInt(r, 0, height-1)
+	}
+
+	for si, s := range f.Series {
+		mark := byte('a' + si%26)
+		// Draw segments between consecutive points so sparse series read
+		// as lines rather than dots.
+		for i := 0; i < len(s.Points); i++ {
+			p := s.Points[i]
+			grid[row(p.Y)][col(p.X)] = mark
+			if i == 0 {
+				continue
+			}
+			q := s.Points[i-1]
+			c0, c1 := col(q.X), col(p.X)
+			for c := c0 + 1; c < c1; c++ {
+				frac := float64(c-c0) / float64(c1-c0)
+				y := q.Y + (p.Y-q.Y)*frac
+				if grid[row(y)][c] == ' ' {
+					grid[row(y)][c] = mark
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.4g", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%8.4g", yMin)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, line)
+	}
+	fmt.Fprintf(&b, "%8s  %-*.4g%*.4g\n", "", width/2, xMin, width-width/2, xMax)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", byte('a'+si%26), s.Label)
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

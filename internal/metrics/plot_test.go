@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	out := testFigure().Plot(40, 10)
+	if !strings.Contains(out, "a = tibfit") || !strings.Contains(out, "b = baseline") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	// Axis labels carry the y extremes (99 max, 60 min).
+	if !strings.Contains(out, "99") || !strings.Contains(out, "60") {
+		t.Fatalf("y labels missing:\n%s", out)
+	}
+}
+
+func TestPlotEmptyFigure(t *testing.T) {
+	f := Figure{ID: "empty"}
+	out := f.Plot(40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty figure plot = %q", out)
+	}
+}
+
+func TestPlotSinglePointSeries(t *testing.T) {
+	s := Series{Label: "one"}
+	s.Add(5, 5)
+	f := Figure{ID: "single", Series: []Series{s}}
+	out := f.Plot(20, 5)
+	if !strings.Contains(out, "a = one") {
+		t.Fatalf("plot = %q", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := testFigure().Plot(1, 1)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + at least 4 rows + x axis + 2 legend lines.
+	if len(lines) < 8 {
+		t.Fatalf("clamped plot too small:\n%s", out)
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	s := Series{Label: "flat"}
+	s.Add(0, 7)
+	s.Add(10, 7)
+	f := Figure{ID: "flat", Series: []Series{s}}
+	out := f.Plot(20, 6)
+	if !strings.Contains(out, "a") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestPlotInterpolatesBetweenPoints(t *testing.T) {
+	s := Series{Label: "line"}
+	s.Add(0, 0)
+	s.Add(100, 100)
+	f := Figure{ID: "line", Series: []Series{s}}
+	out := f.Plot(30, 10)
+	marks := strings.Count(out, "a") - 1 // minus the legend's "a"
+	if marks < 10 {
+		t.Fatalf("only %d interpolated marks:\n%s", marks, out)
+	}
+}

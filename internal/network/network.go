@@ -1,0 +1,419 @@
+// Package network assembles the paper's full system picture (Figure 1):
+// a field of sensor nodes self-organized into disjoint one-hop clusters
+// by LEACH-style election, one active cluster head per cluster running
+// the TIBFIT location aggregation pipeline, a base station that persists
+// trust state across leadership changes and vetoes distrusted heads, and
+// periodic re-clustering that rotates headship as batteries drain.
+//
+// The experiment harness (internal/experiment) deliberately runs a single
+// dedicated cluster head, as the paper's own simulations do; this package
+// is the whole-system integration those experiments abstract away, and is
+// exercised by its own integration tests and example.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tibfit/tibfit/internal/aggregator"
+	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/energy"
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/leach"
+	"github.com/tibfit/tibfit/internal/node"
+	"github.com/tibfit/tibfit/internal/radio"
+	"github.com/tibfit/tibfit/internal/relay"
+	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/sim"
+	"github.com/tibfit/tibfit/internal/trace"
+)
+
+// Mode selects which detection pipeline the cluster heads run.
+const (
+	// ModeLocation runs the §3.2 location-determination pipeline.
+	ModeLocation = "location"
+	// ModeBinary runs the §3.1 binary-event pipeline: each cluster head
+	// votes its own members' yes/no reports; RError is then only used by
+	// DetectedNear's ground-truth matching.
+	ModeBinary = "binary"
+)
+
+// Config assembles a network.
+type Config struct {
+	// Mode selects the detection pipeline (default ModeLocation).
+	Mode string
+	// SenseRadius and RError are the protocol's r_s and r_error.
+	SenseRadius float64
+	RError      float64
+	// Tout is the aggregation window.
+	Tout sim.Duration
+	// Trust parameterizes every trust table and the base station.
+	Trust core.Params
+	// Scheme selects "tibfit" or "baseline" aggregation.
+	Scheme string
+	// Election parameterizes LEACH rounds.
+	Election leach.Config
+	// ReportBits is the packet size used for energy accounting.
+	ReportBits int
+	// CoincidenceGuard and TrustWeightedCentroid enable the location-mode
+	// extensions (see aggregator.LocationConfig). Zero values = the
+	// paper's protocol.
+	CoincidenceGuard      float64
+	TrustWeightedCentroid bool
+	// Multihop routes member reports to their head over the relay mesh
+	// (§3.4's extension to sinks more than one hop away), with per-hop
+	// acknowledgement and retransmission. Requires a finite radio range.
+	Multihop bool
+	// Relay tunes the multi-hop reliability mechanism (zero value = relay
+	// defaults).
+	Relay relay.Config
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.SenseRadius <= 0 || c.RError <= 0:
+		return fmt.Errorf("network: SenseRadius and RError must be positive")
+	case c.Tout <= 0:
+		return fmt.Errorf("network: Tout must be positive")
+	case c.Scheme != "tibfit" && c.Scheme != "baseline":
+		return fmt.Errorf("network: unknown scheme %q", c.Scheme)
+	case c.Mode != "" && c.Mode != ModeLocation && c.Mode != ModeBinary:
+		return fmt.Errorf("network: unknown mode %q", c.Mode)
+	}
+	if err := c.Trust.Validate(); err != nil {
+		return err
+	}
+	return c.Election.Validate()
+}
+
+// DefaultConfig returns the Table-2-like parameters with a 20% head
+// fraction and the TI eligibility threshold enabled.
+func DefaultConfig() Config {
+	return Config{
+		SenseRadius: 20,
+		RError:      5,
+		Tout:        1,
+		Trust:       core.Params{Lambda: 0.25, FaultRate: 0.1, RemovalThreshold: 0.3},
+		Scheme:      "tibfit",
+		Election:    leach.Config{HeadFraction: 0.2, TIThreshold: 0.5},
+		ReportBits:  256,
+	}
+}
+
+// Declaration is one event the network declared: which head declared it,
+// where, and when.
+type Declaration struct {
+	Head int
+	Loc  geo.Point
+	Time sim.Time
+}
+
+// clusterState is one active cluster: its head, members, and whichever
+// aggregator the mode calls for.
+type clusterState struct {
+	head    int
+	members []int
+	weigher core.Weigher
+	agg     *aggregator.Location
+	binAgg  *aggregator.Binary
+}
+
+// Network is the assembled system.
+type Network struct {
+	cfg      Config
+	kernel   *sim.Kernel
+	channel  *radio.Channel
+	nodes    []*node.Node
+	byID     map[int]*node.Node
+	station  *leach.Station
+	election *leach.Election
+	model    energy.Model
+	tr       *trace.Trace
+
+	clusters map[int]*clusterState
+	memberOf map[int]int
+	mesh     *relay.Mesh // non-nil in multihop mode
+
+	declared []Declaration
+	rounds   int
+}
+
+// New assembles a network over the given nodes. Every node should carry a
+// battery if energy-aware election is desired (nil batteries are allowed).
+func New(cfg Config, kernel *sim.Kernel, channel *radio.Channel,
+	nodes []*node.Node, src *rng.Source, tr *trace.Trace) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if kernel == nil || channel == nil || src == nil {
+		return nil, fmt.Errorf("network: kernel, channel, and rng are required")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("network: need at least one node")
+	}
+	station, err := leach.NewStation(cfg.Trust)
+	if err != nil {
+		return nil, err
+	}
+	election, err := leach.NewElection(cfg.Election, station, channel, nodes, src.Split("election"))
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:      cfg,
+		kernel:   kernel,
+		channel:  channel,
+		nodes:    nodes,
+		byID:     make(map[int]*node.Node, len(nodes)),
+		station:  station,
+		election: election,
+		model:    energy.DefaultModel(),
+		tr:       tr,
+		clusters: make(map[int]*clusterState),
+		memberOf: make(map[int]int),
+	}
+	for _, nd := range nodes {
+		n.byID[nd.ID()] = nd
+	}
+	if cfg.Multihop {
+		pos := make(map[int]geo.Point, len(nodes))
+		for _, nd := range nodes {
+			pos[nd.ID()] = nd.Pos()
+		}
+		relayCfg := cfg.Relay
+		if relayCfg == (relay.Config{}) {
+			relayCfg = relay.DefaultConfig()
+		}
+		mesh, err := relay.NewMesh(relayCfg, channel, kernel, pos)
+		if err != nil {
+			return nil, err
+		}
+		n.mesh = mesh
+	}
+	if err := n.Recluster(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Mesh exposes the multi-hop relay (nil unless Multihop is set).
+func (n *Network) Mesh() *relay.Mesh { return n.mesh }
+
+// Station exposes the base station (persisted trust view).
+func (n *Network) Station() *leach.Station { return n.station }
+
+// Heads returns the current cluster heads, sorted.
+func (n *Network) Heads() []int {
+	out := make([]int, 0, len(n.clusters))
+	for h := range n.clusters {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HeadOf returns the head currently serving the given node.
+func (n *Network) HeadOf(nodeID int) (int, bool) {
+	h, ok := n.memberOf[nodeID]
+	return h, ok
+}
+
+// Declared returns every event declaration so far, in decision order.
+func (n *Network) Declared() []Declaration {
+	out := make([]Declaration, len(n.declared))
+	copy(out, n.declared)
+	return out
+}
+
+// Rounds returns how many re-clustering rounds have run.
+func (n *Network) Rounds() int { return n.rounds }
+
+// Recluster uploads every active head's trust table to the base station,
+// runs one LEACH election, and rebuilds the cluster aggregators from the
+// persisted state. Call it between aggregation windows (the paper rotates
+// heads "over time"; the tests rotate between event batches).
+func (n *Network) Recluster() error {
+	for _, cs := range n.clusters {
+		if t, ok := cs.weigher.(*core.Table); ok {
+			n.station.StoreSnapshot(t.Snapshot())
+		}
+	}
+	res := n.election.Run()
+	if len(res.Heads) == 0 {
+		return fmt.Errorf("network: election produced no head")
+	}
+	n.rounds++
+	n.clusters = make(map[int]*clusterState, len(res.Heads))
+	n.memberOf = make(map[int]int, len(n.nodes))
+	for head, members := range res.Clusters() {
+		cs, err := n.buildCluster(head, members)
+		if err != nil {
+			return err
+		}
+		n.clusters[head] = cs
+		for _, id := range members {
+			n.memberOf[id] = head
+		}
+		n.tr.Emit(float64(n.kernel.Now()), trace.KindCHElected, head,
+			"cluster of %d", len(members))
+	}
+	if n.mesh != nil {
+		for head := range n.clusters {
+			if err := n.mesh.BuildRoutes(head); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildCluster wires one cluster head's aggregator over its member
+// positions, restoring trust state from the base station.
+func (n *Network) buildCluster(head int, members []int) (*clusterState, error) {
+	var w core.Weigher
+	if n.cfg.Scheme == "baseline" {
+		w = core.Baseline{}
+	} else {
+		w = n.station.NewTable()
+	}
+	pos := make(aggregator.PosMap, len(members))
+	for _, id := range members {
+		pos[id] = n.byID[id].Pos()
+	}
+	cs := &clusterState{head: head, members: members, weigher: w}
+	if n.cfg.Mode == ModeBinary {
+		bin, err := aggregator.NewBinary(
+			aggregator.BinaryConfig{Tout: n.cfg.Tout, Members: members},
+			w, n.kernel,
+			func(o aggregator.BinaryOutcome) {
+				if o.Decision.Occurred {
+					n.declared = append(n.declared, Declaration{
+						Head: head, Loc: n.byID[head].Pos(), Time: o.DecideTime,
+					})
+				}
+			},
+			func(id int, correct bool) { n.byID[id].ObserveVerdict(correct) },
+			n.tr)
+		if err != nil {
+			return nil, err
+		}
+		cs.binAgg = bin
+		return cs, nil
+	}
+	agg, err := aggregator.NewLocation(
+		aggregator.LocationConfig{
+			Tout:                  n.cfg.Tout,
+			RError:                n.cfg.RError,
+			SenseRadius:           n.cfg.SenseRadius,
+			CoincidenceGuard:      n.cfg.CoincidenceGuard,
+			TrustWeightedCentroid: n.cfg.TrustWeightedCentroid,
+		},
+		w, n.kernel, pos,
+		func(o aggregator.LocationOutcome) {
+			for _, cand := range o.Candidates {
+				if cand.Occurred {
+					n.declared = append(n.declared, Declaration{
+						Head: head, Loc: cand.Loc, Time: o.DecideTime,
+					})
+				}
+			}
+		},
+		func(id int, correct bool) { n.byID[id].ObserveVerdict(correct) },
+		n.tr)
+	if err != nil {
+		return nil, err
+	}
+	cs.agg = agg
+	return cs, nil
+}
+
+// InjectEvent makes every event neighbor sense the event and report to
+// its own cluster head over the channel, draining transmit energy. The
+// head's aggregator takes it from there. eventID must be unique per
+// event (it keys level-2 collusion plans).
+func (n *Network) InjectEvent(eventID int, loc geo.Point) {
+	for _, nd := range n.nodes {
+		if nd.Pos().Dist(loc) > n.cfg.SenseRadius {
+			continue
+		}
+		head, ok := n.memberOf[nd.ID()]
+		if !ok {
+			// The node is itself a head; it delivers to itself below.
+			head = nd.ID()
+		}
+		cs, ok := n.clusters[head]
+		if !ok {
+			continue
+		}
+		id := nd.ID()
+		if n.cfg.Mode == ModeBinary {
+			if !nd.SenseBinary(true) {
+				continue
+			}
+			if b := nd.Battery(); b != nil {
+				b.Draw(n.model.TxCost(n.cfg.ReportBits, nd.Pos().Dist(n.byID[head].Pos())))
+			}
+			bin := cs.binAgg
+			if id == head {
+				bin.Deliver(id)
+				continue
+			}
+			n.channel.Send(nd.Pos(), n.byID[head].Pos(), func() { bin.Deliver(id) })
+			continue
+		}
+		rep, send := nd.SenseLocation(eventID, loc)
+		if !send {
+			continue
+		}
+		off := nd.ReportOffset(rep)
+		if b := nd.Battery(); b != nil {
+			b.Draw(n.model.TxCost(n.cfg.ReportBits, nd.Pos().Dist(n.byID[head].Pos())))
+		}
+		if id == head {
+			// The head's own sensing result needs no radio.
+			cs.agg.Deliver(id, off)
+			continue
+		}
+		if n.mesh != nil {
+			n.mesh.Send(id, head, func() { cs.agg.Deliver(id, off) }, nil)
+			continue
+		}
+		n.channel.Send(nd.Pos(), n.byID[head].Pos(), func() { cs.agg.Deliver(id, off) })
+	}
+}
+
+// DetectedNear reports whether any declaration within rError of loc was
+// made at or after time t — the network-level ground-truth check.
+func (n *Network) DetectedNear(loc geo.Point, t sim.Time, rError float64) bool {
+	for _, d := range n.declared {
+		if d.Time >= t && d.Loc.Dist(loc) <= rError {
+			return true
+		}
+	}
+	return false
+}
+
+// MergedDeclarations collapses declarations that refer to the same event:
+// an event whose neighborhood spans several clusters can be declared by
+// more than one head. Declarations within rError of each other and within
+// window of each other's decision time count as one, keeping the earliest.
+// Binary-mode declarations (which carry head positions, not event
+// locations) should not be merged spatially; callers in binary mode
+// should group by time alone.
+func (n *Network) MergedDeclarations(rError float64, window sim.Duration) []Declaration {
+	var out []Declaration
+	for _, d := range n.declared {
+		dup := false
+		for _, kept := range out {
+			if d.Loc.Dist(kept.Loc) <= rError && d.Time.Sub(kept.Time) <= window {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, d)
+		}
+	}
+	return out
+}

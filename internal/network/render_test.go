@@ -1,0 +1,72 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+func TestRenderFieldShowsHeadsAndLegend(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 0, 11)
+	out := h.net.RenderField(30, 12)
+	if !strings.Contains(out, "H") {
+		t.Fatalf("no heads rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no trusted nodes rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "H=head") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Dimensions clamp.
+	small := h.net.RenderField(1, 1)
+	if len(strings.Split(small, "\n")) < 7 {
+		t.Fatalf("clamped render too small:\n%s", small)
+	}
+}
+
+func TestRenderFieldShowsDecayedTrust(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 12, 12)
+	for i := 0; i < 60; i++ {
+		loc := geo.Point{X: 10 + float64(i%5)*10, Y: 10 + float64(i/5%5)*10}
+		at := sim.Time(float64(i+1) * 10)
+		i := i
+		_, _ = h.kernel.At(at, func() { h.net.InjectEvent(i, loc) })
+	}
+	h.kernel.RunAll()
+	out := h.net.RenderField(30, 12)
+	if !strings.ContainsAny(out, ".X") {
+		t.Fatalf("no distrusted/isolated marks after 60 events with 12 liars:\n%s", out)
+	}
+}
+
+func TestCensusTracksDiagnosis(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 12, 13)
+	before := h.net.Census()
+	if before.Trusted != 36 {
+		t.Fatalf("initial census = %+v, want all trusted", before)
+	}
+	for i := 0; i < 60; i++ {
+		loc := geo.Point{X: 10 + float64(i%5)*10, Y: 10 + float64(i/5%5)*10}
+		at := sim.Time(float64(i+1) * 10)
+		i := i
+		_, _ = h.kernel.At(at, func() { h.net.InjectEvent(i, loc) })
+	}
+	h.kernel.RunAll()
+	after := h.net.Census()
+	if after.Trusted+after.Doubted+after.Distrusted != 36 {
+		t.Fatalf("census does not sum: %+v", after)
+	}
+	// 12 liars: most should be distrusted; the honest side keeps a solid
+	// trusted core (small clusters mean some honest nodes lose votes when
+	// their local cluster has a lying majority, so perfection is not
+	// expected).
+	if after.Distrusted < 8 || after.Distrusted > 20 {
+		t.Fatalf("census after 60 events = %+v, want ~12 distrusted", after)
+	}
+	if after.Trusted < 14 {
+		t.Fatalf("census after 60 events = %+v, want a trusted honest core", after)
+	}
+}

@@ -1,0 +1,75 @@
+package radio
+
+import (
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// The paper's evaluation ran over ns-2's 802.11 MAC, where simultaneous
+// transmissions toward one receiver contend and can collide. The default
+// Channel folds that into the flat DropProb; this file adds an explicit
+// opt-in collision model for experiments that want burst traffic (ten
+// nodes answering one event within microseconds) to hurt the way a real
+// MAC makes it hurt.
+//
+// Model: each receiver has a contention window W. When a packet's
+// arrival lands within W of another packet's arrival at the same
+// receiver, the later packet collides and is lost unless it survives the
+// capture probability (the chance the radio locks onto the stronger
+// signal anyway). Senders in the simulation pre-jitter their
+// transmissions (as CSMA backoff does), so the window is the residual
+// vulnerability, not the full packet airtime.
+
+// MACConfig tunes the collision model.
+type MACConfig struct {
+	// CollisionWindow is the receiver-side vulnerability window in
+	// virtual time units. Zero disables collision modelling.
+	CollisionWindow sim.Duration
+	// CaptureProb is the probability a colliding packet survives anyway
+	// (capture effect). Zero means every collision destroys the packet.
+	CaptureProb float64
+}
+
+// ContendingChannel wraps a Channel with receiver-side collisions.
+type ContendingChannel struct {
+	*Channel
+	mac MACConfig
+
+	// lastArrival tracks the most recent scheduled arrival per receiver.
+	// Receivers are identified by their position (the simulation's
+	// cluster heads are stationary within a term).
+	lastArrival map[geo.Point]sim.Time
+	collisions  int
+}
+
+// NewContendingChannel wraps ch with the given MAC model.
+func NewContendingChannel(ch *Channel, mac MACConfig) *ContendingChannel {
+	return &ContendingChannel{
+		Channel:     ch,
+		mac:         mac,
+		lastArrival: make(map[geo.Point]sim.Time),
+	}
+}
+
+// Collisions returns how many packets the MAC destroyed.
+func (c *ContendingChannel) Collisions() int { return c.collisions }
+
+// Send transmits like Channel.Send, then applies the collision rule: if
+// the packet's arrival falls within the collision window of the previous
+// arrival at the same receiver, it is lost unless captured.
+func (c *ContendingChannel) Send(from, to geo.Point, deliver sim.Handler) Outcome {
+	if c.mac.CollisionWindow <= 0 {
+		return c.Channel.Send(from, to, deliver)
+	}
+	arrival := c.kernel.Now().Add(c.Delay(from, to))
+	prev, seen := c.lastArrival[to]
+	collides := seen && arrival.Sub(prev) < c.mac.CollisionWindow && arrival >= prev
+	c.lastArrival[to] = arrival
+	if collides && !c.src.Bernoulli(c.mac.CaptureProb) {
+		c.collisions++
+		c.sent++
+		c.lost++
+		return DroppedLoss
+	}
+	return c.Channel.Send(from, to, deliver)
+}

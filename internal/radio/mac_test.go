@@ -1,0 +1,107 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+func newContending(window sim.Duration, capture float64, seed int64) (*ContendingChannel, *sim.Kernel) {
+	k := sim.New()
+	cfg := DefaultConfig()
+	cfg.DropProb = 0
+	ch := NewChannel(cfg, k, rng.New(seed))
+	return NewContendingChannel(ch, MACConfig{CollisionWindow: window, CaptureProb: capture}), k
+}
+
+func TestZeroWindowPassesThrough(t *testing.T) {
+	c, k := newContending(0, 0, 1)
+	delivered := 0
+	sink := geo.Point{X: 0, Y: 0}
+	for i := 0; i < 20; i++ {
+		c.Send(geo.Point{X: 1, Y: 0}, sink, func() { delivered++ })
+	}
+	k.RunAll()
+	if delivered != 20 || c.Collisions() != 0 {
+		t.Fatalf("delivered=%d collisions=%d", delivered, c.Collisions())
+	}
+}
+
+func TestSimultaneousBurstCollides(t *testing.T) {
+	c, k := newContending(0.01, 0, 2)
+	delivered := 0
+	sink := geo.Point{X: 0, Y: 0}
+	// Ten nodes at the same distance answer at the same instant: their
+	// arrivals coincide, so all but the first collide.
+	for i := 0; i < 10; i++ {
+		c.Send(geo.Point{X: 5, Y: 0}, sink, func() { delivered++ })
+	}
+	k.RunAll()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (first wins)", delivered)
+	}
+	if c.Collisions() != 9 {
+		t.Fatalf("collisions = %d, want 9", c.Collisions())
+	}
+}
+
+func TestSpacedTransmissionsSurvive(t *testing.T) {
+	c, k := newContending(0.01, 0, 3)
+	delivered := 0
+	sink := geo.Point{X: 0, Y: 0}
+	for i := 0; i < 10; i++ {
+		i := i
+		// Senders back off well beyond the window.
+		_, _ = k.At(sim.Time(float64(i)*0.1), func() {
+			c.Send(geo.Point{X: 5, Y: 0}, sink, func() { delivered++ })
+		})
+	}
+	k.RunAll()
+	if delivered != 10 || c.Collisions() != 0 {
+		t.Fatalf("delivered=%d collisions=%d", delivered, c.Collisions())
+	}
+}
+
+func TestDistinctReceiversDoNotContend(t *testing.T) {
+	c, k := newContending(0.01, 0, 4)
+	delivered := 0
+	for i := 0; i < 5; i++ {
+		sink := geo.Point{X: 0, Y: float64(100 * i)}
+		c.Send(geo.Point{X: 5, Y: float64(100 * i)}, sink, func() { delivered++ })
+	}
+	k.RunAll()
+	if delivered != 5 {
+		t.Fatalf("delivered = %d, want 5", delivered)
+	}
+}
+
+func TestCaptureEffect(t *testing.T) {
+	c, k := newContending(0.01, 1, 5) // every collision captured
+	delivered := 0
+	sink := geo.Point{X: 0, Y: 0}
+	for i := 0; i < 10; i++ {
+		c.Send(geo.Point{X: 5, Y: 0}, sink, func() { delivered++ })
+	}
+	k.RunAll()
+	if delivered != 10 {
+		t.Fatalf("delivered = %d with full capture, want 10", delivered)
+	}
+	if c.Collisions() != 0 {
+		t.Fatalf("captured packets counted as collisions: %d", c.Collisions())
+	}
+}
+
+func TestCollisionsCountInChannelStats(t *testing.T) {
+	c, k := newContending(0.01, 0, 6)
+	sink := geo.Point{X: 0, Y: 0}
+	for i := 0; i < 4; i++ {
+		c.Send(geo.Point{X: 5, Y: 0}, sink, func() {})
+	}
+	k.RunAll()
+	sent, deliveredN, lost, _ := c.Stats()
+	if sent != 4 || deliveredN != 1 || lost != 3 {
+		t.Fatalf("stats = sent %d delivered %d lost %d", sent, deliveredN, lost)
+	}
+}

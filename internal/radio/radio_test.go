@@ -1,0 +1,148 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+func newTestChannel(cfg Config, seed int64) (*Channel, *sim.Kernel) {
+	k := sim.New()
+	return NewChannel(cfg, k, rng.New(seed)), k
+}
+
+func TestSendDeliversAndSchedules(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DropProb = 0
+	ch, k := newTestChannel(cfg, 1)
+	delivered := false
+	out := ch.Send(geo.Point{X: 0, Y: 0}, geo.Point{X: 10, Y: 0}, func() { delivered = true })
+	if out != Delivered {
+		t.Fatalf("outcome = %v", out)
+	}
+	if delivered {
+		t.Fatal("delivery ran synchronously")
+	}
+	k.RunAll()
+	if !delivered {
+		t.Fatal("delivery never ran")
+	}
+	wantDelay := cfg.BaseDelay + 10*cfg.DelayPerUnit
+	if got := k.Now(); math.Abs(float64(got)-float64(wantDelay)) > 1e-12 {
+		t.Fatalf("delivery at %v, want %v", got, wantDelay)
+	}
+}
+
+func TestSendRespectsRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Range = 5
+	ch, k := newTestChannel(cfg, 2)
+	out := ch.Send(geo.Point{X: 0, Y: 0}, geo.Point{X: 10, Y: 0}, func() { t.Fatal("delivered out of range") })
+	if out != DroppedRange {
+		t.Fatalf("outcome = %v", out)
+	}
+	k.RunAll()
+	_, _, _, oor := ch.Stats()
+	if oor != 1 {
+		t.Fatalf("outOfRange = %d", oor)
+	}
+}
+
+func TestUnlimitedRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DropProb = 0
+	ch, _ := newTestChannel(cfg, 3)
+	if !ch.InRange(geo.Point{X: 0, Y: 0}, geo.Point{X: 1e6, Y: 0}) {
+		t.Fatal("zero Range should mean unlimited")
+	}
+}
+
+func TestDropRateMatchesConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DropProb = 0.1
+	ch, k := newTestChannel(cfg, 4)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		ch.Send(geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 0}, func() {})
+	}
+	k.RunAll()
+	if rate := ch.LossRate(); math.Abs(rate-0.1) > 0.01 {
+		t.Fatalf("loss rate = %v, want ~0.1", rate)
+	}
+	sent, delivered, lost, oor := ch.Stats()
+	if sent != n || delivered+lost != n || oor != 0 {
+		t.Fatalf("stats inconsistent: %d %d %d %d", sent, delivered, lost, oor)
+	}
+}
+
+func TestLossRateEmptyChannel(t *testing.T) {
+	ch, _ := newTestChannel(DefaultConfig(), 5)
+	if ch.LossRate() != 0 {
+		t.Fatal("empty channel loss rate != 0")
+	}
+}
+
+func TestRSSDecreasesWithDistance(t *testing.T) {
+	ch, _ := newTestChannel(DefaultConfig(), 6)
+	prev := ch.RSS(1)
+	for _, d := range []float64{2, 5, 10, 50, 100} {
+		cur := ch.RSS(d)
+		if cur >= prev {
+			t.Fatalf("RSS(%v) = %v not below RSS at shorter distance %v", d, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestRSSClampsShortDistances(t *testing.T) {
+	ch, _ := newTestChannel(DefaultConfig(), 7)
+	if ch.RSS(0) != ch.RSS(1) || ch.RSS(0.5) != ch.RSS(1) {
+		t.Fatal("sub-unit distances not clamped")
+	}
+}
+
+func TestDelayGrowsWithDistance(t *testing.T) {
+	ch, _ := newTestChannel(DefaultConfig(), 8)
+	if ch.Delay(geo.Point{X: 0, Y: 0}, geo.Point{X: 100, Y: 0}) <= ch.Delay(geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 0}) {
+		t.Fatal("delay not increasing with distance")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{Delivered, "delivered"},
+		{DroppedLoss, "dropped-loss"},
+		{DroppedRange, "dropped-range"},
+		{Outcome(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Fatalf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestChannelDeterminism(t *testing.T) {
+	run := func() []Outcome {
+		cfg := DefaultConfig()
+		cfg.DropProb = 0.5
+		ch, _ := newTestChannel(cfg, 42)
+		out := make([]Outcome, 100)
+		for i := range out {
+			out[i] = ch.Send(geo.Point{X: 0, Y: 0}, geo.Point{X: 1, Y: 0}, func() {})
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different channel behaviour")
+		}
+	}
+}

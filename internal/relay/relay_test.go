@@ -1,0 +1,240 @@
+package relay
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/radio"
+	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// line builds a 1-D chain of n nodes spaced 10 apart with radio range 12,
+// so each node only reaches its immediate neighbors.
+func line(t *testing.T, n int, drop float64, seed int64) (*Mesh, *sim.Kernel) {
+	t.Helper()
+	kernel := sim.New()
+	cfg := radio.DefaultConfig()
+	cfg.Range = 12
+	cfg.DropProb = drop
+	ch := radio.NewChannel(cfg, kernel, rng.New(seed))
+	pos := make(map[int]geo.Point, n)
+	for i := 0; i < n; i++ {
+		pos[i] = geo.Point{X: float64(i * 10), Y: 0}
+	}
+	m, err := NewMesh(DefaultConfig(), ch, kernel, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, kernel
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	kernel := sim.New()
+	unlimited := radio.NewChannel(radio.DefaultConfig(), kernel, rng.New(1))
+	if _, err := NewMesh(DefaultConfig(), unlimited, kernel, nil); err == nil {
+		t.Fatal("accepted unlimited-range channel")
+	}
+	cfg := radio.DefaultConfig()
+	cfg.Range = 10
+	ch := radio.NewChannel(cfg, kernel, rng.New(1))
+	if _, err := NewMesh(DefaultConfig(), nil, kernel, nil); err == nil {
+		t.Fatal("accepted nil channel")
+	}
+	if _, err := NewMesh(Config{MaxRetries: -1}, ch, kernel, nil); err == nil {
+		t.Fatal("accepted negative retries")
+	}
+}
+
+func TestRoutesAndHops(t *testing.T) {
+	m, _ := line(t, 5, 0, 1)
+	if err := m.BuildRoutes(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		h, ok := m.Hops(i, 0)
+		if !ok || h != i {
+			t.Fatalf("Hops(%d) = %d, %t", i, h, ok)
+		}
+	}
+	if err := m.BuildRoutes(99); err == nil {
+		t.Fatal("accepted unknown sink")
+	}
+}
+
+func TestMultiHopDelivery(t *testing.T) {
+	m, kernel := line(t, 5, 0, 2)
+	if err := m.BuildRoutes(0); err != nil {
+		t.Fatal(err)
+	}
+	got := false
+	if !m.Send(4, 0, func() { got = true }, nil) {
+		t.Fatal("no route found")
+	}
+	kernel.RunAll()
+	if !got {
+		t.Fatal("packet never arrived")
+	}
+	delivered, failed, _, hops := m.Stats()
+	if delivered != 1 || failed != 0 || hops != 4 {
+		t.Fatalf("stats = %d %d hops=%d", delivered, failed, hops)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	m, kernel := line(t, 3, 0, 3)
+	_ = m.BuildRoutes(0)
+	got := false
+	m.Send(0, 0, func() { got = true }, nil)
+	kernel.RunAll()
+	if !got {
+		t.Fatal("self-delivery failed")
+	}
+}
+
+func TestUnreachableFails(t *testing.T) {
+	kernel := sim.New()
+	cfg := radio.DefaultConfig()
+	cfg.Range = 5 // nodes 10 apart: disconnected
+	ch := radio.NewChannel(cfg, kernel, rng.New(4))
+	pos := map[int]geo.Point{0: {X: 0, Y: 0}, 1: {X: 10, Y: 0}}
+	m, err := NewMesh(DefaultConfig(), ch, kernel, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.BuildRoutes(0)
+	failed := false
+	if m.Send(1, 0, func() { t.Fatal("delivered across a partition") }, func() { failed = true }) {
+		t.Fatal("Send claimed a route across a partition")
+	}
+	kernel.RunAll()
+	if !failed {
+		t.Fatal("failure callback never ran")
+	}
+}
+
+func TestRetriesMaskLoss(t *testing.T) {
+	// A 10%-lossy chain of 6 hops: raw end-to-end success would be
+	// ~0.53; with 3 retries per hop it should exceed 0.99.
+	const trials = 500
+	ok := 0
+	for trial := 0; trial < trials; trial++ {
+		m, kernel := line(t, 7, 0.1, int64(100+trial))
+		_ = m.BuildRoutes(0)
+		got := false
+		m.Send(6, 0, func() { got = true }, nil)
+		kernel.RunAll()
+		if got {
+			ok++
+		}
+	}
+	rate := float64(ok) / trials
+	if rate < 0.98 {
+		t.Fatalf("end-to-end delivery = %v with retries, want > 0.98", rate)
+	}
+}
+
+func TestRetriesAreCounted(t *testing.T) {
+	// A very lossy link forces retransmissions.
+	m, kernel := line(t, 2, 0.5, 7)
+	_ = m.BuildRoutes(0)
+	for i := 0; i < 50; i++ {
+		m.Send(1, 0, func() {}, nil)
+	}
+	kernel.RunAll()
+	_, _, retries, _ := m.Stats()
+	if retries == 0 {
+		t.Fatal("no retransmissions recorded on a 50%-loss link")
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	// With loss probability 1 every hop fails even after retries.
+	m, kernel := line(t, 2, 1, 8)
+	_ = m.BuildRoutes(0)
+	failed := false
+	m.Send(1, 0, func() { t.Fatal("delivered over a dead link") }, func() { failed = true })
+	kernel.RunAll()
+	if !failed {
+		t.Fatal("failure callback never ran")
+	}
+	_, nf, retries, _ := m.Stats()
+	if nf != 1 || retries != DefaultConfig().MaxRetries {
+		t.Fatalf("failed=%d retries=%d", nf, retries)
+	}
+}
+
+func TestGridRoutesAreMinimal(t *testing.T) {
+	// 3×3 grid, spacing 10, range 12 (4-connectivity): corner-to-corner
+	// is 4 hops.
+	kernel := sim.New()
+	cfg := radio.DefaultConfig()
+	cfg.Range = 12
+	ch := radio.NewChannel(cfg, kernel, rng.New(9))
+	pos := make(map[int]geo.Point)
+	id := 0
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			pos[id] = geo.Point{X: float64(x * 10), Y: float64(y * 10)}
+			id++
+		}
+	}
+	m, err := NewMesh(DefaultConfig(), ch, kernel, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.BuildRoutes(0)
+	if h, _ := m.Hops(8, 0); h != 4 {
+		t.Fatalf("corner-to-corner hops = %d, want 4", h)
+	}
+	if h, _ := m.Hops(4, 0); h != 2 {
+		t.Fatalf("center hops = %d, want 2", h)
+	}
+}
+
+// Property-style test: on randomly generated connected topologies with a
+// lossless channel, every node reaches the sink and hop counts never
+// exceed n-1.
+func TestRandomConnectedGraphsDeliver(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		kernel := sim.New()
+		src := rng.New(int64(1000 + trial))
+		cfg := radio.DefaultConfig()
+		cfg.Range = 25
+		cfg.DropProb = 0
+		ch := radio.NewChannel(cfg, kernel, src)
+
+		// Random positions plus a guaranteed connected backbone: nodes
+		// placed on a jittered line with spacing < range.
+		n := 5 + src.Intn(10)
+		pos := make(map[int]geo.Point, n)
+		for i := 0; i < n; i++ {
+			pos[i] = geo.Point{
+				X: float64(i)*15 + src.Uniform(0, 5),
+				Y: src.Uniform(0, 10),
+			}
+		}
+		m, err := NewMesh(DefaultConfig(), ch, kernel, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.BuildRoutes(0); err != nil {
+			t.Fatal(err)
+		}
+		delivered := 0
+		for i := 1; i < n; i++ {
+			h, ok := m.Hops(i, 0)
+			if !ok {
+				t.Fatalf("trial %d: node %d unreachable", trial, i)
+			}
+			if h > n-1 {
+				t.Fatalf("trial %d: hop count %d exceeds n-1", trial, h)
+			}
+			m.Send(i, 0, func() { delivered++ }, nil)
+		}
+		kernel.RunAll()
+		if delivered != n-1 {
+			t.Fatalf("trial %d: %d/%d delivered over a lossless mesh", trial, delivered, n-1)
+		}
+	}
+}

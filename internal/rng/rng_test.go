@@ -1,0 +1,237 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitIsDeterministic(t *testing.T) {
+	a := Split(42, "channel")
+	b := Split(42, "channel")
+	for i := 0; i < 50; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, name) produced different streams")
+		}
+	}
+}
+
+func TestSplitNamesAreIndependent(t *testing.T) {
+	a := Split(42, "channel")
+	b := Split(42, "nodes")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 identical draws across differently named streams", same)
+	}
+}
+
+func TestSourceSplitChildDiffersFromParent(t *testing.T) {
+	parent := New(7)
+	child := parent.Split("x")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Int63() == child.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 identical draws between parent and child", same)
+	}
+}
+
+func TestBernoulliBounds(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) fired")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) did not fire")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(<0) fired")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(>1) did not fire")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(2)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(5, -2) did not panic")
+		}
+	}()
+	New(1).Uniform(5, -2)
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := New(4)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Gaussian(3, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Gaussian mean = %v, want ~3", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Fatalf("Gaussian std = %v, want ~2", std)
+	}
+}
+
+func TestGaussianZeroSigma(t *testing.T) {
+	s := New(5)
+	if v := s.Gaussian(7, 0); v != 7 {
+		t.Fatalf("Gaussian(7, 0) = %v", v)
+	}
+	if v := s.Gaussian(7, -1); v != 7 {
+		t.Fatalf("Gaussian(7, -1) = %v", v)
+	}
+}
+
+func TestRayleighMatchesExceedProb(t *testing.T) {
+	// Empirical exceed rate must match the closed form the paper's Table
+	// 2 relies on: P(R > r) = exp(-r²/2σ²).
+	s := New(6)
+	const n = 200000
+	sigma, r := 4.25, 5.0
+	exceed := 0
+	for i := 0; i < n; i++ {
+		if s.Rayleigh(sigma) > r {
+			exceed++
+		}
+	}
+	got := float64(exceed) / n
+	want := RayleighExceedProb(sigma, r)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("Rayleigh exceed rate = %v, want %v", got, want)
+	}
+}
+
+func TestRayleighExceedProbEdges(t *testing.T) {
+	if got := RayleighExceedProb(0, 1); got != 0 {
+		t.Fatalf("zero-sigma exceed of positive r = %v", got)
+	}
+	if got := RayleighExceedProb(0, 0); got != 1 {
+		t.Fatalf("zero-sigma exceed of 0 = %v", got)
+	}
+	if got := RayleighExceedProb(2, 0); got != 1 {
+		t.Fatalf("exceed of r=0 = %v, want 1", got)
+	}
+}
+
+// TestTable2ErrorRates documents the Gaussian/Rayleigh relationship that
+// Table 2's "error rate" column encodes: a node with per-axis σ reports
+// more than r_error = 5 units off with probability exp(-25/2σ²).
+func TestTable2ErrorRates(t *testing.T) {
+	tests := []struct {
+		sigma float64
+		want  float64
+	}{
+		{1.6, math.Exp(-25.0 / (2 * 1.6 * 1.6))},
+		{2.0, math.Exp(-25.0 / (2 * 2.0 * 2.0))},
+		{4.25, math.Exp(-25.0 / (2 * 4.25 * 4.25))},
+		{6.0, math.Exp(-25.0 / (2 * 6.0 * 6.0))},
+	}
+	for _, tt := range tests {
+		if got := RayleighExceedProb(tt.sigma, 5); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("exceed(σ=%v) = %v, want %v", tt.sigma, got, tt.want)
+		}
+	}
+	// Sanity: correct nodes err far less often than faulty ones.
+	if RayleighExceedProb(2.0, 5) >= RayleighExceedProb(4.25, 5) {
+		t.Fatal("correct σ errs at least as often as faulty σ")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(7)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: Float64 stays in [0, 1) for arbitrary seeds.
+func TestFloat64RangeProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Rayleigh samples are non-negative.
+func TestRayleighNonNegativeProperty(t *testing.T) {
+	check := func(seed int64, sigma float64) bool {
+		s := New(seed)
+		sigma = math.Abs(math.Mod(sigma, 100))
+		for i := 0; i < 20; i++ {
+			if s.Rayleigh(sigma) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package shadow implements §3.4's defense against unreliable cluster
+// heads. Two shadow cluster heads (SCHs) — the most trusted nodes within
+// one hop of the CH — overhear all traffic in and out of the CH and
+// replicate its entire computation, short of transmitting results. When
+// the CH broadcasts a conclusion that differs from an SCH's own, the SCHs
+// escalate their results to the base station, which majority-votes the
+// three conclusions, adopts the winner, penalizes the outvoted CH's trust,
+// and triggers re-election. The scheme masks a single faulty CH.
+package shadow
+
+import (
+	"fmt"
+
+	"github.com/tibfit/tibfit/internal/core"
+)
+
+// Corruptor decides whether the primary CH corrupts a given decision; the
+// simulation injects fault behaviour through it. A nil Corruptor means the
+// primary is honest.
+type Corruptor func(round int, honest core.BinaryDecision) (core.BinaryDecision, bool)
+
+// FlipCorruptor returns a Corruptor that inverts the occurrence bit with
+// probability p using coin, modelling an arbitrarily faulty CH that lies
+// about its conclusion.
+func FlipCorruptor(p float64, coin func(p float64) bool) Corruptor {
+	return func(_ int, honest core.BinaryDecision) (core.BinaryDecision, bool) {
+		if !coin(p) {
+			return honest, false
+		}
+		corrupted := honest
+		corrupted.Occurred = !corrupted.Occurred
+		return corrupted, true
+	}
+}
+
+// Report is the outcome of one replicated decision round.
+type Report struct {
+	// Final is the decision the base station accepted.
+	Final core.BinaryDecision
+	// Disagreed says the SCHs contradicted the CH's broadcast and the
+	// base station had to vote.
+	Disagreed bool
+	// Demoted says the round ended the primary's term (the base station
+	// prompts re-election after an exposed corruption).
+	Demoted bool
+}
+
+// Panel is the replicated decision pipeline: the primary CH plus two
+// shadow replicas, all holding identical trust state, plus the base
+// station's vote. Only binary conclusions are compared — the same
+// mechanism guards location decisions in the paper, and the simulation's
+// location experiments exercise it through the binary vote each candidate
+// cluster reduces to.
+type Panel struct {
+	params   core.Params
+	replicas []*core.Table // index 0 is the primary's table
+	corrupt  Corruptor
+	station  StationPenalty
+
+	rounds       int
+	disagreement int
+	demotions    int
+	primaryNode  int // node ID serving as primary, for the penalty hook
+}
+
+// StationPenalty lets the panel report an exposed CH to the base station
+// (which reduces that node's persisted trust). Optional.
+type StationPenalty func(primaryNode int)
+
+// NewPanel returns a panel of one primary and two shadow replicas with
+// fresh trust state under params.
+func NewPanel(params core.Params, primaryNode int, corrupt Corruptor, penalty StationPenalty) (*Panel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	replicas := make([]*core.Table, 3)
+	for i := range replicas {
+		replicas[i] = core.MustNewTable(params)
+	}
+	return &Panel{
+		params:      params,
+		replicas:    replicas,
+		corrupt:     corrupt,
+		station:     penalty,
+		primaryNode: primaryNode,
+	}, nil
+}
+
+// Restore loads the same persisted trust snapshot into every replica, as
+// happens when a new CH (and its shadows) fetch state from the base
+// station.
+func (p *Panel) Restore(snap map[int]core.Record) {
+	for _, r := range p.replicas {
+		r.Restore(snap)
+	}
+}
+
+// Snapshot exports the authoritative (shadow-verified) trust state.
+func (p *Panel) Snapshot() map[int]core.Record { return p.replicas[1].Snapshot() }
+
+// Stats returns the number of rounds, disagreements, and demotions so far.
+func (p *Panel) Stats() (rounds, disagreements, demotions int) {
+	return p.rounds, p.disagreement, p.demotions
+}
+
+// PrimaryTable exposes the primary's trust table (shared with the
+// aggregator that drives the cluster in a live simulation).
+func (p *Panel) PrimaryTable() *core.Table { return p.replicas[0] }
+
+// SetPrimaryNode records which node currently serves as primary, so that a
+// demotion penalizes the right identity.
+func (p *Panel) SetPrimaryNode(nodeID int) { p.primaryNode = nodeID }
+
+// Decide runs one replicated binary decision. All three replicas evaluate
+// the identical overheard inputs; the primary's (possibly corrupted)
+// conclusion is broadcast; the shadows compare and escalate. The returned
+// report carries the base station's final decision, which is also the
+// decision applied to every replica's trust state — state divergence would
+// otherwise compound a single CH fault into lasting damage.
+func (p *Panel) Decide(reporters, silent []int) Report {
+	p.rounds++
+	honest := core.DecideBinary(p.replicas[0], reporters, silent)
+	broadcast := honest
+	corrupted := false
+	if p.corrupt != nil {
+		broadcast, corrupted = p.corrupt(p.rounds, honest)
+	}
+
+	// Shadows replicate the computation on identical inputs and state.
+	shadow1 := core.DecideBinary(p.replicas[1], reporters, silent)
+	shadow2 := core.DecideBinary(p.replicas[2], reporters, silent)
+
+	rep := Report{Final: broadcast}
+	if shadow1.Occurred != broadcast.Occurred || shadow2.Occurred != broadcast.Occurred {
+		// SCHs send their own computations to the base station, which
+		// takes the majority of the three conclusions.
+		rep.Disagreed = true
+		p.disagreement++
+		votes := 0
+		for _, d := range []core.BinaryDecision{broadcast, shadow1, shadow2} {
+			if d.Occurred {
+				votes++
+			}
+		}
+		rep.Final = shadow1 // shadows agree with each other by construction
+		rep.Final.Occurred = votes >= 2
+		if rep.Final.Occurred != broadcast.Occurred || corrupted {
+			rep.Demoted = true
+			p.demotions++
+			if p.station != nil {
+				p.station(p.primaryNode)
+			}
+		}
+	}
+
+	for _, t := range p.replicas {
+		core.Apply(t, rep.Final)
+	}
+	return rep
+}
+
+// DecideAndSettle adapts the panel to the aggregator's BinaryDecider
+// hook: the replicated decision runs, trust settles on the base station's
+// final outcome in every replica, and that outcome is announced.
+func (p *Panel) DecideAndSettle(reporters, silent []int) core.BinaryDecision {
+	return p.Decide(reporters, silent).Final
+}
+
+// String summarizes panel statistics.
+func (p *Panel) String() string {
+	return fmt.Sprintf("rounds=%d disagreements=%d demotions=%d",
+		p.rounds, p.disagreement, p.demotions)
+}

@@ -1,0 +1,141 @@
+package shadow
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+func params() core.Params {
+	return core.Params{Lambda: 0.25, FaultRate: 0.1}
+}
+
+func TestNewPanelRejectsBadParams(t *testing.T) {
+	if _, err := NewPanel(core.Params{}, 0, nil, nil); err == nil {
+		t.Fatal("accepted invalid params")
+	}
+}
+
+func TestHonestPanelNeverDisagrees(t *testing.T) {
+	p, err := NewPanel(params(), 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		rep := p.Decide([]int{1, 2, 3}, []int{4, 5})
+		if rep.Disagreed || rep.Demoted {
+			t.Fatalf("round %d: honest CH flagged: %+v", i, rep)
+		}
+		if !rep.Final.Occurred {
+			t.Fatalf("round %d: majority reporters lost", i)
+		}
+	}
+	rounds, dis, dem := p.Stats()
+	if rounds != 50 || dis != 0 || dem != 0 {
+		t.Fatalf("stats = %d %d %d", rounds, dis, dem)
+	}
+}
+
+func TestCorruptPrimaryIsExposedAndOutvoted(t *testing.T) {
+	demoted := []int{}
+	corrupt := FlipCorruptor(1, func(float64) bool { return true }) // always lie
+	p, err := NewPanel(params(), 42, corrupt, func(id int) { demoted = append(demoted, id) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Decide([]int{1, 2, 3}, []int{4})
+	if !rep.Disagreed {
+		t.Fatal("corruption not detected")
+	}
+	if !rep.Demoted {
+		t.Fatal("corrupt primary not demoted")
+	}
+	// The base station's majority (the two shadows) must prevail: 3
+	// reporters vs 1 silent → event occurred, despite the primary's flip.
+	if !rep.Final.Occurred {
+		t.Fatalf("final decision followed the corrupt primary: %+v", rep)
+	}
+	if len(demoted) != 1 || demoted[0] != 42 {
+		t.Fatalf("penalty hook calls = %v", demoted)
+	}
+}
+
+func TestCorruptionDoesNotPoisonTrustState(t *testing.T) {
+	// The single-CH-failure masking property (§3.4): trust state after a
+	// masked corruption equals the state of an all-honest panel.
+	corrupt := FlipCorruptor(1, func(float64) bool { return true })
+	corruptPanel, _ := NewPanel(params(), 0, corrupt, nil)
+	honestPanel, _ := NewPanel(params(), 0, nil, nil)
+	for i := 0; i < 20; i++ {
+		corruptPanel.Decide([]int{1, 2, 3}, []int{4})
+		honestPanel.Decide([]int{1, 2, 3}, []int{4})
+	}
+	a := corruptPanel.Snapshot()
+	b := honestPanel.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(a), len(b))
+	}
+	for id, rec := range b {
+		if a[id] != rec {
+			t.Fatalf("node %d state diverged: %+v vs %+v", id, a[id], rec)
+		}
+	}
+}
+
+func TestProbabilisticCorruptor(t *testing.T) {
+	src := rng.New(9)
+	corrupt := FlipCorruptor(0.3, src.Bernoulli)
+	p, _ := NewPanel(params(), 0, corrupt, nil)
+	for i := 0; i < 500; i++ {
+		p.Decide([]int{1, 2}, []int{3})
+	}
+	_, dis, _ := p.Stats()
+	if dis < 100 || dis > 200 {
+		t.Fatalf("disagreements = %d over 500 rounds at p=0.3", dis)
+	}
+}
+
+func TestRestoreLoadsAllReplicas(t *testing.T) {
+	seed := core.MustNewTable(params())
+	for i := 0; i < 8; i++ {
+		seed.Judge(7, false)
+	}
+	snap := seed.Snapshot()
+
+	p, _ := NewPanel(params(), 0, nil, nil)
+	p.Restore(snap)
+	// A vote involving node 7 must reflect the restored distrust in both
+	// primary and shadows: 2 fresh reporters beat distrusted node 7 + 1.
+	rep := p.Decide([]int{1, 2}, []int{7, 3})
+	if !rep.Final.Occurred {
+		t.Fatalf("restored trust not applied: %+v", rep.Final)
+	}
+	if rep.Disagreed {
+		t.Fatal("replicas disagreed after identical restore")
+	}
+	if p.PrimaryTable().TI(7) >= 0.5 {
+		t.Fatal("primary table missing restored state")
+	}
+}
+
+func TestSetPrimaryNodeRoutesPenalty(t *testing.T) {
+	var got []int
+	corrupt := FlipCorruptor(1, func(float64) bool { return true })
+	p, _ := NewPanel(params(), 1, corrupt, func(id int) { got = append(got, id) })
+	p.Decide([]int{1, 2}, []int{3})
+	p.SetPrimaryNode(9)
+	p.Decide([]int{1, 2}, []int{3})
+	if len(got) != 2 || got[0] != 1 || got[1] != 9 {
+		t.Fatalf("penalties = %v", got)
+	}
+}
+
+func TestPanelString(t *testing.T) {
+	p, _ := NewPanel(params(), 0, nil, nil)
+	p.Decide([]int{1}, nil)
+	if s := p.String(); !strings.Contains(s, "rounds=1") {
+		t.Fatalf("String = %q", s)
+	}
+}

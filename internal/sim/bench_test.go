@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleAndRun measures raw kernel throughput: schedule-then-
+// dispatch cost per event with a queue that stays around 1000 entries.
+func BenchmarkScheduleAndRun(b *testing.B) {
+	k := New()
+	const window = 1000
+	for i := 0; i < window; i++ {
+		k.After(Duration(i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(window, func() {})
+		k.Step()
+	}
+}
+
+// BenchmarkTimerStop measures cancellation cost.
+func BenchmarkTimerStop(b *testing.B) {
+	k := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := k.After(1e9, func() {})
+		tm.Stop()
+	}
+}

@@ -1,0 +1,198 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to report replicate variability: sample moments, normal
+// and t-approximate confidence intervals for means, and Wilson score
+// intervals for proportions (detection accuracy is a proportion, and
+// Wilson behaves sanely near 0 and 1 where the naive normal interval
+// does not).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations with Welford's algorithm, which stays
+// numerically stable for long runs.
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds in one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min and Max return the extremes (0 when empty).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 { return s.max }
+
+// Var returns the unbiased sample variance (0 for fewer than 2 points).
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies inside the interval (inclusive).
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// String renders the interval as "[lo, hi]".
+func (iv Interval) String() string { return fmt.Sprintf("[%.4f, %.4f]", iv.Lo, iv.Hi) }
+
+// tCritical95 holds two-sided 95% critical values of Student's t for
+// small degrees of freedom; beyond the table the normal value applies.
+var tCritical95 = []float64{
+	0,      // df 0 (unused)
+	12.706, // 1
+	4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+const z95 = 1.959964
+
+// CI95 returns the two-sided 95% confidence interval for the mean using
+// Student's t for small samples. Fewer than two observations yield a
+// degenerate interval at the mean.
+func (s *Sample) CI95() Interval {
+	if s.n < 2 {
+		return Interval{Lo: s.mean, Hi: s.mean}
+	}
+	df := s.n - 1
+	crit := z95
+	if df < len(tCritical95) {
+		crit = tCritical95[df]
+	}
+	half := crit * s.StdErr()
+	return Interval{Lo: s.mean - half, Hi: s.mean + half}
+}
+
+// Wilson95 returns the Wilson score 95% interval for a proportion with
+// successes out of trials. It panics on invalid counts.
+func Wilson95(successes, trials int) Interval {
+	if trials <= 0 || successes < 0 || successes > trials {
+		panic(fmt.Sprintf("stats: invalid proportion %d/%d", successes, trials))
+	}
+	p := float64(successes) / float64(trials)
+	n := float64(trials)
+	z := z95
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It returns 0 for empty input
+// and panics on out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary bundles the descriptive statistics the CLI prints for a
+// replicate set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	CI     Interval
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	var s Sample
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Std:    s.Std(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		Median: Quantile(xs, 0.5),
+		CI:     s.CI95(),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f±%.4f std=%.4f min=%.4f med=%.4f max=%.4f",
+		s.N, s.Mean, s.CI.Width()/2, s.Std, s.Min, s.Median, s.Max)
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if !almostEqual(s.Var(), 32.0/7, 1e-12) {
+		t.Fatalf("Var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty sample not zero-valued")
+	}
+	s.Add(3)
+	if s.Var() != 0 || s.Std() != 0 {
+		t.Fatal("single observation has nonzero spread")
+	}
+	iv := s.CI95()
+	if iv.Lo != 3 || iv.Hi != 3 {
+		t.Fatalf("degenerate CI = %v", iv)
+	}
+}
+
+func TestCI95CoversTrueMean(t *testing.T) {
+	// Monte-Carlo coverage check: the 95% interval over 10 normal draws
+	// should contain the true mean roughly 95% of the time.
+	src := rng.New(1)
+	covered := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		var s Sample
+		for j := 0; j < 10; j++ {
+			s.Add(src.Gaussian(7, 3))
+		}
+		if s.CI95().Contains(7) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.93 || rate > 0.97 {
+		t.Fatalf("CI95 coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestWilson95(t *testing.T) {
+	iv := Wilson95(50, 100)
+	if !iv.Contains(0.5) {
+		t.Fatalf("Wilson(50/100) = %v does not contain 0.5", iv)
+	}
+	if iv.Width() > 0.25 {
+		t.Fatalf("Wilson(50/100) too wide: %v", iv)
+	}
+	// Near the boundary the interval must stay inside [0, 1] and remain
+	// non-degenerate.
+	hi := Wilson95(100, 100)
+	if hi.Hi != 1 || hi.Lo >= 1 || hi.Lo < 0.9 {
+		t.Fatalf("Wilson(100/100) = %v", hi)
+	}
+	lo := Wilson95(0, 100)
+	if lo.Lo != 0 || lo.Hi <= 0 || lo.Hi > 0.1 {
+		t.Fatalf("Wilson(0/100) = %v", lo)
+	}
+}
+
+func TestWilson95Panics(t *testing.T) {
+	for _, c := range []struct{ s, n int }{{-1, 10}, {11, 10}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for %d/%d", c.s, c.n)
+				}
+			}()
+			Wilson95(c.s, c.n)
+		}()
+	}
+}
+
+func TestWilsonCoverage(t *testing.T) {
+	// Coverage of Wilson intervals over Bernoulli(0.9) samples of size 50.
+	src := rng.New(2)
+	covered := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		succ := 0
+		for j := 0; j < 50; j++ {
+			if src.Bernoulli(0.9) {
+				succ++
+			}
+		}
+		if Wilson95(succ, 50).Contains(0.9) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.99 {
+		t.Fatalf("Wilson coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.3); !almostEqual(got, 3, 1e-12) {
+		t.Fatalf("interpolated = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !s.CI.Contains(3) {
+		t.Fatalf("CI %v misses the mean", s.CI)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: Welford moments match the two-pass computation.
+func TestWelfordMatchesTwoPassProperty(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var s Sample
+		var sum float64
+		for _, x := range xs {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs)-1)
+		scale := 1 + math.Abs(mean) + variance
+		return almostEqual(s.Mean(), mean, 1e-9*scale) &&
+			almostEqual(s.Var(), variance, 1e-6*scale)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	check := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := Quantile(xs, a), Quantile(xs, b)
+		lo, hi := Quantile(xs, 0), Quantile(xs, 1)
+		return qa <= qb+1e-9 && qa >= lo-1e-9 && qb <= hi+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package trace provides a lightweight structured event trace for the
+// simulator. Components emit typed records (report sent, packet dropped,
+// decision made, trust updated, CH rotated); a Trace either discards them
+// (the default, for benchmark runs), retains them for assertions in tests,
+// or streams them to an io.Writer for the CLI's -trace flag.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a trace record.
+type Kind int
+
+// Record kinds, one per observable protocol action.
+const (
+	KindEventOccurred Kind = iota + 1
+	KindReportSent
+	KindReportDropped
+	KindReportDelivered
+	KindDecision
+	KindTrustUpdate
+	KindNodeIsolated
+	KindCHElected
+	KindCHDemoted
+	KindShadowDisagree
+	KindCompromise
+)
+
+var kindNames = map[Kind]string{
+	KindEventOccurred:   "event",
+	KindReportSent:      "report-sent",
+	KindReportDropped:   "report-dropped",
+	KindReportDelivered: "report-delivered",
+	KindDecision:        "decision",
+	KindTrustUpdate:     "trust-update",
+	KindNodeIsolated:    "node-isolated",
+	KindCHElected:       "ch-elected",
+	KindCHDemoted:       "ch-demoted",
+	KindShadowDisagree:  "shadow-disagree",
+	KindCompromise:      "compromise",
+}
+
+// String returns the stable lowercase name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Record is a single trace entry.
+type Record struct {
+	Time float64 // virtual time of the action
+	Kind Kind
+	Node int    // node involved, or -1 when not applicable
+	Msg  string // human-readable detail
+}
+
+// String renders the record in the one-line format the CLI prints.
+func (r Record) String() string {
+	if r.Node >= 0 {
+		return fmt.Sprintf("%10.3f %-16s node=%-3d %s", r.Time, r.Kind, r.Node, r.Msg)
+	}
+	return fmt.Sprintf("%10.3f %-16s          %s", r.Time, r.Kind, r.Msg)
+}
+
+// Trace collects records. The zero value discards everything; use Keep or
+// Stream to retain or emit records. Trace is safe for concurrent use so
+// that tests exercising multiple goroutines can share one.
+type Trace struct {
+	mu     sync.Mutex
+	keep   bool
+	out    io.Writer
+	recs   []Record
+	counts map[Kind]int
+}
+
+// New returns a discarding trace that still counts records by kind.
+func New() *Trace {
+	return &Trace{counts: make(map[Kind]int)}
+}
+
+// Keep makes the trace retain full records in memory (for tests).
+func (t *Trace) Keep() *Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.keep = true
+	return t
+}
+
+// Stream makes the trace write each record to w as it is emitted.
+func (t *Trace) Stream(w io.Writer) *Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.out = w
+	return t
+}
+
+// Emit records one action. A nil Trace discards silently, so components can
+// hold a *Trace without nil checks at every call site.
+func (t *Trace) Emit(now float64, kind Kind, node int, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.counts == nil {
+		t.counts = make(map[Kind]int)
+	}
+	t.counts[kind]++
+	if !t.keep && t.out == nil {
+		return
+	}
+	r := Record{Time: now, Kind: kind, Node: node, Msg: fmt.Sprintf(format, args...)}
+	if t.keep {
+		t.recs = append(t.recs, r)
+	}
+	if t.out != nil {
+		fmt.Fprintln(t.out, r)
+	}
+}
+
+// Count returns how many records of the given kind were emitted.
+func (t *Trace) Count(kind Kind) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[kind]
+}
+
+// Records returns a copy of the retained records (empty unless Keep was
+// called before emission).
+func (t *Trace) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Record, len(t.recs))
+	copy(out, t.recs)
+	return out
+}
+
+// Filter returns the retained records of one kind, in emission order.
+func (t *Trace) Filter(kind Kind) []Record {
+	var out []Record
+	for _, r := range t.Records() {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summary returns "kind=count" pairs sorted by kind name, used by the CLI
+// to print a one-line digest after a run.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pairs := make([]string, 0, len(t.counts))
+	for k, n := range t.counts {
+		pairs = append(pairs, fmt.Sprintf("%s=%d", k, n))
+	}
+	sort.Strings(pairs)
+	out := ""
+	for i, p := range pairs {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Emit(1, KindDecision, 3, "hello")
+	if tr.Count(KindDecision) != 0 {
+		t.Fatal("nil trace counted")
+	}
+	if tr.Records() != nil || tr.Summary() != "" {
+		t.Fatal("nil trace returned data")
+	}
+}
+
+func TestCountsWithoutKeep(t *testing.T) {
+	tr := New()
+	tr.Emit(1, KindDecision, -1, "a")
+	tr.Emit(2, KindDecision, -1, "b")
+	tr.Emit(3, KindReportSent, 5, "c")
+	if tr.Count(KindDecision) != 2 || tr.Count(KindReportSent) != 1 {
+		t.Fatalf("counts: decision=%d sent=%d", tr.Count(KindDecision), tr.Count(KindReportSent))
+	}
+	if len(tr.Records()) != 0 {
+		t.Fatal("records retained without Keep")
+	}
+}
+
+func TestKeepRetainsRecords(t *testing.T) {
+	tr := New().Keep()
+	tr.Emit(1.5, KindTrustUpdate, 7, "ti=%.2f", 0.25)
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Time != 1.5 || r.Kind != KindTrustUpdate || r.Node != 7 || r.Msg != "ti=0.25" {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New().Keep()
+	tr.Emit(1, KindDecision, -1, "a")
+	tr.Emit(2, KindReportSent, 1, "b")
+	tr.Emit(3, KindDecision, -1, "c")
+	got := tr.Filter(KindDecision)
+	if len(got) != 2 || got[0].Msg != "a" || got[1].Msg != "c" {
+		t.Fatalf("Filter = %v", got)
+	}
+}
+
+func TestStream(t *testing.T) {
+	var sb strings.Builder
+	tr := New().Stream(&sb)
+	tr.Emit(1, KindCHElected, -1, "node 4 leads")
+	out := sb.String()
+	if !strings.Contains(out, "ch-elected") || !strings.Contains(out, "node 4 leads") {
+		t.Fatalf("streamed %q", out)
+	}
+}
+
+func TestSummaryIsSortedAndComplete(t *testing.T) {
+	tr := New()
+	tr.Emit(1, KindDecision, -1, "")
+	tr.Emit(2, KindCompromise, 1, "")
+	tr.Emit(3, KindDecision, -1, "")
+	if got, want := tr.Summary(), "compromise=1 decision=2"; got != want {
+		t.Fatalf("Summary = %q, want %q", got, want)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindShadowDisagree.String() != "shadow-disagree" {
+		t.Fatalf("kind name = %q", KindShadowDisagree)
+	}
+	if got := Kind(999).String(); got != "kind(999)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}
+
+func TestRecordStringFormats(t *testing.T) {
+	withNode := Record{Time: 1, Kind: KindReportSent, Node: 3, Msg: "x"}
+	if s := withNode.String(); !strings.Contains(s, "node=3") {
+		t.Fatalf("String = %q", s)
+	}
+	noNode := Record{Time: 1, Kind: KindDecision, Node: -1, Msg: "y"}
+	if s := noNode.String(); strings.Contains(s, "node=") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New().Keep()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Emit(0, KindReportSent, j, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Count(KindReportSent) != 800 {
+		t.Fatalf("count = %d, want 800", tr.Count(KindReportSent))
+	}
+	if len(tr.Records()) != 800 {
+		t.Fatalf("records = %d, want 800", len(tr.Records()))
+	}
+}

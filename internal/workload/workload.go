@@ -1,0 +1,183 @@
+// Package workload generates the paper's simulation inputs: node
+// placements, event streams (single and concurrent), and the compromise
+// schedules that convert correct nodes to faulty ones over time
+// (experiment 3's decaying network).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+// GridPlacement returns n node positions on a regular √n×√n lattice
+// centered in the cells of the area — experiment 2's "100 nodes placed
+// uniformly on a 100×100 grid". It panics unless n is a perfect square.
+func GridPlacement(area geo.Rect, n int) []geo.Point {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side*side != n {
+		panic(fmt.Sprintf("workload: GridPlacement needs a perfect square, got %d", n))
+	}
+	dx := area.Width() / float64(side)
+	dy := area.Height() / float64(side)
+	out := make([]geo.Point, 0, n)
+	for j := 0; j < side; j++ {
+		for i := 0; i < side; i++ {
+			out = append(out, geo.Point{
+				X: area.Min.X + (float64(i)+0.5)*dx,
+				Y: area.Min.Y + (float64(j)+0.5)*dy,
+			})
+		}
+	}
+	return out
+}
+
+// UniformPlacement returns n node positions drawn uniformly from the area
+// (the random deployment of §2).
+func UniformPlacement(area geo.Rect, n int, src *rng.Source) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{
+			X: src.Uniform(area.Min.X, area.Max.X),
+			Y: src.Uniform(area.Min.Y, area.Max.Y),
+		}
+	}
+	return out
+}
+
+// Event is one ground-truth occurrence the generator schedules.
+type Event struct {
+	ID   int
+	Time float64
+	Loc  geo.Point
+}
+
+// Generator produces event locations uniformly over the deployment area at
+// regular intervals, as the paper's event generator does (§4). With
+// Concurrent set, each interval produces two simultaneous events no closer
+// than MinSeparation (§3.3's assumption that concurrent events cannot
+// occur within r_error of each other).
+type Generator struct {
+	// Area is the deployment region events are drawn from.
+	Area geo.Rect
+	// Period is the virtual-time spacing between event batches.
+	Period float64
+	// Start is the time of the first batch.
+	Start float64
+	// Concurrent makes each batch two simultaneous events.
+	Concurrent bool
+	// MinSeparation is the minimum distance between concurrent events.
+	MinSeparation float64
+	// Hotspot, when non-nil, concentrates events around this point with
+	// per-axis deviation HotspotSigma (clamped to the area) instead of
+	// drawing uniformly. Trust is earned per neighborhood, so hotspot
+	// workloads train the protocol unevenly — a system-parameter
+	// exploration beyond the paper's uniform generator.
+	Hotspot      *geo.Point
+	HotspotSigma float64
+
+	src  *rng.Source
+	next int
+}
+
+// NewGenerator returns a generator drawing randomness from src.
+func NewGenerator(area geo.Rect, period float64, src *rng.Source) *Generator {
+	if period <= 0 {
+		panic(fmt.Sprintf("workload: period must be positive, got %v", period))
+	}
+	return &Generator{Area: area, Period: period, Start: period, src: src}
+}
+
+// Batch returns the i-th event batch (0-based): one event, or two
+// simultaneous events when Concurrent is set. Event IDs are globally
+// unique and increase monotonically.
+func (g *Generator) Batch(i int) []Event {
+	t := g.Start + float64(i)*g.Period
+	first := Event{ID: g.next, Time: t, Loc: g.draw()}
+	g.next++
+	if !g.Concurrent {
+		return []Event{first}
+	}
+	second := Event{ID: g.next, Time: t}
+	for {
+		second.Loc = g.draw()
+		if second.Loc.Dist(first.Loc) >= g.MinSeparation {
+			break
+		}
+	}
+	g.next++
+	return []Event{first, second}
+}
+
+func (g *Generator) draw() geo.Point {
+	if g.Hotspot != nil {
+		return g.Area.Clamp(geo.Point{
+			X: g.src.Gaussian(g.Hotspot.X, g.HotspotSigma),
+			Y: g.src.Gaussian(g.Hotspot.Y, g.HotspotSigma),
+		})
+	}
+	return geo.Point{
+		X: g.src.Uniform(g.Area.Min.X, g.Area.Max.X),
+		Y: g.src.Uniform(g.Area.Min.Y, g.Area.Max.Y),
+	}
+}
+
+// DecaySchedule describes experiment 3's linear compromise growth: the
+// network starts with InitialFraction of its nodes faulty, and after every
+// EventsPerStep events another StepFraction is compromised, capped at
+// MaxFraction.
+type DecaySchedule struct {
+	InitialFraction float64
+	StepFraction    float64
+	EventsPerStep   int
+	MaxFraction     float64
+}
+
+// DefaultDecay returns the paper's experiment 3 schedule: 5% initial, +5%
+// every 50 events, up to 75%.
+func DefaultDecay() DecaySchedule {
+	return DecaySchedule{
+		InitialFraction: 0.05,
+		StepFraction:    0.05,
+		EventsPerStep:   50,
+		MaxFraction:     0.75,
+	}
+}
+
+// Validate reports whether the schedule is usable.
+func (d DecaySchedule) Validate() error {
+	if d.InitialFraction < 0 || d.InitialFraction > 1 ||
+		d.MaxFraction < d.InitialFraction || d.MaxFraction > 1 {
+		return fmt.Errorf("workload: fractions must satisfy 0 <= initial <= max <= 1")
+	}
+	if d.StepFraction < 0 {
+		return fmt.Errorf("workload: StepFraction must be non-negative")
+	}
+	if d.EventsPerStep <= 0 {
+		return fmt.Errorf("workload: EventsPerStep must be positive")
+	}
+	return nil
+}
+
+// FractionAt returns the compromised fraction in effect while processing
+// the event with the given 0-based index.
+func (d DecaySchedule) FractionAt(eventIndex int) float64 {
+	steps := eventIndex / d.EventsPerStep
+	f := d.InitialFraction + float64(steps)*d.StepFraction
+	if f > d.MaxFraction {
+		return d.MaxFraction
+	}
+	return f
+}
+
+// CompromisedAt returns how many of n nodes are compromised while
+// processing the event with the given 0-based index.
+func (d DecaySchedule) CompromisedAt(eventIndex, n int) int {
+	c := int(math.Round(d.FractionAt(eventIndex) * float64(n)))
+	if c > n {
+		c = n
+	}
+	return c
+}

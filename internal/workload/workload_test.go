@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+func TestGridPlacement(t *testing.T) {
+	area := geo.NewRect(100, 100)
+	pts := GridPlacement(area, 100)
+	if len(pts) != 100 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// 10×10 lattice with 10-unit spacing, offset 5: first point (5,5),
+	// last point (95,95).
+	if pts[0] != (geo.Point{X: 5, Y: 5}) || pts[99] != (geo.Point{X: 95, Y: 95}) {
+		t.Fatalf("corners = %v, %v", pts[0], pts[99])
+	}
+	seen := make(map[geo.Point]bool, len(pts))
+	for _, p := range pts {
+		if !area.Contains(p) {
+			t.Fatalf("point %v outside area", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate point %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestGridPlacementPanicsOnNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-square n")
+		}
+	}()
+	GridPlacement(geo.NewRect(10, 10), 7)
+}
+
+func TestUniformPlacement(t *testing.T) {
+	area := geo.NewRect(50, 30)
+	pts := UniformPlacement(area, 500, rng.New(1))
+	if len(pts) != 500 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !area.Contains(p) {
+			t.Fatalf("point %v outside area", p)
+		}
+	}
+}
+
+func TestGeneratorSingleEvents(t *testing.T) {
+	area := geo.NewRect(100, 100)
+	g := NewGenerator(area, 10, rng.New(2))
+	var lastID = -1
+	for i := 0; i < 20; i++ {
+		batch := g.Batch(i)
+		if len(batch) != 1 {
+			t.Fatalf("batch %d has %d events", i, len(batch))
+		}
+		ev := batch[0]
+		if ev.Time != 10*float64(i+1) {
+			t.Fatalf("event %d at %v, want %v", i, ev.Time, 10*float64(i+1))
+		}
+		if !area.Contains(ev.Loc) {
+			t.Fatalf("event outside area: %v", ev.Loc)
+		}
+		if ev.ID != lastID+1 {
+			t.Fatalf("non-monotonic ID %d after %d", ev.ID, lastID)
+		}
+		lastID = ev.ID
+	}
+}
+
+func TestGeneratorConcurrentSeparation(t *testing.T) {
+	area := geo.NewRect(100, 100)
+	g := NewGenerator(area, 10, rng.New(3))
+	g.Concurrent = true
+	g.MinSeparation = 5
+	for i := 0; i < 200; i++ {
+		batch := g.Batch(i)
+		if len(batch) != 2 {
+			t.Fatalf("batch %d has %d events", i, len(batch))
+		}
+		if batch[0].Time != batch[1].Time {
+			t.Fatal("concurrent events not simultaneous")
+		}
+		if d := batch[0].Loc.Dist(batch[1].Loc); d < 5 {
+			t.Fatalf("concurrent events only %v apart", d)
+		}
+		if batch[1].ID != batch[0].ID+1 {
+			t.Fatal("IDs not consecutive within batch")
+		}
+	}
+}
+
+func TestGeneratorPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for period <= 0")
+		}
+	}()
+	NewGenerator(geo.NewRect(1, 1), 0, rng.New(1))
+}
+
+func TestDecayScheduleValues(t *testing.T) {
+	d := DefaultDecay()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		event int
+		want  float64
+	}{
+		{0, 0.05},
+		{49, 0.05},
+		{50, 0.10},
+		{99, 0.10},
+		{100, 0.15},
+		{699, 0.70},
+		{700, 0.75},  // schedule reaches the cap
+		{5000, 0.75}, // capped
+	}
+	for _, tt := range tests {
+		if got := d.FractionAt(tt.event); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("FractionAt(%d) = %v, want %v", tt.event, got, tt.want)
+		}
+	}
+}
+
+func TestDecayCompromisedAt(t *testing.T) {
+	d := DefaultDecay()
+	if got := d.CompromisedAt(0, 100); got != 5 {
+		t.Fatalf("CompromisedAt(0) = %d, want 5", got)
+	}
+	if got := d.CompromisedAt(75, 100); got != 10 {
+		t.Fatalf("CompromisedAt(75) = %d, want 10", got)
+	}
+	if got := d.CompromisedAt(10000, 100); got != 75 {
+		t.Fatalf("CompromisedAt(cap) = %d, want 75", got)
+	}
+	if got := d.CompromisedAt(10000, 4); got != 3 {
+		t.Fatalf("CompromisedAt with 4 nodes = %d, want 3", got)
+	}
+}
+
+func TestDecayValidate(t *testing.T) {
+	bad := []DecaySchedule{
+		{InitialFraction: -0.1, MaxFraction: 0.5, StepFraction: 0.1, EventsPerStep: 10},
+		{InitialFraction: 0.6, MaxFraction: 0.5, StepFraction: 0.1, EventsPerStep: 10},
+		{InitialFraction: 0.1, MaxFraction: 0.5, StepFraction: -0.1, EventsPerStep: 10},
+		{InitialFraction: 0.1, MaxFraction: 0.5, StepFraction: 0.1, EventsPerStep: 0},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("case %d: invalid schedule accepted", i)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() []Event {
+		g := NewGenerator(geo.NewRect(100, 100), 10, rng.New(42))
+		var out []Event
+		for i := 0; i < 10; i++ {
+			out = append(out, g.Batch(i)...)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different event streams")
+		}
+	}
+}
+
+func TestHotspotGenerator(t *testing.T) {
+	area := geo.NewRect(100, 100)
+	g := NewGenerator(area, 10, rng.New(9))
+	hot := geo.Point{X: 30, Y: 70}
+	g.Hotspot = &hot
+	g.HotspotSigma = 8
+	var sumD float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		ev := g.Batch(i)[0]
+		if !area.Contains(ev.Loc) {
+			t.Fatalf("hotspot event left the area: %v", ev.Loc)
+		}
+		sumD += ev.Loc.Dist(hot)
+	}
+	// Mean radial distance of a clamped 2-D Gaussian with σ=8 ≈ 10; a
+	// uniform draw would average ~52 from this corner-ish point.
+	if mean := sumD / n; mean > 20 {
+		t.Fatalf("mean distance from hotspot = %v, not concentrated", mean)
+	}
+}

@@ -1,0 +1,127 @@
+package tibfit_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tibfit/tibfit"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README's quickstart: build a trust table, vote, settle.
+	table, err := tibfit.NewTrustTable(tibfit.TrustParams{Lambda: 0.1, FaultRate: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reporters := []int{1, 2, 3}
+	silent := []int{4, 5}
+	dec := tibfit.DecideBinary(table, reporters, silent)
+	if !dec.Occurred {
+		t.Fatalf("majority reporters lost: %v", dec)
+	}
+	tibfit.Apply(table, dec)
+	if table.TI(4) >= 1 {
+		t.Fatal("silent loser kept full trust")
+	}
+	if got := tibfit.CTI(table, reporters); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("CTI = %v", got)
+	}
+}
+
+func TestClusterReportsFacade(t *testing.T) {
+	reports := []tibfit.Report{
+		{Node: 1, Loc: tibfit.Point{X: 10, Y: 10}},
+		{Node: 2, Loc: tibfit.Point{X: 11, Y: 10}},
+		{Node: 3, Loc: tibfit.Point{X: 60, Y: 60}},
+	}
+	clusters := tibfit.ClusterReports(reports, 5)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+}
+
+func TestEstimatorFacade(t *testing.T) {
+	est := tibfit.NewTrustEstimator(tibfit.TrustParams{Lambda: 0.25, FaultRate: 0.1})
+	est.Observe(false)
+	if est.TI() >= 1 {
+		t.Fatal("estimator did not decay")
+	}
+}
+
+func TestAnalysisFacade(t *testing.T) {
+	if p := tibfit.MajoritySuccess(10, 0, 0.99, 0.5); p < 0.99 {
+		t.Fatalf("MajoritySuccess = %v", p)
+	}
+	k, err := tibfit.MinInterCompromiseEvents(0.25, 10)
+	if err != nil || k <= 0 {
+		t.Fatalf("MinInterCompromiseEvents = %v, %v", k, err)
+	}
+	if got, want := tibfit.KMax(0.25), math.Log(3)/0.25; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("KMax = %v", got)
+	}
+}
+
+func TestFigureGenerationFacade(t *testing.T) {
+	ids := tibfit.FigureIDs()
+	if len(ids) != 14 {
+		t.Fatalf("FigureIDs = %v", ids)
+	}
+	fig, err := tibfit.GenerateFigure("figure10", tibfit.FigureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "figure10" || len(fig.Series) != 4 {
+		t.Fatalf("figure = %+v", fig.ID)
+	}
+	if _, err := tibfit.GenerateFigure("nope", tibfit.FigureOptions{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestExperimentFacades(t *testing.T) {
+	cfg1 := tibfit.DefaultExp1()
+	cfg1.Events = 30
+	if _, err := tibfit.RunExp1(cfg1); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := tibfit.DefaultExp2()
+	cfg2.Events = 30
+	if _, err := tibfit.RunExp2(cfg2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExponentialVsLinearTrust asserts §3's design argument: under a
+// 70%-compromised binary workload the exponential penalty keeps accuracy
+// at least as high as the linear strawman, and — the paper's specific
+// complaint — a faulty node ends the run with materially lower trust under
+// the exponential model, because the linear model lets a 50% liar claw
+// back toward full trust.
+func TestExponentialVsLinearTrust(t *testing.T) {
+	run := func(linear bool) tibfit.Exp1Result {
+		cfg := tibfit.DefaultExp1()
+		cfg.FaultyFraction = 0.7
+		cfg.LinearTI = linear
+		cfg.Runs = 3
+		res, err := tibfit.RunExp1(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exp := run(false)
+	lin := run(true)
+	if exp.Accuracy < lin.Accuracy-0.02 {
+		t.Fatalf("exponential accuracy %v materially below linear %v", exp.Accuracy, lin.Accuracy)
+	}
+	if exp.MeanFaultyTI >= lin.MeanFaultyTI {
+		t.Fatalf("exponential faulty TI %v not below linear %v", exp.MeanFaultyTI, lin.MeanFaultyTI)
+	}
+}
+
+func TestDefaultDecayFacade(t *testing.T) {
+	d := tibfit.DefaultDecay()
+	if d.InitialFraction != 0.05 || d.MaxFraction != 0.75 {
+		t.Fatalf("decay = %+v", d)
+	}
+}
