@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures validate examples fuzz clean
+.PHONY: all build test test-race vet lint bench figures validate examples fuzz clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Determinism lint suite (see docs/DETERMINISM.md) on top of go vet.
+lint: vet
+	$(GO) run ./cmd/tibfit-lint ./...
+
 test:
 	$(GO) test ./...
+
+# Full tree under the race detector; internal/experiment/parallel.go and
+# internal/trace are the packages that actually exercise it.
+test-race:
+	$(GO) test -race ./...
 
 # Short mode skips the million-event kernel stress test.
 test-short:

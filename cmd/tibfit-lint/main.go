@@ -1,0 +1,65 @@
+// Command tibfit-lint runs the TIBFIT determinism lint suite — a
+// multichecker over the four analyzers in internal/lint — and exits
+// non-zero if any finding survives //lint:allow filtering. It is wired
+// into `make lint` and CI as a hard gate; see docs/DETERMINISM.md for
+// the rules and the allowlist policy.
+//
+// Usage:
+//
+//	tibfit-lint [-list] [packages]
+//
+// Packages default to ./... and accept the usual "./dir/..." forms,
+// resolved against the module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tibfit/tibfit/internal/lint"
+	"github.com/tibfit/tibfit/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tibfit-lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and their documentation, then exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tibfit-lint [-list] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the determinism lint suite (%d analyzers) over the module.\n", len(lint.Analyzers))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	ld, err := loader.New(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tibfit-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := ld.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tibfit-lint: %v\n", err)
+		return 2
+	}
+	findings := lint.RunSuite(pkgs, ld.Fset, lint.Analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tibfit-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -21,6 +21,7 @@ package aggregator
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/tibfit/tibfit/internal/core"
 	"github.com/tibfit/tibfit/internal/geo"
@@ -206,11 +207,13 @@ func (m PosMap) Pos(nodeID int) (geo.Point, bool) {
 	return p, ok
 }
 
-// IDs implements Positions.
+// IDs implements Positions, returning the node IDs in ascending order
+// so callers iterating them stay deterministic.
 func (m PosMap) IDs() []int {
 	out := make([]int, 0, len(m))
 	for id := range m {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }

@@ -350,9 +350,14 @@ func (l *Location) guardedCTI(ec cluster.EventCluster, reporters []int) float64 
 			groupMax[root] = w
 		}
 	}
+	roots := make([]int, 0, len(groupMax))
+	for root := range groupMax {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
 	var sum float64
-	for _, w := range groupMax {
-		sum += w
+	for _, root := range roots {
+		sum += groupMax[root]
 	}
 	return sum
 }

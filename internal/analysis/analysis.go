@@ -60,6 +60,7 @@ func MajoritySuccess(n, m int, p, q float64) float64 {
 	var total float64
 	for k := 0; k <= n-m; k++ {
 		pk := BinomialPMF(n-m, p, k)
+		//lint:allow floateq skipping exactly-zero PMF terms; any nonzero value must contribute
 		if pk == 0 {
 			continue
 		}

@@ -103,11 +103,13 @@ type LocationParams struct {
 func LocationSuccess(hist NeighborHist, popN, popFaulty int, p LocationParams) float64 {
 	var success float64
 	for n, pn := range hist.Prob {
+		//lint:allow floateq skipping exactly-zero probability terms; any nonzero value must contribute
 		if pn == 0 || n == 0 {
 			continue
 		}
 		for m := 0; m <= n; m++ {
 			pm := Hypergeometric(popN, popFaulty, n, m)
+			//lint:allow floateq skipping exactly-zero probability terms; any nonzero value must contribute
 			if pm == 0 {
 				continue
 			}

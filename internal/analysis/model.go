@@ -39,11 +39,13 @@ func TIBFITBinarySuccess(n, m int, p, q, tiCorrect, tiFaulty float64) float64 {
 	var success float64
 	for x := 0; x <= nc; x++ {
 		px := BinomialPMF(nc, p, x)
+		//lint:allow floateq skipping exactly-zero PMF terms; any nonzero value must contribute
 		if px == 0 {
 			continue
 		}
 		for y := 0; y <= m; y++ {
 			py := BinomialPMF(m, q, y)
+			//lint:allow floateq skipping exactly-zero PMF terms; any nonzero value must contribute
 			if py == 0 {
 				continue
 			}

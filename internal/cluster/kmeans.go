@@ -221,6 +221,7 @@ func sortClusters(clusters []EventCluster) {
 			return len(clusters[i].Reports) > len(clusters[j].Reports)
 		}
 		ci, cj := clusters[i].Center, clusters[j].Center
+		//lint:allow floateq total-order tie-break comparator; exact comparison is the point
 		if ci.X != cj.X {
 			return ci.X < cj.X
 		}

@@ -74,6 +74,7 @@ func (b *Battery) Spent() float64 { return b.spent }
 // Fraction returns residual/capacity in [0,1]; a zero-capacity battery
 // reports 0.
 func (b *Battery) Fraction() float64 {
+	//lint:allow floateq zero-capacity sentinel; capacity is a config value stored verbatim
 	if b.capacity == 0 {
 		return 0
 	}

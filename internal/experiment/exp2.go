@@ -262,6 +262,7 @@ func runExp2Once(cfg Exp2Config, seed int64) (Exp2Result, error) {
 		RemovalThreshold: cfg.RemovalThreshold,
 	}
 	jitter := cfg.CollusionJitter
+	//lint:allow floateq unset-config sentinel; the zero value means "use the default"
 	if jitter == 0 && cfg.Level == node.Level3 {
 		jitter = 1.5
 	}

@@ -107,6 +107,7 @@ func WeightedCentroid(pts []Point, weights []float64) (Point, bool) {
 		sy += p.Y * w
 		sw += w
 	}
+	//lint:allow floateq guards division when every weight is exactly zero; tiny sums are still valid weights
 	if sw == 0 {
 		return Point{}, false
 	}

@@ -128,13 +128,20 @@ type Result struct {
 }
 
 // Clusters groups node IDs by their head, including the head itself.
+// Members are appended in ascending ID order (not map order) so each
+// bucket's backing array is built identically on every run.
 func (r Result) Clusters() map[int][]int {
 	out := make(map[int][]int, len(r.Heads))
 	for _, h := range r.Heads {
 		out[h] = []int{h}
 	}
-	for id, h := range r.Affiliation {
-		out[h] = append(out[h], id)
+	ids := make([]int, 0, len(r.Affiliation))
+	for id := range r.Affiliation {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out[r.Affiliation[id]] = append(out[r.Affiliation[id]], id)
 	}
 	for _, members := range out {
 		sort.Ints(members)
@@ -261,6 +268,7 @@ func (e *Election) appoint() (int, bool) {
 		if b := n.Battery(); b != nil {
 			energy = b.Fraction()
 		}
+		//lint:allow floateq argmax tie-break over values that are bit-identical across runs
 		if ti > bestTI || (ti == bestTI && energy > bestEnergy) {
 			bestID, bestTI, bestEnergy = n.ID(), ti, energy
 		}

@@ -1,0 +1,70 @@
+// Package analysis is a self-contained, stdlib-only subset of
+// golang.org/x/tools/go/analysis. The repository's build environment is
+// hermetic (no module proxy), so the real x/tools dependency cannot be
+// vendored; this package mirrors its API shape — Analyzer, Pass,
+// Diagnostic, Reportf — closely enough that swapping the import path to
+// golang.org/x/tools/go/analysis later is mechanical.
+//
+// Only the pieces the TIBFIT lint suite needs are present: there is no
+// Fact machinery, no Requires graph, and no ResultOf plumbing, because
+// the four determinism analyzers are all single-pass syntactic/type
+// checks over one package at a time.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis pass: a named check with documentation
+// and a Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph documentation string, shown by the
+	// multichecker's -help output.
+	Doc string
+
+	// Run applies the check to a single package. Diagnostics are
+	// delivered via pass.Report; the interface{} result exists only
+	// for API compatibility with x/tools and is ignored.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides one analyzer invocation with a fully type-checked
+// package and a sink for diagnostics.
+type Pass struct {
+	// Analyzer is the currently running analyzer.
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos values in Files to file positions.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds type and object resolution for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The multichecker installs a
+	// collector here; tests install their own.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+)
+
+// floatEqHelperFuncs are the approved epsilon-comparison helpers: raw
+// float equality is allowed only inside them (they are the one place
+// the tolerance policy lives). stats.ApproxEqual is the canonical one.
+var floatEqHelperFuncs = map[string]bool{
+	"ApproxEqual": true,
+	"approxEqual": true,
+	"AlmostEqual": true,
+	"almostEqual": true,
+}
+
+// FloatEq flags == and != between floating-point expressions. TI and
+// CTI values accumulate through long multiply chains, so two
+// mathematically equal trust values routinely differ in the last ulp;
+// an exact comparison in a vote or trust path then flips decisions
+// depending on refactor-level association changes. Compare through
+// stats.ApproxEqual, or annotate deliberate exact comparisons (e.g.
+// against a sentinel the code itself assigned) with //lint:allow.
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag exact floating-point equality outside approved epsilon helpers\n\n" +
+		"TI/CTI comparisons drive every vote; exact float equality makes them\n" +
+		"sensitive to ulp-level noise. Use stats.ApproxEqual, or //lint:allow\n" +
+		"floateq <reason> for deliberate sentinel comparisons. The x != x NaN\n" +
+		"idiom and constant-vs-constant comparisons are not flagged.",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) (interface{}, error) {
+	if !inSimulationScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && floatEqHelperFuncs[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				checkFloatEq(pass, be)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func checkFloatEq(pass *analysis.Pass, be *ast.BinaryExpr) {
+	xtv, xok := pass.TypesInfo.Types[be.X]
+	ytv, yok := pass.TypesInfo.Types[be.Y]
+	if !xok || !yok {
+		return
+	}
+	if !isFloat(xtv.Type) && !isFloat(ytv.Type) {
+		return
+	}
+	// Constant folding happens at compile time; comparing two
+	// constants is exact by construction.
+	if xtv.Value != nil && ytv.Value != nil {
+		return
+	}
+	// x != x is the portable NaN test; leave it alone.
+	if be.Op == token.NEQ && sameObject(pass.TypesInfo, be.X, be.Y) {
+		return
+	}
+	pass.Reportf(be.Pos(),
+		"exact floating-point %s comparison; ulp-level noise flips it — use stats.ApproxEqual or annotate a deliberate sentinel check with //lint:allow floateq <reason>",
+		be.Op)
+}
+
+// sameObject reports whether two expressions are the same plain
+// identifier (resolving to one object).
+func sameObject(info *types.Info, x, y ast.Expr) bool {
+	xi, ok := x.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	yi, ok := y.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	xo := objectOf(info, xi)
+	return xo != nil && xo == objectOf(info, yi)
+}

@@ -1,0 +1,81 @@
+// Package lint is the TIBFIT determinism lint suite: four analyzers
+// that enforce the reproducibility discipline the simulation's
+// validation claims rest on. Trust-index trajectories and CTI votes
+// must be bit-identical across runs; a single wall-clock read, a draw
+// from the global math/rand source, an unsorted map iteration feeding
+// output, or a raw float equality in a vote path silently breaks that.
+//
+// The suite runs via cmd/tibfit-lint (wired into `make lint` and CI).
+// Deliberate exceptions are annotated in the source with
+//
+//	//lint:allow <rule> <reason>
+//
+// on the offending line or the line above it. docs/DETERMINISM.md
+// documents the invariants and the allowlist policy.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+)
+
+// ModulePath is the import-path prefix of this module; the analyzers
+// use it to recognize simulation packages and intra-module imports.
+const ModulePath = "github.com/tibfit/tibfit"
+
+// Analyzers is the determinism suite, in the order the multichecker
+// runs it.
+var Analyzers = []*analysis.Analyzer{
+	Nondeterminism,
+	MapRange,
+	FloatEq,
+	SeedFlow,
+}
+
+// inSimulationScope reports whether a package is part of the simulation
+// core the determinism rules apply to: everything under internal/
+// except the packages that exist precisely to encapsulate the
+// forbidden operations. cmd/ and examples/ are out of scope (timing
+// prints and demo output are fine there).
+func inSimulationScope(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, ModulePath+"/internal/")
+}
+
+// pkgQualifier resolves a selector like pkg.Name to the imported
+// package path when pkg is a package name in scope. It returns "" for
+// method calls and field selections.
+func pkgQualifier(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// rootIdent returns the leftmost identifier of an lvalue-ish
+// expression: x, x.f, x[i], and parenthesized forms all resolve to x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

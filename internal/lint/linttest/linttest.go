@@ -1,0 +1,129 @@
+// Package linttest is a stdlib-only stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer
+// over a testdata package and checks the reported diagnostics against
+// `// want` comments in the fixture source.
+//
+// Expectation syntax matches analysistest: a line comment
+//
+//	// want `regex` `another regex`
+//
+// on an offending line declares that the analyzer must report one
+// diagnostic per regex on that line, and the regex must match the
+// message. Lines without a want comment must produce no diagnostics.
+// //lint:allow filtering is applied before matching, so fixtures can
+// also exercise the allowlist policy.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/lint"
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+	"github.com/tibfit/tibfit/internal/lint/loader"
+)
+
+// Run loads the package in dir under the fake import path pkgPath,
+// applies the analyzer (with //lint:allow filtering), and diffs the
+// findings against the fixture's want comments. pkgPath controls the
+// analyzer's package-scope gating, so fixtures usually claim a path
+// under <module>/internal/.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	ld, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("linttest: creating loader: %v", err)
+	}
+	pkg, err := ld.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+
+	wants := collectWants(t, ld.Fset, pkg)
+	findings := lint.RunSuite([]*loader.Package{pkg}, ld.Fset, []*analysis.Analyzer{a})
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		if !consumeWant(wants[key], f.Message) {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, f.Rule, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s: want match for %q", key, w.re.String())
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// consumeWant marks the first unmatched expectation matching msg.
+func consumeWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts the `// want` expectations of every fixture
+// file, keyed by "filename:line".
+func collectWants(t *testing.T, fset *token.FileSet, pkg *loader.Package) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range splitPatterns(rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns splits `want` payloads into their quoted regexes,
+// accepting both backquotes and double quotes.
+func splitPatterns(s string) []string {
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		q := s[0]
+		if q != '`' && q != '"' {
+			return pats
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return pats
+		}
+		pats = append(pats, s[1:1+end])
+		s = s[2+end:]
+	}
+}

@@ -1,0 +1,347 @@
+// Package loader type-checks the packages of this module from source
+// using only the standard library, standing in for
+// golang.org/x/tools/go/packages in the hermetic build environment. It
+// walks the module tree, parses every non-test file, topologically sorts
+// packages by their intra-module imports, and type-checks each one;
+// imports outside the module (the standard library — the module has no
+// external dependencies) are resolved through the compiler's export
+// data via go/importer.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Dir is the directory holding the package's files.
+	Dir string
+	// Syntax is the parsed files, in filename order.
+	Syntax []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo records type and object resolution for Syntax.
+	TypesInfo *types.Info
+}
+
+// Loader loads and caches packages of a single module.
+type Loader struct {
+	// Fset is shared by every package the loader touches, so token.Pos
+	// values from different packages stay comparable.
+	Fset *token.FileSet
+
+	// IncludeTests includes _test.go files of the package under load
+	// (in-package tests only; external _test packages are skipped).
+	IncludeTests bool
+
+	modRoot string
+	modPath string
+	std     types.Importer
+	cache   map[string]*Package // by import path
+	loading map[string]bool     // cycle detection
+}
+
+// New returns a loader rooted at the module containing dir.
+func New(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		modRoot: root,
+		modPath: path,
+		std:     importer.ForCompiler(fset, "gc", nil),
+		cache:   map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// ModulePath returns the module's declared path.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// Load resolves the given patterns against the module and returns the
+// matched packages, type-checked, in import-path order. Supported
+// pattern forms are "./...", "./dir/...", and "./dir" (all relative to
+// the module root); a bare "." means the root package.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.matchDirs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir, l.pkgPathFor(dir))
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir under the given import path,
+// type-checking its intra-module dependencies as needed. It returns
+// (nil, nil) when the directory holds no buildable Go files.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	if pkg, ok := l.cache[pkgPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[pkgPath] {
+		return nil, fmt.Errorf("loader: import cycle through %s", pkgPath)
+	}
+	l.loading[pkgPath] = true
+	defer delete(l.loading, pkgPath)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		return l.importPkg(path)
+	})}
+	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", pkgPath, err)
+	}
+	pkg := &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.cache[pkgPath] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves one import path: intra-module imports load from
+// source, everything else (the standard library) comes from compiler
+// export data.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath); ok && (rest == "" || rest[0] == '/') {
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(rest, "/")))
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("loader: no Go files in %s", dir)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses the buildable Go files of dir (no external test
+// packages, no files excluded by an ignore build tag).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if hasIgnoreTag(f) {
+			continue
+		}
+		// In-package tests share the package name; external test
+		// packages (package foo_test) would need their own type-check
+		// universe, so they are skipped.
+		if pkgName == "" && !strings.HasSuffix(name, "_test.go") {
+			pkgName = f.Name.Name
+		}
+		if pkgName != "" && f.Name.Name != pkgName {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// matchDirs expands patterns into package directories.
+func (l *Loader) matchDirs(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	all, err := l.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		pat = strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "..." || pat == "":
+			for _, d := range all {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			matched := false
+			for _, d := range all {
+				if d == prefix || strings.HasPrefix(d, prefix+string(filepath.Separator)) {
+					add(d)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("loader: pattern %q matched no packages", pat)
+			}
+		case pat == ".":
+			add(l.modRoot)
+		default:
+			add(filepath.Join(l.modRoot, filepath.FromSlash(pat)))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// packageDirs lists every directory in the module that contains
+// buildable Go files, skipping testdata, vendor, and hidden trees.
+func (l *Loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.modRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// pkgPathFor maps a directory inside the module to its import path.
+func (l *Loader) pkgPathFor(dir string) string {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("loader: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("loader: no module directive in %s", gomod)
+}
+
+// hasIgnoreTag reports whether a file opts out of the build via
+// a `//go:build ignore` constraint.
+func hasIgnoreTag(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if strings.HasPrefix(text, "//go:build") && strings.Contains(text, "ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,80 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadSinglePackage(t *testing.T) {
+	ld, err := New(".")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got, want := ld.ModulePath(), "github.com/tibfit/tibfit"; got != want {
+		t.Fatalf("ModulePath = %q, want %q", got, want)
+	}
+	pkgs, err := ld.Load("./internal/rng")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "github.com/tibfit/tibfit/internal/rng" {
+		t.Errorf("PkgPath = %q", pkg.PkgPath)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Source") == nil {
+		t.Error("type-checked package is missing the Source type")
+	}
+	if len(pkg.Syntax) == 0 {
+		t.Error("no syntax trees loaded")
+	}
+}
+
+func TestLoadRecursivePattern(t *testing.T) {
+	ld, err := New(".")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	pkgs, err := ld.Load("./internal/lint/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// lint, lint/analysis, lint/linttest, lint/loader — testdata trees
+	// must be excluded.
+	if len(pkgs) < 4 {
+		t.Fatalf("got %d packages, want >= 4", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.PkgPath, "testdata") {
+			t.Errorf("testdata package leaked into Load: %s", pkg.PkgPath)
+		}
+	}
+}
+
+func TestLoadTransitiveDeps(t *testing.T) {
+	ld, err := New(".")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// experiment imports most of the module; loading it exercises the
+	// topological intra-module import resolution.
+	pkgs, err := ld.Load("./internal/experiment")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+}
+
+func TestLoadUnknownPattern(t *testing.T) {
+	ld, err := New(".")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := ld.Load("./nosuchdir/..."); err == nil {
+		t.Error("Load of unknown recursive pattern succeeded, want error")
+	}
+}

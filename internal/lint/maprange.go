@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+)
+
+// MapRange flags `for ... range` loops over maps whose bodies are
+// order-sensitive: appending to an outer slice with no subsequent sort,
+// writing output, sending on a channel, or accumulating floats (float
+// addition is not associative, so even a "commutative" sum changes in
+// the low bits with iteration order). Map iteration order is
+// deliberately randomized by the runtime, so each of these makes output
+// differ between runs.
+var MapRange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag order-sensitive bodies of range-over-map loops\n\n" +
+		"Go randomizes map iteration order per run. A loop over a map may not\n" +
+		"append to an outer slice (unless the slice is sorted immediately after\n" +
+		"the loop), write output, send on a channel, or accumulate floats.\n" +
+		"Iterate sorted keys instead, or sort the collected result.",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) (interface{}, error) {
+	if !inSimulationScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs, enclosingStmts(stack, rs))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMapRangeBody reports the order-sensitive operations in one
+// range-over-map body. following is the statement list after the range
+// statement in its enclosing block, used to recognize the
+// collect-then-sort idiom.
+func checkMapRangeBody(pass *analysis.Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range reports on its own; don't also
+			// attribute its body to the outer loop.
+			if v != rs {
+				if t := pass.TypesInfo.TypeOf(v.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(),
+				"send inside range over map delivers values in nondeterministic order; iterate sorted keys instead")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, v, following)
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass.TypesInfo, v); ok {
+				pass.Reportf(v.Pos(),
+					"%s inside range over map writes output in nondeterministic order; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags appends to outer slices (without a
+// subsequent sort) and float accumulation into outer variables.
+func checkMapRangeAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, following []ast.Stmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(as.Lhs) {
+				continue
+			}
+			target := rootIdent(as.Lhs[i])
+			obj := objectOf(pass.TypesInfo, target)
+			if obj == nil || declaredInside(obj, rs.Body) {
+				continue
+			}
+			if sortedAfter(pass.TypesInfo, following, obj) {
+				continue
+			}
+			pass.Reportf(as.Pos(),
+				"append to %s inside range over map collects in nondeterministic order; sort %s after the loop or iterate sorted keys",
+				target.Name, target.Name)
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		target := rootIdent(as.Lhs[0])
+		obj := objectOf(pass.TypesInfo, target)
+		if obj == nil || declaredInside(obj, rs.Body) {
+			return
+		}
+		if t := pass.TypesInfo.TypeOf(as.Lhs[0]); t != nil && isFloat(t) {
+			pass.Reportf(as.Pos(),
+				"float accumulation into %s inside range over map is order-sensitive (float addition is not associative); iterate sorted keys",
+				target.Name)
+		}
+	}
+}
+
+// outputCall reports whether a call writes externally visible output
+// whose order would leak map iteration order: fmt printing (not
+// Sprint*, which only builds a value) and common writer/encoder
+// methods.
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if q := pkgQualifier(info, sel); q != "" {
+		if q == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	// Method call: flag the write/encode family on any receiver
+	// (strings.Builder, bufio.Writer, csv.Writer, json.Encoder, ...).
+	switch name {
+	case "Write", "WriteString", "WriteRune", "WriteByte", "Encode",
+		"Print", "Printf", "Println":
+		return "method " + name, true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether one of the statements following the loop
+// sorts the append target (sort.* or slices.Sort* with the target
+// anywhere in the arguments, or a Sort method on the target).
+func sortedAfter(info *types.Info, following []ast.Stmt, target types.Object) bool {
+	for _, stmt := range following {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			q := pkgQualifier(info, sel)
+			isSortCall := q == "sort" ||
+				(q == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort")) ||
+				(q == "" && strings.Contains(sel.Sel.Name, "Sort"))
+			if !isSortCall {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentions(info, arg, target) {
+					found = true
+					return false
+				}
+			}
+			if q == "" && mentions(info, sel.X, target) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentions reports whether expr references obj anywhere.
+func mentions(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objectOf(info, id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingStmts returns the statements after stmt in its nearest
+// enclosing statement list (block, case clause, or comm clause), given
+// the ancestor stack built during traversal.
+func enclosingStmts(stack []ast.Node, stmt ast.Stmt) []ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch v := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = v.List
+		case *ast.CaseClause:
+			list = v.Body
+		case *ast.CommClause:
+			list = v.Body
+		default:
+			continue
+		}
+		for j, s := range list {
+			if s == stmt {
+				return list[j+1:]
+			}
+		}
+	}
+	return nil
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func declaredInside(obj types.Object, body *ast.BlockStmt) bool {
+	return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

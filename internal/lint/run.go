@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+	"github.com/tibfit/tibfit/internal/lint/loader"
+)
+
+// Finding is one diagnostic after allow-directive filtering, resolved
+// to a file position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Message)
+}
+
+// allowKey identifies one source line.
+type allowKey struct {
+	file string
+	line int
+}
+
+// RunSuite runs every analyzer over every package, applies
+// //lint:allow suppressions, and returns the surviving findings sorted
+// by position. Malformed allow directives are themselves findings
+// (rule "lintdirective"), so a typo cannot silently disable a rule.
+func RunSuite(pkgs []*loader.Package, fset *token.FileSet, analyzers []*analysis.Analyzer) []Finding {
+	var findings []Finding
+	allows := map[allowKey]map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			findings = append(findings, collectAllows(fset, file, allows)...)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if allowed(allows, pos, a.Name) {
+					return
+				}
+				findings = append(findings, Finding{Pos: pos, Rule: a.Name, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				findings = append(findings, Finding{
+					Rule:    a.Name,
+					Message: fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// allowed reports whether a finding at pos is suppressed by an allow
+// directive on the same line or the line immediately above.
+func allowed(allows map[allowKey]map[string]bool, pos token.Position, rule string) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if rules := allows[allowKey{pos.Filename, line}]; rules[rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows records every well-formed
+//
+//	//lint:allow <rule> <reason>
+//
+// directive in file into allows (keyed by the directive's own line) and
+// returns a finding for each malformed one. The reason is mandatory:
+// an allow without a justification is treated as an error, not a
+// suppression.
+func collectAllows(fset *token.FileSet, file *ast.File, allows map[allowKey]map[string]bool) []Finding {
+	knownRules := map[string]bool{}
+	for _, a := range Analyzers {
+		knownRules[a.Name] = true
+	}
+	var findings []Finding
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:allow")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) < 2:
+				findings = append(findings, Finding{
+					Pos:  pos,
+					Rule: "lintdirective",
+					Message: "malformed //lint:allow directive: want `//lint:allow <rule> <reason>` " +
+						"(the reason is mandatory)",
+				})
+			case !knownRules[fields[0]]:
+				findings = append(findings, Finding{
+					Pos:     pos,
+					Rule:    "lintdirective",
+					Message: fmt.Sprintf("//lint:allow names unknown rule %q", fields[0]),
+				})
+			default:
+				key := allowKey{pos.Filename, pos.Line}
+				if allows[key] == nil {
+					allows[key] = map[string]bool{}
+				}
+				allows[key][fields[0]] = true
+			}
+		}
+	}
+	return findings
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/lint/loader"
+)
+
+// checkSource type-checks one source string under the given import path
+// and runs the full suite over it, returning the surviving findings.
+func checkSource(t *testing.T, pkgPath, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", nil)}
+	tpkg, err := conf.Check(pkgPath, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	pkg := &loader.Package{PkgPath: pkgPath, Syntax: []*ast.File{file}, Types: tpkg, TypesInfo: info}
+	return RunSuite([]*loader.Package{pkg}, fset, Analyzers)
+}
+
+func TestAllowDirectiveValidation(t *testing.T) {
+	src := `package p
+
+func f(x float64) float64 {
+	//lint:allow
+	_ = x
+	//lint:allow nosuchrule because reasons
+	_ = x
+	//lint:allow floateq deliberate sentinel for the test
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+`
+	findings := checkSource(t, ModulePath+"/internal/fake", src)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (malformed + unknown rule): %v", len(findings), findings)
+	}
+	if findings[0].Rule != "lintdirective" || !strings.Contains(findings[0].Message, "malformed") {
+		t.Errorf("finding 0 = %v, want malformed-directive error", findings[0])
+	}
+	if findings[1].Rule != "lintdirective" || !strings.Contains(findings[1].Message, "nosuchrule") {
+		t.Errorf("finding 1 = %v, want unknown-rule error", findings[1])
+	}
+}
+
+func TestScopeGating(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func f() int64 { return time.Now().UnixNano() }
+`
+	cases := []struct {
+		pkgPath string
+		want    int
+	}{
+		{ModulePath + "/internal/core", 1},
+		{ModulePath + "/internal/trace", 0}, // wall-clock stamps allowlisted
+		{ModulePath + "/cmd/tibfit-figures", 0},
+		{"example.com/other", 0},
+	}
+	for _, tc := range cases {
+		if got := len(checkSource(t, tc.pkgPath, src)); got != tc.want {
+			t.Errorf("package %s: got %d findings, want %d", tc.pkgPath, got, tc.want)
+		}
+	}
+}
+
+func TestRandExemption(t *testing.T) {
+	src := `package p
+
+import "math/rand"
+
+func f(seed int64) float64 { return rand.New(rand.NewSource(seed)).Float64() }
+`
+	if got := len(checkSource(t, ModulePath+"/internal/rng", src)); got != 0 {
+		t.Errorf("internal/rng: got %d findings, want 0 (rng is the designated wrapper)", got)
+	}
+	if got := len(checkSource(t, ModulePath+"/internal/node", src)); got == 0 {
+		t.Error("internal/node: raw rand construction not flagged")
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+)
+
+// randConstructors are the math/rand and math/rand/v2 generator
+// constructors. A simulation component that builds one directly owns a
+// private seed that the experiment harness cannot see or split, so the
+// run is no longer a pure function of the campaign seed.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// seedFlowExempt lists the packages allowed to construct raw
+// generators: internal/rng is the single designated wrapper.
+var seedFlowExempt = map[string]bool{
+	ModulePath + "/internal/rng": true,
+}
+
+// SeedFlow flags simulation components that construct randomness
+// outside the internal/rng seed-derivation tree.
+var SeedFlow = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "forbid raw math/rand generator construction outside internal/rng\n\n" +
+		"Every stochastic component must draw from a named internal/rng.Source\n" +
+		"split from the campaign seed, so that one seed determines the whole\n" +
+		"run. Constructing rand.New/rand.NewSource (or reading crypto/rand)\n" +
+		"inside a simulation package smuggles in an unmanaged stream.",
+	Run: runSeedFlow,
+}
+
+func runSeedFlow(pass *analysis.Pass) (interface{}, error) {
+	pkg := pass.Pkg.Path()
+	if !inSimulationScope(pkg) || seedFlowExempt[pkg] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				switch q := pkgQualifier(pass.TypesInfo, v); {
+				case strings.HasPrefix(q, "math/rand") && randConstructors[v.Sel.Name]:
+					pass.Reportf(v.Pos(),
+						"%s.%s constructs a generator outside the internal/rng seed tree; derive a stream with rng.New or Source.Split instead",
+						q, v.Sel.Name)
+				case q == "crypto/rand":
+					pass.Reportf(v.Pos(),
+						"crypto/rand is inherently nonreproducible; simulation code must draw from internal/rng")
+				}
+			case *ast.CompositeLit:
+				if t := pass.TypesInfo.TypeOf(v); t != nil && isMathRandType(t) {
+					pass.Reportf(v.Pos(),
+						"composite literal of a math/rand type bypasses internal/rng seed derivation")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isMathRandType reports whether t is a named type defined in math/rand
+// or math/rand/v2.
+func isMathRandType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && strings.HasPrefix(obj.Pkg().Path(), "math/rand")
+}

@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/lint"
+	"github.com/tibfit/tibfit/internal/lint/linttest"
+)
+
+// Each fixture is loaded under a fake import path inside internal/ so
+// the analyzers' simulation-scope gating applies; every fixture mixes
+// positive (`// want`) and negative cases, including the //lint:allow
+// escape hatch.
+
+func TestNondeterminism(t *testing.T) {
+	linttest.Run(t, lint.Nondeterminism, "testdata/src/nondet",
+		lint.ModulePath+"/internal/linttestdata/nondet")
+}
+
+func TestMapRange(t *testing.T) {
+	linttest.Run(t, lint.MapRange, "testdata/src/maprange",
+		lint.ModulePath+"/internal/linttestdata/maprange")
+}
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, lint.FloatEq, "testdata/src/floateq",
+		lint.ModulePath+"/internal/linttestdata/floateq")
+}
+
+func TestSeedFlow(t *testing.T) {
+	linttest.Run(t, lint.SeedFlow, "testdata/src/seedflow",
+		lint.ModulePath+"/internal/linttestdata/seedflow")
+}

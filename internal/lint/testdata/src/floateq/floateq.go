@@ -1,0 +1,40 @@
+// Package floateq is a lint fixture for the floateq analyzer.
+package floateq
+
+// Positive cases: exact float comparisons in ordinary code.
+
+func equal(a, b float64) bool {
+	return a == b // want `exact floating-point == comparison`
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want `exact floating-point != comparison`
+}
+
+func againstZero(ti float64) bool {
+	return ti == 0 // want `exact floating-point == comparison`
+}
+
+// Negative cases: integer comparisons, constant folding, the NaN
+// idiom, approved epsilon helpers, and allow-annotated sentinels.
+
+func intEqual(a, b int) bool {
+	return a == b
+}
+
+const halfLife = 0.5
+
+var widerThanHalf = halfLife == 0.25
+
+func isNaN(x float64) bool {
+	return x != x
+}
+
+func approxEqual(a, b float64) bool {
+	return a == b || a-b < 1e-9 && b-a < 1e-9
+}
+
+func sentinel(capacity float64) bool {
+	//lint:allow floateq deliberate sentinel; fixture exercises the escape hatch
+	return capacity == 0
+}

@@ -1,0 +1,84 @@
+// Package maprange is a lint fixture for the maprange analyzer.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Positive cases: order-sensitive bodies.
+
+func collectUnsorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map`
+	}
+	return keys
+}
+
+func printing(m map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over map`
+	}
+}
+
+func floatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside range over map`
+	}
+	return sum
+}
+
+func sending(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `send inside range over map`
+	}
+}
+
+// Negative cases: the collect-then-sort idiom, purely local appends,
+// integer accumulation, and map-to-map transfers are all fine.
+
+func collectThenSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func localAppend(m map[int][]int) {
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		_ = doubled
+	}
+}
+
+func intCount(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func allowedAppend(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		//lint:allow maprange fixture exercises the escape hatch
+		keys = append(keys, k)
+	}
+	return keys
+}

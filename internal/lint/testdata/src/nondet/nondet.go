@@ -1,0 +1,47 @@
+// Package nondet is a lint fixture for the nondeterminism analyzer.
+// It is loaded under a fake import path inside internal/, so the
+// simulation-scope rules apply.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Positive cases: wall-clock reads and global rand draws.
+
+func wallClock() int64 {
+	now := time.Now()            // want `time\.Now depends on wall-clock time`
+	time.Sleep(time.Millisecond) // want `time\.Sleep depends on wall-clock time`
+	elapsed := time.Since(now)   // want `time\.Since depends on wall-clock time`
+	return int64(elapsed)
+}
+
+func globalRand() int {
+	x := rand.Intn(10)                 // want `math/rand\.Intn draws from the global math/rand source`
+	f := rand.Float64()                // want `math/rand\.Float64 draws from the global math/rand source`
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand\.Shuffle draws from the global math/rand source`
+	return x + int(f)
+}
+
+func takenAsValue() func() float64 {
+	return rand.Float64 // want `math/rand\.Float64 draws from the global math/rand source`
+}
+
+// Negative cases: deterministic time values and seeded generator
+// method calls are fine, and an allow directive suppresses a deliberate
+// exception.
+
+func durations() time.Duration {
+	return 3 * time.Second
+}
+
+func seededMethods() int {
+	r := rand.New(rand.NewSource(42)) // seedflow's concern, not this analyzer's
+	return r.Intn(10)
+}
+
+func allowed() time.Time {
+	//lint:allow nondeterminism fixture exercises the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,45 @@
+// Package seedflow is a lint fixture for the seedflow analyzer. The
+// negative cases import the real internal/rng to show the approved
+// construction path.
+package seedflow
+
+import (
+	cryptorand "crypto/rand"
+	"math/rand"
+
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+// Positive cases: raw generator construction and crypto randomness.
+
+func rawGenerator(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand\.New constructs a generator outside the internal/rng seed tree` `rand\.NewSource constructs a generator outside the internal/rng seed tree`
+}
+
+func zipf(r *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(r, 1.1, 1, 100) // want `rand\.NewZipf constructs a generator outside the internal/rng seed tree`
+}
+
+func cryptoBytes() []byte {
+	buf := make([]byte, 8)
+	_, _ = cryptorand.Read(buf) // want `crypto/rand is inherently nonreproducible`
+	return buf
+}
+
+// Negative cases: drawing from internal/rng streams is the approved
+// path, and method calls on an existing generator are not construction.
+
+func approved(seed int64) float64 {
+	s := rng.New(seed)
+	child := s.Split("noise")
+	return child.Float64()
+}
+
+func methods(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func allowedConstruction(seed int64) *rand.Rand {
+	//lint:allow seedflow fixture exercises the escape hatch
+	return rand.New(rand.NewSource(seed))
+}

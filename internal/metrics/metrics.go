@@ -120,6 +120,7 @@ func (s *Series) Add(x, y float64) {
 // YAt returns the series value at x (exact match) and whether it exists.
 func (s Series) YAt(x float64) (float64, bool) {
 	for _, p := range s.Points {
+		//lint:allow floateq documented exact-match lookup on axis values that are stored verbatim
 		if p.X == x {
 			return p.Y, true
 		}

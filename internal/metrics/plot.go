@@ -31,9 +31,11 @@ func (f Figure) Plot(width, height int) string {
 			yMax = math.Max(yMax, p.Y)
 		}
 	}
+	//lint:allow floateq degenerate-axis sentinel; near-equal ranges still plot fine
 	if yMin == yMax {
 		yMin, yMax = yMin-1, yMax+1
 	}
+	//lint:allow floateq degenerate-axis sentinel; near-equal ranges still plot fine
 	if xMin == xMax {
 		xMin, xMax = xMin-1, xMax+1
 	}

@@ -15,6 +15,7 @@ package mobility
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/rng"
@@ -137,6 +138,7 @@ func (w *Waypoint) At(t float64) geo.Point {
 	// experiments have tens of legs, so a scan is simpler and fine.
 	for _, l := range w.legs {
 		if t <= l.end {
+			//lint:allow floateq zero-duration-leg guard against dividing by an exact zero below
 			if l.end == l.start {
 				return l.to
 			}
@@ -185,12 +187,14 @@ func (f *Field) Snapshot(t float64) map[int]geo.Point {
 	return out
 }
 
-// IDs returns the registered node IDs in unspecified order.
+// IDs returns the registered node IDs in ascending order, so callers
+// iterating them stay deterministic.
 func (f *Field) IDs() []int {
 	out := make([]int, 0, len(f.models))
 	for id := range f.models {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }
 

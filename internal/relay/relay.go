@@ -16,6 +16,7 @@ package relay
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/radio"
@@ -86,7 +87,9 @@ func NewMesh(cfg Config, channel *radio.Channel, kernel *sim.Kernel, pos map[int
 	return m, nil
 }
 
-// neighbors returns the IDs within radio range of id.
+// neighbors returns the IDs within radio range of id, in ascending
+// order: BFS route construction visits them in return order, so an
+// unsorted list would let map iteration order pick next hops.
 func (m *Mesh) neighbors(id int) []int {
 	var out []int
 	p := m.pos[id]
@@ -98,6 +101,7 @@ func (m *Mesh) neighbors(id int) []int {
 			out = append(out, other)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -96,6 +96,7 @@ type eventQueue []*event
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
+	//lint:allow floateq total-order tie-break comparator; exact comparison is the point
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
@@ -199,6 +200,7 @@ func (k *Kernel) Run(until Time) uint64 {
 		k.fired++
 		dispatched++
 	}
+	//lint:allow floateq comparison against the exact End sentinel constant
 	if k.now < until && until != End {
 		k.now = until
 	}

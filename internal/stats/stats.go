@@ -196,3 +196,27 @@ func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4f±%.4f std=%.4f min=%.4f med=%.4f max=%.4f",
 		s.N, s.Mean, s.CI.Width()/2, s.Std, s.Min, s.Median, s.Max)
 }
+
+// ApproxEqualTol is the default relative tolerance for ApproxEqual.
+// TI/CTI values accumulate through at most a few thousand multiply-add
+// steps, so anything within ~1e-9 relative is numerical noise, not a
+// protocol-level difference.
+const ApproxEqualTol = 1e-9
+
+// ApproxEqual reports whether a and b are equal up to ApproxEqualTol,
+// relative to their magnitude (absolute near zero). It is the approved
+// epsilon helper the floateq lint rule points at: protocol code must
+// not compare floats with == or != directly, because TI and CTI values
+// differ in the last ulp across algebraically equivalent refactors.
+// NaN is not approximately equal to anything, including itself.
+func ApproxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale <= 1 {
+		return diff <= ApproxEqualTol
+	}
+	return diff <= ApproxEqualTol*scale
+}
