@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench figures validate examples fuzz clean
+.PHONY: all build test test-race vet lint bench figures validate examples fuzz soak clean
 
 all: build lint test
 
@@ -41,6 +41,13 @@ validate:
 
 examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
+
+# Randomized-seed chaos soak under the race detector (see
+# docs/RESILIENCE.md). Override SOAK_SEED to replay a failure; a plain
+# `go test` run of TestChaosSoak keeps the fixed default seed.
+SOAK_SEED ?= $(shell date +%s)
+soak:
+	TIBFIT_SOAK_SEED=$(SOAK_SEED) $(GO) test -race -count=1 -run TestChaosSoak -v ./internal/network/
 
 # Brief continuous fuzzing of the fuzz targets (5s each).
 fuzz:

@@ -9,6 +9,7 @@
 //	tibfit-net [-nodes 64] [-faulty 0.25] [-events 120] [-rounds 4]
 //	           [-multihop] [-range 16] [-scheme tibfit] [-seed 7]
 //	           [-save trust.json] [-load trust.json]
+//	           [-chaos] [-crash 0.2] [-headcrashes 2] [-failover]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/tibfit/tibfit/internal/chaos"
 	"github.com/tibfit/tibfit/internal/energy"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/leach"
@@ -24,6 +26,7 @@ import (
 	"github.com/tibfit/tibfit/internal/radio"
 	"github.com/tibfit/tibfit/internal/rng"
 	"github.com/tibfit/tibfit/internal/sim"
+	"github.com/tibfit/tibfit/internal/trace"
 	"github.com/tibfit/tibfit/internal/workload"
 )
 
@@ -49,6 +52,11 @@ func run(args []string, out *os.File) error {
 		loadPath = fs.String("load", "", "seed the base station from this file")
 		showMap  = fs.Bool("map", false, "render the trust field map after the run")
 		mode     = fs.String("mode", "location", "detection mode: location or binary")
+
+		chaosOn   = fs.Bool("chaos", false, "inject the default chaos campaign (crashes, a blackout, duplication)")
+		crashFrac = fs.Float64("crash", 0.2, "chaos: fraction of nodes given a crash interval")
+		headCr    = fs.Int("headcrashes", 1, "chaos: serving-head crash injections")
+		failover  = fs.Bool("failover", false, "enable heartbeat CH failover and ACK/backoff report retries")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +72,12 @@ func run(args []string, out *os.File) error {
 	netCfg.Scheme = *scheme
 	netCfg.Multihop = *multihop
 	netCfg.Mode = *mode
+	if *failover {
+		netCfg.HeartbeatPeriod = netCfg.Tout / 5
+		netCfg.HeartbeatMisses = 3
+		netCfg.ReportRetries = 3
+		netCfg.ReportBackoff = netCfg.Tout / 50
+	}
 
 	chCfg := radio.DefaultConfig()
 	chCfg.DropProb = 0.02
@@ -107,7 +121,8 @@ func run(args []string, out *os.File) error {
 		nodes[i] = n
 	}
 
-	net, err := network.New(netCfg, kernel, channel, nodes, root.Split("net"), nil)
+	tr := trace.New()
+	net, err := network.New(netCfg, kernel, channel, nodes, root.Split("net"), tr)
 	if err != nil {
 		return err
 	}
@@ -136,6 +151,24 @@ func run(args []string, out *os.File) error {
 
 	evSrc := root.Split("events")
 	period := 10.0
+
+	var engine *chaos.Engine
+	if *chaosOn {
+		chaosCfg := chaos.DefaultConfig(float64(*events) * period)
+		chaosCfg.CrashFraction = *crashFrac
+		chaosCfg.HeadCrashes = *headCr
+		csrc := root.Split("chaos")
+		engine, err = chaos.New(chaosCfg, kernel, csrc, tr)
+		if err != nil {
+			return err
+		}
+		if err := engine.Arm(net, csrc); err != nil {
+			return err
+		}
+		channel.SetPerturber(engine)
+		fmt.Fprintf(out, "chaos: %d planned faults (crash=%.0f%% headcrashes=%d), failover=%t\n",
+			len(engine.Plan()), *crashFrac*100, *headCr, *failover)
+	}
 	rotateEvery := *events / *rounds
 	if rotateEvery < 1 {
 		rotateEvery = 1
@@ -184,6 +217,15 @@ func run(args []string, out *os.File) error {
 
 	fmt.Fprintf(out, "detected %d/%d events (%.1f%%) over %d leadership rounds\n",
 		detected, total, 100*float64(detected)/float64(total), net.Rounds())
+	if engine != nil {
+		st := engine.Stats()
+		outage, duplicated := channel.ChaosStats()
+		fmt.Fprintf(out, "chaos: crashes=%d (heads=%d) recoveries=%d blackouts=%d outage-drops=%d dup-packets=%d\n",
+			st.Crashes, st.HeadCrashes, st.Recoveries, st.Blackouts, outage, duplicated)
+		fmt.Fprintf(out, "resilience: failovers=%d orphaned=%d retries=%d depleted=%d\n",
+			tr.Count(trace.KindCHFailover), tr.Count(trace.KindClusterOrphaned),
+			tr.Count(trace.KindReportRetry), tr.Count(trace.KindNodeDepleted))
+	}
 	if m := net.Mesh(); m != nil {
 		deliv, failed, retries, hops := m.Stats()
 		fmt.Fprintf(out, "relay: delivered=%d hops=%d retries=%d failed=%d\n",

@@ -69,6 +69,13 @@ type BinaryConfig struct {
 	Members []int
 	// Decider, when non-nil, replaces the default vote+settle step.
 	Decider BinaryDecider
+	// Alive, when non-nil, reports whether a member is currently able to
+	// report (not crashed, battery not depleted). Members for which it
+	// returns false are excluded from the silent (NR) set instead of
+	// voting "no event" with full CTI weight — the graceful-degradation
+	// rule for crash faults. Nil preserves the paper's behaviour: every
+	// non-reporter counts against the event.
+	Alive func(id int) bool
 }
 
 // Binary is the §3.1 binary-event aggregator.
@@ -84,6 +91,7 @@ type Binary struct {
 	windowTrigger sim.Time
 	reporters     map[int]bool
 	windows       int
+	closed        bool
 }
 
 // NewBinary returns a binary aggregator. onDecide is invoked after every
@@ -116,9 +124,21 @@ func NewBinary(cfg BinaryConfig, w core.Weigher, kernel *sim.Kernel,
 // Windows returns how many aggregation windows have completed.
 func (b *Binary) Windows() int { return b.windows }
 
+// Close marks the aggregator dead: its cluster head crashed, so buffered
+// reports and any open window die with it. Subsequent Deliver calls and
+// the pending T_out expiry become no-ops. Close is idempotent and
+// irreversible; failover builds a fresh aggregator for the new head.
+func (b *Binary) Close() { b.closed = true }
+
+// Closed reports whether Close has been called.
+func (b *Binary) Closed() bool { return b.closed }
+
 // Deliver hands the aggregator one event report that survived the channel.
 // The first report of a window opens it and schedules the T_out expiry.
 func (b *Binary) Deliver(nodeID int) {
+	if b.closed {
+		return
+	}
 	if b.weigher.Isolated(nodeID) {
 		return // the sink no longer listens to isolated nodes
 	}
@@ -133,12 +153,19 @@ func (b *Binary) Deliver(nodeID int) {
 
 // closeWindow runs the §3.1 vote at T_out expiry.
 func (b *Binary) closeWindow() {
+	if b.closed {
+		return
+	}
 	reporters := make([]int, 0, len(b.reporters))
 	silent := make([]int, 0, len(b.cfg.Members))
 	for _, id := range b.cfg.Members {
-		if b.reporters[id] {
+		switch {
+		case b.reporters[id]:
 			reporters = append(reporters, id)
-		} else {
+		case b.cfg.Alive != nil && !b.cfg.Alive(id):
+			// Crashed or depleted: silence carries no information, so the
+			// member neither votes "no event" nor has its trust judged.
+		default:
 			silent = append(silent, id)
 		}
 	}

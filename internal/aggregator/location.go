@@ -121,6 +121,7 @@ type Location struct {
 	circles *cluster.CircleSet
 
 	rounds int
+	closed bool
 }
 
 // NewLocation returns a location aggregator over the given known positions.
@@ -150,11 +151,22 @@ func NewLocation(cfg LocationConfig, w core.Weigher, kernel *sim.Kernel, pos Pos
 // Rounds returns how many aggregation rounds have completed.
 func (l *Location) Rounds() int { return l.rounds }
 
+// Close marks the aggregator dead: its cluster head crashed, so buffered
+// reports and any pending window or circle deadline die with it. It is
+// idempotent and irreversible; failover builds a fresh aggregator.
+func (l *Location) Close() { l.closed = true }
+
+// Closed reports whether Close has been called.
+func (l *Location) Closed() bool { return l.closed }
+
 // Deliver hands the aggregator one location report that survived the
 // channel: the sender and the polar offset it transmitted. The aggregator
 // resolves the offset against the sender's known position (§3.2). Reports
 // from unknown or isolated senders are discarded.
 func (l *Location) Deliver(nodeID int, off geo.Polar) {
+	if l.closed {
+		return
+	}
 	origin, ok := l.pos.Pos(nodeID)
 	if !ok || l.weigher.Isolated(nodeID) {
 		return
@@ -196,6 +208,9 @@ func (l *Location) closeWindow() {
 	l.decideGroup(reports, l.windowTrigger)
 }
 
+// decideGroup decides one group of reports unless the aggregator died
+// before its deadline fired.
+//
 // decideGroup is the heart of location-mode TIBFIT: cluster the reports,
 // then hold one trust vote per candidate cluster.
 //
@@ -216,7 +231,7 @@ func (l *Location) closeWindow() {
 // fabricated cluster) — each candidate is an independent event decision,
 // exactly as §3.3 treats concurrent events.
 func (l *Location) decideGroup(reports []cluster.Report, trigger sim.Time) {
-	if len(reports) == 0 {
+	if l.closed || len(reports) == 0 {
 		return
 	}
 	reports = dedupeByNode(reports)

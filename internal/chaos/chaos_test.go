@@ -1,0 +1,253 @@
+package chaos
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/radio"
+	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// toyTarget records the fault calls the engine makes, so tests need no
+// network.
+type toyTarget struct {
+	ids        []int
+	heads      []int
+	crashed    map[int]bool
+	crashes    []int
+	recoveries []int
+}
+
+func newToyTarget(n int, heads ...int) *toyTarget {
+	t := &toyTarget{crashed: make(map[int]bool), heads: heads}
+	for i := 0; i < n; i++ {
+		t.ids = append(t.ids, i)
+	}
+	return t
+}
+
+func (t *toyTarget) NodeIDs() []int { return t.ids }
+
+func (t *toyTarget) Heads() []int {
+	var up []int
+	for _, h := range t.heads {
+		if !t.crashed[h] {
+			up = append(up, h)
+		}
+	}
+	return up
+}
+
+func (t *toyTarget) CrashNode(id int) {
+	if t.crashed[id] {
+		return
+	}
+	t.crashed[id] = true
+	t.crashes = append(t.crashes, id)
+}
+
+func (t *toyTarget) RecoverNode(id int) {
+	if !t.crashed[id] {
+		return
+	}
+	t.crashed[id] = false
+	t.recoveries = append(t.recoveries, id)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := DefaultConfig(100).Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []Config{
+		{CrashFraction: -0.1},
+		{CrashFraction: 1.1},
+		{Horizon: 10, DupProb: 2},
+		{Horizon: 10, HeadCrashes: -1},
+		{Horizon: 10, Blackouts: 1}, // missing BlackoutLen
+		{Horizon: 10, DelayJitter: -1},
+		{CrashFraction: 0.5}, // enabled but no horizon
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestZeroConfigSchedulesNothing(t *testing.T) {
+	kernel := sim.New()
+	e, err := New(Config{}, kernel, rng.New(1).Split("chaos"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(newToyTarget(8), rng.New(1).Split("chaos")); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Plan()) != 0 {
+		t.Fatalf("zero config planned faults: %v", e.Plan())
+	}
+	if p := e.Perturb(geo.Point{}, geo.Point{X: 1}); p != (radio.Perturbation{}) {
+		t.Fatalf("zero config perturbed a packet: %+v", p)
+	}
+}
+
+func TestPlanIsSeedDeterministic(t *testing.T) {
+	build := func() []Fault {
+		kernel := sim.New()
+		src := rng.New(42).Split("chaos")
+		e, err := New(DefaultConfig(500), kernel, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Arm(newToyTarget(20, 3, 11), src); err != nil {
+			t.Fatal(err)
+		}
+		return e.Plan()
+	}
+	a, b := build(), build()
+	if len(a) == 0 {
+		t.Fatal("default config planned no faults")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+}
+
+func TestCrashAndRecoverFire(t *testing.T) {
+	kernel := sim.New()
+	src := rng.New(7).Split("chaos")
+	cfg := Config{Horizon: 100, CrashFraction: 1, MeanDowntime: 5}
+	e, err := New(cfg, kernel, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newToyTarget(10)
+	if err := e.Arm(target, src); err != nil {
+		t.Fatal(err)
+	}
+	kernel.RunAll()
+	if len(target.crashes) != 10 {
+		t.Fatalf("crashes = %v, want all 10 nodes", target.crashes)
+	}
+	if len(target.recoveries) != 10 {
+		t.Fatalf("recoveries = %v, want all 10 nodes", target.recoveries)
+	}
+	st := e.Stats()
+	if st.Crashes != 10 || st.Recoveries != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	sort.Ints(target.crashes)
+	if !reflect.DeepEqual(target.crashes, target.ids) {
+		t.Fatalf("crash victims = %v", target.crashes)
+	}
+}
+
+func TestCrashStopNeverRecovers(t *testing.T) {
+	kernel := sim.New()
+	src := rng.New(7).Split("chaos")
+	e, err := New(Config{Horizon: 100, CrashFraction: 0.5}, kernel, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newToyTarget(10)
+	if err := e.Arm(target, src); err != nil {
+		t.Fatal(err)
+	}
+	kernel.RunAll()
+	if len(target.crashes) != 5 || len(target.recoveries) != 0 {
+		t.Fatalf("crashes = %v recoveries = %v, want 5 crash-stops",
+			target.crashes, target.recoveries)
+	}
+}
+
+func TestHeadCrashPicksServingHead(t *testing.T) {
+	kernel := sim.New()
+	src := rng.New(9).Split("chaos")
+	e, err := New(Config{Horizon: 100, HeadCrashes: 2}, kernel, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newToyTarget(12, 2, 7, 9)
+	if err := e.Arm(target, src); err != nil {
+		t.Fatal(err)
+	}
+	kernel.RunAll()
+	if e.Stats().HeadCrashes != 2 {
+		t.Fatalf("stats = %+v, want 2 head crashes", e.Stats())
+	}
+	for _, id := range target.crashes {
+		if id != 2 && id != 7 && id != 9 {
+			t.Fatalf("head crash hit non-head %d", id)
+		}
+	}
+}
+
+func TestBlackoutWindowDropsPackets(t *testing.T) {
+	kernel := sim.New()
+	src := rng.New(3).Split("chaos")
+	cfg := Config{Horizon: 100, Blackouts: 1, BlackoutLen: 10}
+	e, err := New(cfg, kernel, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(newToyTarget(4), src); err != nil {
+		t.Fatal(err)
+	}
+	var w struct{ start, end float64 }
+	for _, f := range e.Plan() {
+		switch f.Kind {
+		case "blackout-start":
+			w.start = float64(f.At)
+		case "blackout-end":
+			w.end = float64(f.At)
+		}
+	}
+	if w.end != w.start+10 {
+		t.Fatalf("blackout window = %+v", w)
+	}
+	var inside, after bool
+	mid := sim.Time(w.start + 5)
+	if _, err := kernel.At(mid, func() {
+		inside = e.Perturb(geo.Point{}, geo.Point{X: 1}).Drop
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.At(sim.Time(w.end+1), func() {
+		after = e.Perturb(geo.Point{}, geo.Point{X: 1}).Drop
+	}); err != nil {
+		t.Fatal(err)
+	}
+	kernel.RunAll()
+	if !inside {
+		t.Error("packet inside the blackout window was not dropped")
+	}
+	if after {
+		t.Error("packet after the blackout window was dropped")
+	}
+}
+
+func TestDuplicationAndJitter(t *testing.T) {
+	kernel := sim.New()
+	src := rng.New(5).Split("chaos")
+	cfg := Config{Horizon: 100, DupProb: 1, DelayJitter: 0.5}
+	e, err := New(cfg, kernel, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(newToyTarget(4), src); err != nil {
+		t.Fatal(err)
+	}
+	p := e.Perturb(geo.Point{}, geo.Point{X: 1})
+	if !p.Duplicate {
+		t.Error("DupProb=1 did not duplicate")
+	}
+	if p.ExtraDelay < 0 || float64(p.ExtraDelay) > 0.5 {
+		t.Errorf("ExtraDelay = %v outside [0, 0.5]", p.ExtraDelay)
+	}
+}

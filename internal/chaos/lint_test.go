@@ -1,0 +1,28 @@
+package chaos
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/lint"
+	"github.com/tibfit/tibfit/internal/lint/loader"
+)
+
+// TestLintClean pins the package to the determinism lint suite: the
+// fault injector exists to make chaos reproducible, so any wall-clock,
+// global-rand, or unsorted-map-order use in it is a bug by definition.
+func TestLintClean(t *testing.T) {
+	ld, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.Load("./internal/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	for _, f := range lint.RunSuite(pkgs, ld.Fset, lint.Analyzers) {
+		t.Errorf("lint finding: %s", f)
+	}
+}

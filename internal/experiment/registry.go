@@ -28,6 +28,7 @@ var figureRegistry = map[string]Generator{
 	"ext-reliability":     FigureReliability,
 	"ext-collusion-guard": FigureCollusionGuard,
 	"ext-sweep-lambda":    FigureSweepLambda,
+	"ext-resilience":      FigureResilience,
 }
 
 // FigureIDs returns the sorted IDs of every reproducible figure.

@@ -1,0 +1,91 @@
+package leach
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/energy"
+)
+
+func TestAppointAmongPrefersTrustThenEnergy(t *testing.T) {
+	station, err := NewStation(trustParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := testNodes(t, 4)
+	for i, frac := range []float64{0.9, 0.3, 0.6, 0.6} {
+		b := energy.NewBattery(100)
+		b.Draw(100 * (1 - frac))
+		nodes[i].AttachBattery(b)
+	}
+	// Node 0 has the most energy but a distrusted history.
+	station.StoreSnapshot(map[int]core.Record{0: {V: 8, Faulty: 8}})
+	e := newElection(t, Config{HeadFraction: 0.5, TIThreshold: 0.5}, station, nodes, 1)
+
+	id, ok := e.AppointAmong([]int{0, 1, 2, 3})
+	if !ok {
+		t.Fatal("no appointment")
+	}
+	// 1..3 tie on TI=1; node 2 beats 1 on energy, 3 ties 2 but 2 comes
+	// first in the candidate order.
+	if id != 2 {
+		t.Fatalf("appointed %d, want 2 (trust first, then energy)", id)
+	}
+}
+
+func TestAppointAmongSkipsDownAndDeadNodes(t *testing.T) {
+	station, err := NewStation(trustParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := testNodes(t, 3)
+	drained := energy.NewBattery(1)
+	drained.Draw(5)
+	nodes[1].AttachBattery(drained)
+	e := newElection(t, Config{HeadFraction: 0.5}, station, nodes, 2)
+	e.SetLiveness(func(id int) bool { return id != 0 })
+
+	id, ok := e.AppointAmong([]int{0, 1, 2})
+	if !ok || id != 2 {
+		t.Fatalf("appointed %v (ok=%v), want 2: 0 is down, 1 is dead", id, ok)
+	}
+	if _, ok := e.AppointAmong([]int{0, 1}); ok {
+		t.Fatal("appointed a head from only down/dead candidates")
+	}
+}
+
+func TestLivenessVetoesSelfElection(t *testing.T) {
+	station, err := NewStation(trustParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := testNodes(t, 4)
+	e := newElection(t, Config{HeadFraction: 0.5}, station, nodes, 3)
+	e.SetLiveness(func(id int) bool { return id == 1 })
+	for round := 0; round < 5; round++ {
+		res := e.Run()
+		for _, h := range res.Heads {
+			if h != 1 {
+				t.Fatalf("round %d elected down node %d", round, h)
+			}
+		}
+	}
+}
+
+func TestMarkLedAppliesCooloff(t *testing.T) {
+	station, err := NewStation(trustParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := testNodes(t, 2)
+	e := newElection(t, Config{HeadFraction: 0.5}, station, nodes, 4)
+	// An emergency appointment of node 0 must sit out the next round,
+	// exactly as if LEACH had elected it.
+	e.MarkLed(0)
+	res := e.Run()
+	for _, h := range res.Heads {
+		if h == 0 {
+			t.Fatal("emergency head re-elected inside its cool-off window")
+		}
+	}
+}

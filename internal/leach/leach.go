@@ -151,14 +151,23 @@ func (r Result) Clusters() map[int][]int {
 
 // Election runs LEACH rounds over a fixed node population.
 type Election struct {
-	cfg     Config
-	station *Station
-	channel *radio.Channel
-	src     *rng.Source
-	nodes   []*node.Node
-	round   int
-	lastled map[int]int // node ID -> round it last served (1-based)
+	cfg      Config
+	station  *Station
+	channel  *radio.Channel
+	src      *rng.Source
+	nodes    []*node.Node
+	round    int
+	lastled  map[int]int // node ID -> round it last served (1-based)
+	liveness func(int) bool
 }
+
+// SetLiveness installs a predicate consulted during eligibility checks and
+// appointments: a node for which it returns false (crashed, partitioned)
+// can neither self-elect nor be appointed. A nil predicate (the default)
+// treats every node as up, preserving pre-fault behaviour.
+func (e *Election) SetLiveness(up func(int) bool) { e.liveness = up }
+
+func (e *Election) up(id int) bool { return e.liveness == nil || e.liveness(id) }
 
 // NewElection returns an election controller. The channel is used only for
 // its signal-strength model during affiliation.
@@ -249,31 +258,59 @@ func (e *Election) eligibleNode(n *node.Node, cooloff int) bool {
 	if b := n.Battery(); b != nil && !b.Alive() {
 		return false
 	}
-	return true
+	return e.up(n.ID())
 }
 
 // appoint is the station's fallback: pick the eligible node with the
 // highest persisted trust (energy as tiebreaker).
 func (e *Election) appoint() (int, bool) {
-	bestID, bestTI, bestEnergy := -1, -1.0, -1.0
+	ids := make([]int, 0, len(e.nodes))
 	for _, n := range e.nodes {
+		ids = append(ids, n.ID())
+	}
+	return e.AppointAmong(ids)
+}
+
+// AppointAmong runs the station's appointment ranking — highest persisted
+// trust, residual energy as tiebreaker — over an explicit candidate set,
+// skipping dead, down, and trust-vetoed nodes. It is the emergency
+// re-election used when a serving head crashes mid-term: no new LEACH
+// round, just the most trusted surviving member of the same cluster. The
+// bool is false when no candidate qualifies.
+func (e *Election) AppointAmong(ids []int) (int, bool) {
+	bestID, bestTI, bestEnergy := -1, -1.0, -1.0
+	for _, id := range ids {
+		n := e.nodeByID(id)
+		if n == nil || !e.up(id) {
+			continue
+		}
 		if b := n.Battery(); b != nil && !b.Alive() {
 			continue
 		}
-		if !e.station.Eligible(n.ID(), e.cfg.TIThreshold) {
+		if !e.station.Eligible(id, e.cfg.TIThreshold) {
 			continue
 		}
-		ti := e.station.TI(n.ID())
+		ti := e.station.TI(id)
 		energy := 1.0
 		if b := n.Battery(); b != nil {
 			energy = b.Fraction()
 		}
 		//lint:allow floateq argmax tie-break over values that are bit-identical across runs
 		if ti > bestTI || (ti == bestTI && energy > bestEnergy) {
-			bestID, bestTI, bestEnergy = n.ID(), ti, energy
+			bestID, bestTI, bestEnergy = id, ti, energy
 		}
 	}
 	return bestID, bestID >= 0
+}
+
+// MarkLed records an out-of-round leadership term (a failover appointment)
+// so the LEACH cool-off applies to emergency heads as it does to elected
+// ones.
+func (e *Election) MarkLed(id int) {
+	e.lastled[id] = e.round
+	if n := e.nodeByID(id); n != nil {
+		n.MarkCH()
+	}
 }
 
 // affiliate assigns every non-head node to the head whose advertisement it

@@ -67,6 +67,28 @@ type Config struct {
 	// Relay tunes the multi-hop reliability mechanism (zero value = relay
 	// defaults).
 	Relay relay.Config
+
+	// ReportRetries enables ACK + bounded exponential-backoff
+	// retransmission for single-hop member→head reports: a member that
+	// gets no acknowledgement (packet lost, head crashed, cluster failed
+	// over) re-sends up to this many times, re-resolving its current head
+	// each attempt and draining transmit energy per attempt. Zero keeps
+	// the paper's fire-and-forget reports.
+	ReportRetries int
+	// ReportBackoff is the first retransmission delay; attempt k waits
+	// ReportBackoff·2^k. Required positive when ReportRetries > 0.
+	ReportBackoff sim.Duration
+
+	// HeartbeatPeriod enables base-station liveness detection of cluster
+	// heads: a head that crashes is detected HeartbeatPeriod×
+	// HeartbeatMisses later and its cluster fails over to an emergency
+	// appointed head that restores the station's persisted trust
+	// snapshot. Zero disables failover: a dead head's cluster stays
+	// leaderless until the next Recluster (the paper's implicit model).
+	HeartbeatPeriod sim.Duration
+	// HeartbeatMisses is how many consecutive missed heartbeats declare a
+	// head dead (default 3).
+	HeartbeatMisses int
 }
 
 // Validate reports whether the configuration is usable.
@@ -80,6 +102,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("network: unknown scheme %q", c.Scheme)
 	case c.Mode != "" && c.Mode != ModeLocation && c.Mode != ModeBinary:
 		return fmt.Errorf("network: unknown mode %q", c.Mode)
+	case c.ReportRetries < 0:
+		return fmt.Errorf("network: ReportRetries must be non-negative, got %d", c.ReportRetries)
+	case c.ReportRetries > 0 && c.ReportBackoff <= 0:
+		return fmt.Errorf("network: ReportRetries needs a positive ReportBackoff")
+	case c.HeartbeatPeriod < 0 || c.HeartbeatMisses < 0:
+		return fmt.Errorf("network: HeartbeatPeriod and HeartbeatMisses must be non-negative")
 	}
 	if err := c.Trust.Validate(); err != nil {
 		return err
@@ -119,6 +147,34 @@ type clusterState struct {
 	binAgg  *aggregator.Binary
 }
 
+// close kills the cluster's aggregator: its head crashed, so buffered
+// reports and pending windows die with the head's RAM.
+func (cs *clusterState) close() {
+	if cs.agg != nil {
+		cs.agg.Close()
+	}
+	if cs.binAgg != nil {
+		cs.binAgg.Close()
+	}
+}
+
+// closed reports whether the cluster's aggregator has been killed.
+func (cs *clusterState) closed() bool {
+	return (cs.agg != nil && cs.agg.Closed()) || (cs.binAgg != nil && cs.binAgg.Closed())
+}
+
+// report is a member's buffered last report: what it would re-send if its
+// head crashed before deciding. Offsets are stored, not re-drawn, so
+// re-solicited reports are byte-identical to the originals.
+type report struct {
+	eventID int
+	off     geo.Polar
+	binary  bool
+	at      sim.Time
+}
+
+const defaultHeartbeatMisses = 3
+
 // Network is the assembled system.
 type Network struct {
 	cfg      Config
@@ -134,6 +190,10 @@ type Network struct {
 	clusters map[int]*clusterState
 	memberOf map[int]int
 	mesh     *relay.Mesh // non-nil in multihop mode
+
+	down       map[int]bool   // crash-faulted nodes
+	depleted   map[int]bool   // nodes whose battery death has been traced
+	lastReport map[int]report // per-member buffer for failover re-solicitation
 
 	declared []Declaration
 	rounds   int
@@ -151,6 +211,9 @@ func New(cfg Config, kernel *sim.Kernel, channel *radio.Channel,
 	}
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("network: need at least one node")
+	}
+	if cfg.Multihop && channel.Config().Range <= 0 {
+		return nil, fmt.Errorf("network: Multihop requires a finite radio range (channel Range is unlimited)")
 	}
 	station, err := leach.NewStation(cfg.Trust)
 	if err != nil {
@@ -172,10 +235,16 @@ func New(cfg Config, kernel *sim.Kernel, channel *radio.Channel,
 		tr:       tr,
 		clusters: make(map[int]*clusterState),
 		memberOf: make(map[int]int),
+
+		down:       make(map[int]bool),
+		depleted:   make(map[int]bool),
+		lastReport: make(map[int]report),
 	}
 	for _, nd := range nodes {
 		n.byID[nd.ID()] = nd
 	}
+	// Crashed nodes can neither self-elect nor be appointed.
+	election.SetLiveness(func(id int) bool { return !n.down[id] })
 	if cfg.Multihop {
 		pos := make(map[int]geo.Point, len(nodes))
 		for _, nd := range nodes {
@@ -233,10 +302,29 @@ func (n *Network) Rounds() int { return n.rounds }
 // runs one LEACH election, and rebuilds the cluster aggregators from the
 // persisted state. Call it between aggregation windows (the paper rotates
 // heads "over time"; the tests rotate between event batches).
+//
+// Each head uploads only its own members' records — the "TI information
+// that it has gathered" (§2). A head's table also holds records restored
+// from the station for nodes outside its cluster; uploading those stale
+// copies would clobber the owning cluster's fresh updates in whichever
+// order the uploads happened to arrive.
 func (n *Network) Recluster() error {
-	for _, cs := range n.clusters {
+	for _, h := range n.Heads() {
+		cs := n.clusters[h]
+		if n.down[cs.head] {
+			// A crashed head cannot upload; its in-RAM trust updates since
+			// the previous snapshot are lost (crash-stop semantics).
+			continue
+		}
 		if t, ok := cs.weigher.(*core.Table); ok {
-			n.station.StoreSnapshot(t.Snapshot())
+			snap := t.Snapshot()
+			upload := make(map[int]core.Record, len(cs.members))
+			for _, id := range cs.members {
+				if r, ok := snap[id]; ok {
+					upload[id] = r
+				}
+			}
+			n.station.StoreSnapshot(upload)
 		}
 	}
 	res := n.election.Run()
@@ -246,7 +334,14 @@ func (n *Network) Recluster() error {
 	n.rounds++
 	n.clusters = make(map[int]*clusterState, len(res.Heads))
 	n.memberOf = make(map[int]int, len(n.nodes))
-	for head, members := range res.Clusters() {
+	clusters := res.Clusters()
+	heads := make([]int, 0, len(clusters))
+	for head := range clusters {
+		heads = append(heads, head)
+	}
+	sort.Ints(heads)
+	for _, head := range heads {
+		members := clusters[head]
 		cs, err := n.buildCluster(head, members)
 		if err != nil {
 			return err
@@ -259,7 +354,7 @@ func (n *Network) Recluster() error {
 			"cluster of %d", len(members))
 	}
 	if n.mesh != nil {
-		for head := range n.clusters {
+		for _, head := range n.Heads() {
 			if err := n.mesh.BuildRoutes(head); err != nil {
 				return err
 			}
@@ -284,7 +379,7 @@ func (n *Network) buildCluster(head int, members []int) (*clusterState, error) {
 	cs := &clusterState{head: head, members: members, weigher: w}
 	if n.cfg.Mode == ModeBinary {
 		bin, err := aggregator.NewBinary(
-			aggregator.BinaryConfig{Tout: n.cfg.Tout, Members: members},
+			aggregator.BinaryConfig{Tout: n.cfg.Tout, Members: members, Alive: n.memberUp},
 			w, n.kernel,
 			func(o aggregator.BinaryOutcome) {
 				if o.Decision.Occurred {
@@ -332,54 +427,268 @@ func (n *Network) buildCluster(head int, members []int) (*clusterState, error) {
 // its own cluster head over the channel, draining transmit energy. The
 // head's aggregator takes it from there. eventID must be unique per
 // event (it keys level-2 collusion plans).
+//
+// Crashed nodes do not sense; depleted nodes stop reporting (traced once
+// as node-depleted). Each sensing node's report is buffered so a
+// failover can re-solicit it if the head dies before deciding.
 func (n *Network) InjectEvent(eventID int, loc geo.Point) {
 	for _, nd := range n.nodes {
 		if nd.Pos().Dist(loc) > n.cfg.SenseRadius {
 			continue
 		}
-		head, ok := n.memberOf[nd.ID()]
-		if !ok {
-			// The node is itself a head; it delivers to itself below.
-			head = nd.ID()
-		}
-		cs, ok := n.clusters[head]
-		if !ok {
+		id := nd.ID()
+		if n.down[id] {
 			continue
 		}
-		id := nd.ID()
+		if b := nd.Battery(); b != nil && !b.Alive() {
+			n.markDepleted(id)
+			continue
+		}
+		head, ok := n.memberOf[id]
+		if !ok {
+			head = id
+		}
+		if _, ok := n.clusters[head]; !ok {
+			// No serving cluster (e.g. out of every head's range, or the
+			// cluster was orphaned): the node does not even sense, matching
+			// the pre-failover pipeline's draw order.
+			continue
+		}
 		if n.cfg.Mode == ModeBinary {
 			if !nd.SenseBinary(true) {
 				continue
 			}
-			if b := nd.Battery(); b != nil {
-				b.Draw(n.model.TxCost(n.cfg.ReportBits, nd.Pos().Dist(n.byID[head].Pos())))
-			}
-			bin := cs.binAgg
-			if id == head {
-				bin.Deliver(id)
-				continue
-			}
-			n.channel.Send(nd.Pos(), n.byID[head].Pos(), func() { bin.Deliver(id) })
+			rep := report{eventID: eventID, binary: true, at: n.kernel.Now()}
+			n.lastReport[id] = rep
+			n.transmitReport(id, rep, 0)
 			continue
 		}
-		rep, send := nd.SenseLocation(eventID, loc)
+		locRep, send := nd.SenseLocation(eventID, loc)
 		if !send {
 			continue
 		}
-		off := nd.ReportOffset(rep)
-		if b := nd.Battery(); b != nil {
-			b.Draw(n.model.TxCost(n.cfg.ReportBits, nd.Pos().Dist(n.byID[head].Pos())))
+		rep := report{eventID: eventID, off: nd.ReportOffset(locRep), at: n.kernel.Now()}
+		n.lastReport[id] = rep
+		n.transmitReport(id, rep, 0)
+	}
+}
+
+// transmitReport sends one buffered report toward the sender's current
+// head, draining transmit energy per attempt. The head is re-resolved on
+// every attempt so retries follow a failover to the new head. With
+// ReportRetries zero the behaviour is the paper's fire-and-forget send.
+func (n *Network) transmitReport(id int, rep report, attempt int) {
+	nd := n.byID[id]
+	if n.down[id] {
+		return // the sender crashed between backoff and retry
+	}
+	if b := nd.Battery(); b != nil && !b.Alive() {
+		n.markDepleted(id)
+		return
+	}
+	head, ok := n.memberOf[id]
+	if !ok {
+		head = id
+	}
+	cs, ok := n.clusters[head]
+	if !ok {
+		return // cluster orphaned: nobody left to report to
+	}
+	if b := nd.Battery(); b != nil {
+		b.Draw(n.model.TxCost(n.cfg.ReportBits, nd.Pos().Dist(n.byID[head].Pos())))
+	}
+	if id == head {
+		// The head's own sensing result needs no radio.
+		n.deliverReport(cs, id, rep)
+		return
+	}
+	if n.mesh != nil && !rep.binary {
+		// Multihop already carries per-hop ACK + retransmission.
+		n.mesh.Send(id, head, func() { n.deliverReport(cs, id, rep) }, nil)
+		return
+	}
+	out := n.channel.Send(nd.Pos(), n.byID[head].Pos(), func() {
+		// Arrival: the head acknowledges only if it is still up and still
+		// serving. A crashed or replaced head returns no ACK.
+		if n.cfg.ReportRetries > 0 && (n.down[head] || n.clusters[head] == nil) {
+			n.retryReport(id, rep, attempt)
+			return
 		}
-		if id == head {
-			// The head's own sensing result needs no radio.
-			cs.agg.Deliver(id, off)
+		if cur := n.clusters[head]; cur != nil {
+			n.deliverReport(cur, id, rep)
+		}
+	})
+	if out != radio.Delivered && n.cfg.ReportRetries > 0 {
+		// The channel swallowed the packet: no ACK will ever come.
+		n.retryReport(id, rep, attempt)
+	}
+}
+
+// retryReport schedules the next transmission attempt after exponential
+// backoff, or gives up once the retry budget is spent.
+func (n *Network) retryReport(id int, rep report, attempt int) {
+	if attempt >= n.cfg.ReportRetries {
+		n.tr.Emit(float64(n.kernel.Now()), trace.KindReportDropped, id,
+			"report gave up after %d attempts", attempt+1)
+		return
+	}
+	backoff := n.cfg.ReportBackoff * sim.Duration(uint(1)<<uint(attempt))
+	n.tr.Emit(float64(n.kernel.Now()), trace.KindReportRetry, id,
+		"no ACK on attempt %d; retrying in %.4f", attempt+1, float64(backoff))
+	n.kernel.After(backoff, func() { n.transmitReport(id, rep, attempt+1) })
+}
+
+// deliverReport hands a report to the cluster's mode-appropriate
+// aggregator. Closed (dead-head) aggregators absorb it silently.
+func (n *Network) deliverReport(cs *clusterState, id int, rep report) {
+	if rep.binary {
+		cs.binAgg.Deliver(id)
+		return
+	}
+	cs.agg.Deliver(id, rep.off)
+}
+
+// markDepleted traces a node's battery death exactly once.
+func (n *Network) markDepleted(id int) {
+	if n.depleted[id] {
+		return
+	}
+	n.depleted[id] = true
+	n.tr.Emit(float64(n.kernel.Now()), trace.KindNodeDepleted, id,
+		"battery exhausted; node stops reporting")
+}
+
+// memberUp reports whether a member can currently report: not crashed
+// and battery alive. It is the binary aggregator's graceful-degradation
+// predicate — silence from a down node carries no information.
+func (n *Network) memberUp(id int) bool {
+	if n.down[id] {
+		return false
+	}
+	if b := n.byID[id].Battery(); b != nil && !b.Alive() {
+		return false
+	}
+	return true
+}
+
+// NodeIDs returns every node ID, sorted. Together with Heads, CrashNode,
+// and RecoverNode it forms the chaos-injection surface (chaos.Target).
+func (n *Network) NodeIDs() []int {
+	out := make([]int, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		out = append(out, nd.ID())
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Down reports whether the node is currently crash-faulted.
+func (n *Network) Down(id int) bool { return n.down[id] }
+
+// CrashNode injects a crash-stop fault: the node stops sensing,
+// transmitting, and — if it is a serving head — aggregating (its cluster's
+// window state dies with its RAM). When heartbeat monitoring is enabled,
+// a head crash schedules the base station's liveness detection, which
+// triggers failover HeartbeatPeriod×HeartbeatMisses later. Idempotent.
+func (n *Network) CrashNode(id int) {
+	if n.down[id] {
+		return
+	}
+	if _, ok := n.byID[id]; !ok {
+		return
+	}
+	n.down[id] = true
+	n.tr.Emit(float64(n.kernel.Now()), trace.KindNodeCrashed, id, "crash-stop fault")
+	cs, isHead := n.clusters[id]
+	if !isHead {
+		return
+	}
+	n.tr.Emit(float64(n.kernel.Now()), trace.KindCHCrashed, id,
+		"serving head down; cluster of %d leaderless", len(cs.members))
+	cs.close()
+	if n.cfg.HeartbeatPeriod > 0 {
+		misses := n.cfg.HeartbeatMisses
+		if misses == 0 {
+			misses = defaultHeartbeatMisses
+		}
+		crashedAt := n.kernel.Now()
+		// The station notices after `misses` silent heartbeat slots. The
+		// check is scheduled once per crash rather than as a recurring
+		// ticker so an idle kernel still drains (RunAll terminates).
+		n.kernel.After(n.cfg.HeartbeatPeriod*sim.Duration(misses), func() {
+			n.failoverCheck(id, crashedAt)
+		})
+	}
+}
+
+// RecoverNode ends a node's crash fault. A recovered head whose cluster
+// was neither failed over nor re-clustered resumes leadership with a
+// fresh aggregator restored from the station's persisted trust (its
+// pre-crash window state is gone — crash-stop, not pause).
+func (n *Network) RecoverNode(id int) {
+	if !n.down[id] {
+		return
+	}
+	delete(n.down, id)
+	n.tr.Emit(float64(n.kernel.Now()), trace.KindNodeRecovered, id, "node back up")
+	if cs, ok := n.clusters[id]; ok && cs.closed() {
+		rebuilt, err := n.buildCluster(id, cs.members)
+		if err == nil {
+			n.clusters[id] = rebuilt
+		}
+	}
+}
+
+// failoverCheck is the base station's heartbeat verdict: if the head is
+// still down and its cluster has not been replaced in the meantime, the
+// station appoints the most trusted surviving member as emergency head,
+// restores its persisted trust snapshot to the new head, and re-solicits
+// the reports the dead head took to its grave.
+func (n *Network) failoverCheck(dead int, crashedAt sim.Time) {
+	cs, ok := n.clusters[dead]
+	if !ok || !n.down[dead] || !cs.closed() {
+		return // re-clustered, already failed over, or recovered in time
+	}
+	candidates := make([]int, 0, len(cs.members))
+	for _, id := range cs.members {
+		if id != dead {
+			candidates = append(candidates, id)
+		}
+	}
+	newHead, ok := n.election.AppointAmong(candidates)
+	if !ok {
+		delete(n.clusters, dead)
+		n.tr.Emit(float64(n.kernel.Now()), trace.KindClusterOrphaned, dead,
+			"no eligible successor among %d members", len(candidates))
+		return
+	}
+	rebuilt, err := n.buildCluster(newHead, cs.members)
+	if err != nil {
+		return // unreachable: the members were already a valid cluster
+	}
+	delete(n.clusters, dead)
+	n.clusters[newHead] = rebuilt
+	for _, id := range cs.members {
+		n.memberOf[id] = newHead
+	}
+	n.election.MarkLed(newHead)
+	n.tr.Emit(float64(n.kernel.Now()), trace.KindCHFailover, newHead,
+		"emergency head for cluster of %d after crash of %d", len(cs.members), dead)
+	if n.mesh != nil {
+		// Route rebuild toward the new head; failures only mean some
+		// members are currently unreachable, which retries will surface.
+		_ = n.mesh.BuildRoutes(newHead)
+	}
+	// Re-solicit reports recent enough to belong to a window the dead
+	// head never decided (older ones were already voted on). Stored
+	// offsets are re-sent verbatim: no sensor re-draws, so the recovered
+	// decision uses the same data the lost one would have.
+	for _, id := range cs.members {
+		rep, ok := n.lastReport[id]
+		if !ok || rep.at.Add(n.cfg.Tout) < crashedAt {
 			continue
 		}
-		if n.mesh != nil {
-			n.mesh.Send(id, head, func() { cs.agg.Deliver(id, off) }, nil)
-			continue
-		}
-		n.channel.Send(nd.Pos(), n.byID[head].Pos(), func() { cs.agg.Deliver(id, off) })
+		n.transmitReport(id, rep, 0)
 	}
 }
 

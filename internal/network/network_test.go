@@ -1,6 +1,7 @@
 package network
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/tibfit/tibfit/internal/core"
@@ -308,8 +309,12 @@ func TestMultihopRequiresFiniteRange(t *testing.T) {
 	channel := radio.NewChannel(radio.DefaultConfig(), kernel, rng.New(1)) // unlimited range
 	nd := node.MustNew(0, geo.Point{}, node.Correct,
 		node.Config{Trust: cfg.Trust}, rng.New(2))
-	if _, err := New(cfg, kernel, channel, []*node.Node{nd}, rng.New(3), nil); err == nil {
+	_, err := New(cfg, kernel, channel, []*node.Node{nd}, rng.New(3), nil)
+	if err == nil {
 		t.Fatal("multihop accepted an unlimited-range channel")
+	}
+	if !strings.Contains(err.Error(), "finite radio range") {
+		t.Fatalf("error %q does not explain the finite-range requirement", err)
 	}
 }
 

@@ -1,0 +1,87 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// scriptedPerturber replays a fixed perturbation for every packet.
+type scriptedPerturber struct{ p Perturbation }
+
+func (s scriptedPerturber) Perturb(from, to geo.Point) Perturbation { return s.p }
+
+func TestPerturberDropSwallowsPacket(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DropProb = 0
+	ch, k := newTestChannel(cfg, 1)
+	ch.SetPerturber(scriptedPerturber{Perturbation{Drop: true}})
+	out := ch.Send(geo.Point{}, geo.Point{X: 10}, func() { t.Fatal("dropped packet delivered") })
+	if out != DroppedOutage {
+		t.Fatalf("outcome = %v, want %v", out, DroppedOutage)
+	}
+	k.RunAll()
+	outage, duplicated := ch.ChaosStats()
+	if outage != 1 || duplicated != 0 {
+		t.Fatalf("ChaosStats = %d, %d", outage, duplicated)
+	}
+}
+
+func TestPerturberDuplicateDeliversTwice(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DropProb = 0
+	ch, k := newTestChannel(cfg, 2)
+	ch.SetPerturber(scriptedPerturber{Perturbation{Duplicate: true}})
+	deliveries := 0
+	if out := ch.Send(geo.Point{}, geo.Point{X: 10}, func() { deliveries++ }); out != Delivered {
+		t.Fatalf("outcome = %v", out)
+	}
+	k.RunAll()
+	if deliveries != 2 {
+		t.Fatalf("deliveries = %d, want 2 (original + duplicate)", deliveries)
+	}
+	if _, duplicated := ch.ChaosStats(); duplicated != 1 {
+		t.Fatalf("duplicated = %d", duplicated)
+	}
+}
+
+func TestPerturberExtraDelayShiftsArrival(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DropProb = 0
+	ch, k := newTestChannel(cfg, 3)
+	const jitter = 0.25
+	ch.SetPerturber(scriptedPerturber{Perturbation{ExtraDelay: jitter}})
+	var arrived sim.Time
+	ch.Send(geo.Point{}, geo.Point{X: 10}, func() { arrived = k.Now() })
+	k.RunAll()
+	want := sim.Time(float64(cfg.BaseDelay+10*cfg.DelayPerUnit) + jitter)
+	if arrived != want {
+		t.Fatalf("arrival at %v, want %v", arrived, want)
+	}
+}
+
+// TestNilPerturberDrawsNothing pins the byte-identity guarantee: a
+// channel without a perturber must consume exactly the same rng stream
+// as one built before the perturber hook existed.
+func TestNilPerturberDrawsNothing(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func(set bool) []Outcome {
+		ch, k := newTestChannel(cfg, 7)
+		if set {
+			ch.SetPerturber(nil)
+		}
+		var outs []Outcome
+		for i := 0; i < 200; i++ {
+			outs = append(outs, ch.Send(geo.Point{}, geo.Point{X: float64(i % 30)}, func() {}))
+		}
+		k.RunAll()
+		return outs
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d: outcome %v with nil perturber set, %v without", i, b[i], a[i])
+		}
+	}
+}

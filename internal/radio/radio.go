@@ -69,6 +69,9 @@ const (
 	DroppedLoss
 	// DroppedRange means the receiver was outside communication range.
 	DroppedRange
+	// DroppedOutage means an injected channel fault (a blackout or
+	// partition window from a Perturber) swallowed the packet.
+	DroppedOutage
 )
 
 // String returns a stable lowercase name for the outcome.
@@ -80,21 +83,47 @@ func (o Outcome) String() string {
 		return "dropped-loss"
 	case DroppedRange:
 		return "dropped-range"
+	case DroppedOutage:
+		return "dropped-outage"
 	default:
 		return "unknown"
 	}
 }
 
+// Perturbation describes what an injected fault does to one otherwise
+// in-range transmission. The zero value leaves the packet alone.
+type Perturbation struct {
+	// Drop swallows the packet (blackout / partition window).
+	Drop bool
+	// Duplicate delivers a second copy of the packet shortly after the
+	// first — the classic at-least-once channel artefact receivers must
+	// absorb.
+	Duplicate bool
+	// ExtraDelay is added to the propagation delay (congestion burst).
+	ExtraDelay sim.Duration
+}
+
+// Perturber is consulted once per transmission by a channel it is
+// installed on; the chaos engine implements it. Implementations must be
+// deterministic functions of their own seeded streams and the virtual
+// clock so that runs stay reproducible.
+type Perturber interface {
+	Perturb(from, to geo.Point) Perturbation
+}
+
 // Channel is a stochastic wireless channel bound to a simulation kernel.
 type Channel struct {
-	cfg    Config
-	kernel *sim.Kernel
-	src    *rng.Source
+	cfg       Config
+	kernel    *sim.Kernel
+	src       *rng.Source
+	perturber Perturber
 
 	sent       int
 	delivered  int
 	lost       int
 	outOfRange int
+	outage     int
+	duplicated int
 }
 
 // NewChannel returns a channel using the given kernel and random stream.
@@ -104,6 +133,11 @@ func NewChannel(cfg Config, kernel *sim.Kernel, src *rng.Source) *Channel {
 
 // Config returns the channel configuration.
 func (c *Channel) Config() Config { return c.cfg }
+
+// SetPerturber installs a fault injector consulted on every send. A nil
+// perturber (the default) leaves the channel byte-identical to a channel
+// without the hook: no extra random draws, no behaviour change.
+func (c *Channel) SetPerturber(p Perturber) { c.perturber = p }
 
 // InRange reports whether two positions can communicate directly.
 func (c *Channel) InRange(a, b geo.Point) bool {
@@ -135,18 +169,39 @@ func (c *Channel) Send(from, to geo.Point, deliver sim.Handler) Outcome {
 		c.outOfRange++
 		return DroppedRange
 	}
+	var pert Perturbation
+	if c.perturber != nil {
+		pert = c.perturber.Perturb(from, to)
+	}
+	if pert.Drop {
+		c.outage++
+		return DroppedOutage
+	}
 	if c.src.Bernoulli(c.cfg.DropProb) {
 		c.lost++
 		return DroppedLoss
 	}
 	c.delivered++
-	c.kernel.After(c.Delay(from, to), deliver)
+	d := c.Delay(from, to) + pert.ExtraDelay
+	c.kernel.After(d, deliver)
+	if pert.Duplicate {
+		c.duplicated++
+		// The copy trails the original by one base delay; receivers
+		// (aggregators, relays) are idempotent and absorb it.
+		c.kernel.After(d+c.cfg.BaseDelay, deliver)
+	}
 	return Delivered
 }
 
 // Stats reports cumulative channel counters.
 func (c *Channel) Stats() (sent, delivered, lost, outOfRange int) {
 	return c.sent, c.delivered, c.lost, c.outOfRange
+}
+
+// ChaosStats reports cumulative injected-fault counters: packets
+// swallowed by outage windows and packets duplicated.
+func (c *Channel) ChaosStats() (outage, duplicated int) {
+	return c.outage, c.duplicated
 }
 
 // LossRate returns the observed fraction of sent packets lost to noise.

@@ -28,6 +28,14 @@ const (
 	KindCHDemoted
 	KindShadowDisagree
 	KindCompromise
+	KindNodeCrashed
+	KindNodeRecovered
+	KindNodeDepleted
+	KindCHCrashed
+	KindCHFailover
+	KindClusterOrphaned
+	KindBlackout
+	KindReportRetry
 )
 
 var kindNames = map[Kind]string{
@@ -42,6 +50,14 @@ var kindNames = map[Kind]string{
 	KindCHDemoted:       "ch-demoted",
 	KindShadowDisagree:  "shadow-disagree",
 	KindCompromise:      "compromise",
+	KindNodeCrashed:     "node-crashed",
+	KindNodeRecovered:   "node-recovered",
+	KindNodeDepleted:    "node-depleted",
+	KindCHCrashed:       "ch-crashed",
+	KindCHFailover:      "ch-failover",
+	KindClusterOrphaned: "cluster-orphaned",
+	KindBlackout:        "blackout",
+	KindReportRetry:     "report-retry",
 }
 
 // String returns the stable lowercase name of the kind.
