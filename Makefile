@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench figures validate examples fuzz soak clean
+.PHONY: all build test test-race vet lint bench bench-report bench-check profile figures validate examples fuzz soak clean
 
 all: build lint test
 
@@ -30,6 +30,23 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Full harness run: benchmark suite + campaign speedup -> BENCH_<date>.json
+# (see docs/PERFORMANCE.md).
+bench-report:
+	$(GO) run ./cmd/tibfit-bench
+
+# Advisory regression check against the committed baseline (CI uses -quick).
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-check:
+	$(GO) run ./cmd/tibfit-bench -quick -out /tmp/tibfit-bench-check.json \
+		-baseline $(BASELINE) -threshold 25
+
+# CPU+heap profiles of a large tibfit-net run, ready for `go tool pprof`.
+profile:
+	$(GO) run ./cmd/tibfit-net -nodes 100 -events 400 -rounds 8 \
+		-cpuprofile cpu.out -memprofile mem.out
+	@echo "wrote cpu.out and mem.out; inspect with: go tool pprof cpu.out"
 
 # Regenerate every paper figure's data files into figures/.
 figures:

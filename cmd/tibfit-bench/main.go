@@ -1,0 +1,488 @@
+// Command tibfit-bench is the repeatable benchmark harness: it runs the
+// repo's benchmark suite (figure regenerations, experiment campaigns, and
+// the kernel/aggregator/trust micro-benchmarks) through testing.Benchmark,
+// measures the campaign-parallelism speedup of -parallel N over
+// -parallel 1, and emits one machine-readable JSON report per run.
+//
+// Usage:
+//
+//	tibfit-bench                      # full suite -> BENCH_<date>.json
+//	tibfit-bench -quick               # CI-sized benchtime
+//	tibfit-bench -bench 'kernel/'     # filter by regexp
+//	tibfit-bench -baseline BENCH_2026-08-05.json -threshold 25
+//	tibfit-bench -baseline ... -enforce   # exit 1 on regression
+//	tibfit-bench -cpuprofile cpu.out -memprofile mem.out
+//
+// With -baseline the report is compared entry by entry against a previous
+// run and ns/op regressions beyond -threshold percent are listed;
+// -enforce turns them into a non-zero exit (the CI gate starts advisory).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"github.com/tibfit/tibfit/internal/aggregator"
+	"github.com/tibfit/tibfit/internal/cluster"
+	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/experiment"
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// Result is one benchmark entry of the JSON report.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Campaign reports the parallel-campaign speedup measurement.
+type Campaign struct {
+	Figure       string  `json:"figure"`
+	Workers      int     `json:"workers"`
+	SequentialNs int64   `json:"sequential_ns"`
+	ParallelNs   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// Report is the BENCH_<date>.json schema.
+type Report struct {
+	Schema     string    `json:"schema"`
+	Date       string    `json:"date"`
+	Go         string    `json:"go"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Benchmarks []Result  `json:"benchmarks"`
+	Campaign   *Campaign `json:"campaign,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tibfit-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tibfit-bench", flag.ContinueOnError)
+	var (
+		out        = fs.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		quick      = fs.Bool("quick", false, "CI-sized run: shorter benchtime, campaign at reduced scale")
+		benchRe    = fs.String("bench", "", "only run benchmarks matching this regexp")
+		baseline   = fs.String("baseline", "", "compare ns/op against a previous report")
+		threshold  = fs.Float64("threshold", 25, "regression threshold in percent (with -baseline)")
+		enforce    = fs.Bool("enforce", false, "exit non-zero when a regression exceeds the threshold")
+		skipCamp   = fs.Bool("nocampaign", false, "skip the parallel-campaign speedup measurement")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run")
+		memprofile = fs.String("memprofile", "", "write a heap profile after the benchmark run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// testing.Benchmark reads the -test.benchtime flag; register the
+	// testing flags and pick a benchtime matching the run mode.
+	testing.Init()
+	benchtime := "1s"
+	if *quick {
+		benchtime = "50ms"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return err
+	}
+
+	var filter *regexp.Regexp
+	if *benchRe != "" {
+		re, err := regexp.Compile(*benchRe)
+		if err != nil {
+			return fmt.Errorf("bad -bench regexp: %w", err)
+		}
+		filter = re
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := Report{
+		Schema:     "tibfit-bench/v1",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	for _, bm := range suite() {
+		if filter != nil && !filter.MatchString(bm.name) {
+			continue
+		}
+		res := testing.Benchmark(bm.fn)
+		r := Result{
+			Name:        bm.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	if !*skipCamp && (filter == nil || filter.MatchString("campaign")) {
+		c, err := measureCampaign(*quick)
+		if err != nil {
+			return err
+		}
+		rep.Campaign = &c
+		fmt.Printf("campaign %s: sequential %.2fs, %d workers %.2fs, speedup %.2fx\n",
+			c.Figure, float64(c.SequentialNs)/1e9, c.Workers, float64(c.ParallelNs)/1e9, c.Speedup)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+
+	if *baseline != "" {
+		regressions, err := compare(*baseline, rep, *threshold)
+		if err != nil {
+			return err
+		}
+		if len(regressions) > 0 && *enforce {
+			return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regressions), *threshold)
+		}
+	}
+	return nil
+}
+
+// compare prints per-benchmark deltas against a baseline report and
+// returns the names that regressed beyond the threshold.
+func compare(path string, cur Report, threshold float64) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	var regressions []string
+	for _, r := range cur.Benchmarks {
+		b, ok := byName[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("%-28s (no baseline)\n", r.Name)
+			continue
+		}
+		pct := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		mark := ""
+		if pct > threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions, r.Name)
+		}
+		fmt.Printf("%-28s %+7.1f%% ns/op vs baseline%s\n", r.Name, pct, mark)
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("%d benchmark(s) beyond +%.0f%% ns/op: %v\n", len(regressions), threshold, regressions)
+	} else {
+		fmt.Println("no regressions beyond threshold")
+	}
+	return regressions, nil
+}
+
+// benchmark is one named suite entry.
+type benchmark struct {
+	name string
+	fn   func(*testing.B)
+}
+
+// suite assembles the benchmark set: macro benchmarks mirroring
+// bench_test.go (figure regenerations and the Table 1/2 campaigns) plus
+// the kernel, trust, clustering, and aggregation micro-benchmarks behind
+// the allocation diet.
+// Workload sizes are identical in quick and full mode — -quick only
+// shortens benchtime — so ns/op stays comparable across the two and the
+// CI quick run can be checked against a full-run baseline.
+func suite() []benchmark {
+	const figEvents = 100
+	figOpts := experiment.FigureOptions{Runs: 1, Events: figEvents, Seed: 1, Parallel: 1}
+
+	bms := []benchmark{
+		{"kernel/schedule-run", benchKernelScheduleRun},
+		{"kernel/timer-stop", benchKernelTimerStop},
+		{"kernel/timer-churn", benchKernelTimerChurn},
+		{"core/judge-weight", benchCoreJudgeWeight},
+		{"core/decide-binary", benchCoreDecideBinary},
+		{"cluster/kmeans", benchClusterKMeans},
+		{"aggregator/location-round", benchLocationRound},
+		{"aggregator/binary-window", benchBinaryWindow},
+	}
+	for _, id := range []string{"figure2", "figure4", "figure8"} {
+		id := id
+		bms = append(bms, benchmark{"figure/" + id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.Generate(id, figOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+	bms = append(bms,
+		benchmark{"campaign/exp1-table1", func(b *testing.B) {
+			cfg := experiment.DefaultExp1()
+			cfg.FaultyFraction = 0.5
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunExp1(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		benchmark{"campaign/exp2-table2", func(b *testing.B) {
+			cfg := experiment.DefaultExp2()
+			cfg.Events = figEvents
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunExp2(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+	return bms
+}
+
+// measureCampaign times one multi-cell figure sequentially and on the
+// full-width pool. Output is byte-identical either way (asserted by the
+// experiment package's regression tests); this measures wall clock only.
+func measureCampaign(quick bool) (Campaign, error) {
+	const figure = "figure4"
+	events := 200
+	if quick {
+		events = 60
+	}
+	workers := runtime.GOMAXPROCS(0)
+	opts := experiment.FigureOptions{Runs: 2, Events: events, Seed: 1}
+
+	opts.Parallel = 1
+	t0 := time.Now()
+	if _, err := experiment.Generate(figure, opts); err != nil {
+		return Campaign{}, err
+	}
+	seq := time.Since(t0)
+
+	opts.Parallel = workers
+	t0 = time.Now()
+	if _, err := experiment.Generate(figure, opts); err != nil {
+		return Campaign{}, err
+	}
+	par := time.Since(t0)
+
+	c := Campaign{
+		Figure:       figure,
+		Workers:      workers,
+		SequentialNs: seq.Nanoseconds(),
+		ParallelNs:   par.Nanoseconds(),
+	}
+	if par > 0 {
+		c.Speedup = float64(seq.Nanoseconds()) / float64(par.Nanoseconds())
+	}
+	return c, nil
+}
+
+// --- micro-benchmarks -----------------------------------------------------
+
+func benchKernelScheduleRun(b *testing.B) {
+	k := sim.New()
+	const window = 1000
+	for i := 0; i < window; i++ {
+		k.After(sim.Duration(i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(window, func() {})
+		k.Step()
+	}
+}
+
+func benchKernelTimerStop(b *testing.B) {
+	k := sim.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := k.After(1e9, func() {})
+		tm.Stop()
+	}
+}
+
+// benchKernelTimerChurn mimics the ACK/backoff pattern of the reliable
+// report path: many standing timers, most cancelled before firing.
+func benchKernelTimerChurn(b *testing.B) {
+	k := sim.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	timers := make([]*sim.Timer, 0, 64)
+	for i := 0; i < b.N; i++ {
+		timers = timers[:0]
+		for j := 0; j < 64; j++ {
+			timers = append(timers, k.After(sim.Duration(1+j), func() {}))
+		}
+		for _, tm := range timers[:48] {
+			tm.Stop()
+		}
+		k.RunAll()
+	}
+}
+
+func benchCoreJudgeWeight(b *testing.B) {
+	t := core.MustNewTable(core.Params{Lambda: 0.25, FaultRate: 0.1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		node := i % 64
+		t.Judge(node, i%10 != 0)
+		sink += t.Weight(node)
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+func benchCoreDecideBinary(b *testing.B) {
+	t := core.MustNewTable(core.Params{Lambda: 0.1, FaultRate: 0.05})
+	reporters := make([]int, 24)
+	silent := make([]int, 12)
+	for i := range reporters {
+		reporters[i] = i
+	}
+	for i := range silent {
+		silent[i] = 24 + i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := core.DecideBinary(t, reporters, silent)
+		core.Apply(t, dec)
+	}
+}
+
+func benchClusterKMeans(b *testing.B) {
+	var reports []cluster.Report
+	for i := 0; i < 12; i++ {
+		reports = append(reports, cluster.Report{
+			Node: i,
+			Loc:  geo.Point{X: 50 + float64(i%4), Y: 50 + float64(i/4)},
+		})
+	}
+	reports = append(reports,
+		cluster.Report{Node: 12, Loc: geo.Point{X: 80, Y: 20}},
+		cluster.Report{Node: 13, Loc: geo.Point{X: 10, Y: 90}},
+		cluster.Report{Node: 14, Loc: geo.Point{X: 30, Y: 70}},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := cluster.Cluster(reports, 5); len(got) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func benchLocationRound(b *testing.B) {
+	kernel := sim.New()
+	table := core.MustNewTable(core.Params{Lambda: 0.25, FaultRate: 0.1})
+	pos := make(aggregator.PosMap, 25)
+	id := 0
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			pos[id] = geo.Point{X: float64(10 + x*10), Y: float64(10 + y*10)}
+			id++
+		}
+	}
+	agg, err := aggregator.NewLocation(
+		aggregator.LocationConfig{Tout: 1, RError: 5, SenseRadius: 25},
+		table, kernel, pos, nil, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	event := geo.Point{X: 30, Y: 30}
+	ids := pos.IDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, nodeID := range ids {
+			origin := pos[nodeID]
+			if origin.Dist(event) <= 25 {
+				agg.Deliver(nodeID, geo.ToPolar(origin, event))
+			}
+		}
+		kernel.RunAll()
+	}
+}
+
+func benchBinaryWindow(b *testing.B) {
+	kernel := sim.New()
+	table := core.MustNewTable(core.Params{Lambda: 0.1, FaultRate: 0.05})
+	members := make([]int, 25)
+	for i := range members {
+		members[i] = i
+	}
+	agg, err := aggregator.NewBinary(
+		aggregator.BinaryConfig{Tout: 1, Members: members},
+		table, kernel, nil, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, nodeID := range members[:18] {
+			agg.Deliver(nodeID)
+		}
+		kernel.RunAll()
+	}
+}

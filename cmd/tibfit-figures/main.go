@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tibfit-figures [-out figures/] [-runs 3] [-events 0] [-seed 1] [-only figure4,figure5]
+//	               [-parallel N]   # campaign workers; output is byte-identical at any N
 package main
 
 import (
@@ -33,6 +34,7 @@ func run(args []string) error {
 		events = fs.Int("events", 0, "events per run (0 = experiment default)")
 		seed   = fs.Int64("seed", 1, "base random seed")
 		only   = fs.String("only", "", "comma-separated figure IDs (default: all)")
+		par    = fs.Int("parallel", 0, "campaign workers: figure cells simulated concurrently (1 = sequential, 0 = one per core); output is identical either way")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +48,7 @@ func run(args []string) error {
 		return err
 	}
 
-	opts := experiment.FigureOptions{Runs: *runs, Events: *events, Seed: *seed}
+	opts := experiment.FigureOptions{Runs: *runs, Events: *events, Seed: *seed, Parallel: *par}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()

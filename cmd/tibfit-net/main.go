@@ -10,12 +10,15 @@
 //	           [-multihop] [-range 16] [-scheme tibfit] [-seed 7]
 //	           [-save trust.json] [-load trust.json]
 //	           [-chaos] [-crash 0.2] [-headcrashes 2] [-failover]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/tibfit/tibfit/internal/chaos"
 	"github.com/tibfit/tibfit/internal/energy"
@@ -57,12 +60,40 @@ func run(args []string, out *os.File) error {
 		crashFrac = fs.Float64("crash", 0.2, "chaos: fraction of nodes given a crash interval")
 		headCr    = fs.Int("headcrashes", 1, "chaos: serving-head crash injections")
 		failover  = fs.Bool("failover", false, "enable heartbeat CH failover and ACK/backoff report retries")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rounds < 1 {
 		return fmt.Errorf("-rounds must be at least 1")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tibfit-net: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tibfit-net: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	kernel := sim.New()

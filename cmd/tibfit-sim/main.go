@@ -56,6 +56,7 @@ func run(args []string) error {
 		values     = fs.String("values", "", "comma-separated sweep values")
 		streamTr   = fs.Bool("trace", false, "stream protocol events to stderr (single run)")
 		guard      = fs.Float64("guard", 0, "coincidence-guard distance (exp 2-3 extension; 0 = off)")
+		par        = fs.Int("parallel", 0, "campaign workers: figure cells / sweep points run concurrently (1 = sequential, 0 = one per core); output is identical either way")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +91,7 @@ func run(args []string) error {
 
 	case *fig != "":
 		f, err := experiment.Generate(*fig, experiment.FigureOptions{
-			Runs: *runs, Events: *events, Seed: *seed,
+			Runs: *runs, Events: *events, Seed: *seed, Parallel: *par,
 		})
 		if err != nil {
 			return err
@@ -118,7 +119,7 @@ func run(args []string) error {
 			if *events > 0 {
 				base.Events = *events
 			}
-			f, err = experiment.SweepExp1(*sweep, vals, base)
+			f, err = experiment.SweepExp1N(*sweep, vals, base, *par)
 		case 0, 2:
 			base := experiment.DefaultExp2()
 			base.FaultyFraction = *faulty
@@ -128,7 +129,7 @@ func run(args []string) error {
 			if *events > 0 {
 				base.Events = *events
 			}
-			f, err = experiment.SweepExp2(*sweep, vals, base)
+			f, err = experiment.SweepExp2N(*sweep, vals, base, *par)
 		default:
 			return fmt.Errorf("sweeps support -exp 1 or 2, got %d", *exp)
 		}

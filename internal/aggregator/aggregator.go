@@ -55,7 +55,9 @@ func (o BinaryOutcome) String() string {
 // injector standing in for a compromised cluster head) takes over the
 // decision while the aggregator keeps owning windows and timers. The
 // implementation must apply its own trust updates; the returned decision
-// is what the cluster head announces.
+// is what the cluster head announces. The reporters and silent slices are
+// scratch the aggregator reuses between windows — implementations must
+// copy anything they keep past the call (core.DecideBinary already does).
 type BinaryDecider interface {
 	DecideAndSettle(reporters, silent []int) core.BinaryDecision
 }
@@ -92,6 +94,13 @@ type Binary struct {
 	reporters     map[int]bool
 	windows       int
 	closed        bool
+
+	// scrR and scrNR are the per-window R/NR scratch slices, reused
+	// across windows: every consumer of the two sides (DecideBinary and
+	// the BinaryDecider implementations) copies what it keeps, so the
+	// backing arrays stay ours.
+	scrR  []int
+	scrNR []int
 }
 
 // NewBinary returns a binary aggregator. onDecide is invoked after every
@@ -117,7 +126,9 @@ func NewBinary(cfg BinaryConfig, w core.Weigher, kernel *sim.Kernel,
 		feedback:  feedback,
 		onDecide:  onDecide,
 		tr:        tr,
-		reporters: make(map[int]bool),
+		reporters: make(map[int]bool, len(cfg.Members)),
+		scrR:      make([]int, 0, len(cfg.Members)),
+		scrNR:     make([]int, 0, len(cfg.Members)),
 	}, nil
 }
 
@@ -148,7 +159,11 @@ func (b *Binary) Deliver(nodeID int) {
 		b.kernel.After(b.cfg.Tout, b.closeWindow)
 	}
 	b.reporters[nodeID] = true
-	b.tr.Emit(float64(b.kernel.Now()), trace.KindReportDelivered, nodeID, "binary report")
+	if b.tr.Verbose() {
+		b.tr.Emit(float64(b.kernel.Now()), trace.KindReportDelivered, nodeID, "binary report")
+	} else {
+		b.tr.Hit(trace.KindReportDelivered)
+	}
 }
 
 // closeWindow runs the §3.1 vote at T_out expiry.
@@ -156,8 +171,8 @@ func (b *Binary) closeWindow() {
 	if b.closed {
 		return
 	}
-	reporters := make([]int, 0, len(b.reporters))
-	silent := make([]int, 0, len(b.cfg.Members))
+	reporters := b.scrR[:0]
+	silent := b.scrNR[:0]
 	for _, id := range b.cfg.Members {
 		switch {
 		case b.reporters[id]:
@@ -191,9 +206,14 @@ func (b *Binary) closeWindow() {
 		DecideTime:  b.kernel.Now(),
 		Decision:    dec,
 	}
-	b.tr.Emit(float64(b.kernel.Now()), trace.KindDecision, -1, "%v", dec)
+	if b.tr.Verbose() {
+		b.tr.Emit(float64(b.kernel.Now()), trace.KindDecision, -1, "%v", dec)
+	} else {
+		b.tr.Hit(trace.KindDecision)
+	}
 	b.windowOpen = false
-	b.reporters = make(map[int]bool, len(b.cfg.Members))
+	clear(b.reporters)
+	b.scrR, b.scrNR = reporters, silent
 	if b.onDecide != nil {
 		b.onDecide(out)
 	}

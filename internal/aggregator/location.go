@@ -122,6 +122,55 @@ type Location struct {
 
 	rounds int
 	closed bool
+
+	// scr is per-round working storage, reused across aggregation rounds
+	// so the decide path stops allocating maps and slices per event. The
+	// aggregator is single-threaded (one per cluster head on one kernel),
+	// so one scratch set suffices; anything that escapes into a Candidate
+	// is copied out exactly sized.
+	scr locScratch
+}
+
+// locScratch collects every map and slice the decide path fills and drops
+// within one round.
+type locScratch struct {
+	seen      map[int]bool // dedupeByNode
+	reported  map[int]bool // decideGroup
+	memberSet map[int]bool // decideCandidate
+	members   []int
+	violators []int
+	silent    []int
+	inSide    map[int]bool // guardedCTI
+	reps      []cluster.Report
+	parent    []int
+	groupMax  map[int]float64
+	roots     []int
+	pts       []geo.Point // trustWeightedCenter
+	weights   []float64
+	ctis      []float64 // decideGroup sort keys
+}
+
+// byCTI sorts clusters by descending cumulative trust, carrying the
+// precomputed keys along with their clusters.
+type byCTI struct {
+	clusters []cluster.EventCluster
+	cti      []float64
+}
+
+func (s byCTI) Len() int           { return len(s.clusters) }
+func (s byCTI) Less(i, j int) bool { return s.cti[i] > s.cti[j] }
+func (s byCTI) Swap(i, j int) {
+	s.clusters[i], s.clusters[j] = s.clusters[j], s.clusters[i]
+	s.cti[i], s.cti[j] = s.cti[j], s.cti[i]
+}
+
+// resetBoolSet returns m emptied for reuse, allocating only on first use.
+func resetBoolSet(m map[int]bool, sizeHint int) map[int]bool {
+	if m == nil {
+		return make(map[int]bool, sizeHint)
+	}
+	clear(m)
+	return m
 }
 
 // NewLocation returns a location aggregator over the given known positions.
@@ -172,7 +221,11 @@ func (l *Location) Deliver(nodeID int, off geo.Polar) {
 		return
 	}
 	rep := cluster.Report{Node: nodeID, Loc: geo.FromPolar(origin, off)}
-	l.tr.Emit(float64(l.kernel.Now()), trace.KindReportDelivered, nodeID, "loc=%v", rep.Loc)
+	if l.tr.Verbose() {
+		l.tr.Emit(float64(l.kernel.Now()), trace.KindReportDelivered, nodeID, "loc=%v", rep.Loc)
+	} else {
+		l.tr.Hit(trace.KindReportDelivered)
+	}
 	if l.cfg.Concurrent {
 		l.deliverConcurrent(rep)
 		return
@@ -234,24 +287,41 @@ func (l *Location) decideGroup(reports []cluster.Report, trigger sim.Time) {
 	if l.closed || len(reports) == 0 {
 		return
 	}
-	reports = dedupeByNode(reports)
+	l.scr.seen = resetBoolSet(l.scr.seen, len(reports))
+	reports = dedupeByNode(reports, l.scr.seen)
 	clusters := cluster.Cluster(reports, l.cfg.RError)
 
 	// Strongest candidates first: order by cumulative trust of members.
-	sort.SliceStable(clusters, func(i, j int) bool {
-		return core.CTI(l.weigher, clusters[i].Nodes()) > core.CTI(l.weigher, clusters[j].Nodes())
-	})
+	// The keys are computed once per cluster (weights do not change while
+	// sorting); summing in the clusters' node-sorted report order matches
+	// core.CTI over Nodes(), which the comparator used to recompute per
+	// comparison.
+	l.scr.ctis = l.scr.ctis[:0]
+	for _, ec := range clusters {
+		var cti float64
+		for _, r := range ec.Reports {
+			cti += l.weigher.Weight(r.Node)
+		}
+		l.scr.ctis = append(l.scr.ctis, cti)
+	}
+	sort.Stable(byCTI{clusters, l.scr.ctis})
 
-	reported := make(map[int]bool, len(reports))
+	l.scr.reported = resetBoolSet(l.scr.reported, len(reports))
+	reported := l.scr.reported
 	for _, r := range reports {
 		reported[r.Node] = true
 	}
 
 	out := LocationOutcome{TriggerTime: trigger, DecideTime: l.kernel.Now()}
+	verbose := l.tr.Verbose()
 	for _, ec := range clusters {
 		cand := l.decideCandidate(ec, reported)
 		out.Candidates = append(out.Candidates, cand)
-		l.tr.Emit(float64(l.kernel.Now()), trace.KindDecision, -1, "%v", cand)
+		if verbose {
+			l.tr.Emit(float64(l.kernel.Now()), trace.KindDecision, -1, "%v", cand)
+		} else {
+			l.tr.Hit(trace.KindDecision)
+		}
 	}
 	l.rounds++
 	if l.onDecide != nil {
@@ -268,38 +338,42 @@ func (l *Location) decideCandidate(ec cluster.EventCluster, reported map[int]boo
 	// of gravity, and sensing reaches r_s. The slack of r_error keeps
 	// borderline-but-honest neighbors out of the violator set.
 	maxSense := l.cfg.SenseRadius + l.cfg.RError
-	var members, violators []int
+	s := &l.scr
+	s.members, s.violators = s.members[:0], s.violators[:0]
 	for _, rep := range ec.Reports {
 		p, ok := l.pos.Pos(rep.Node)
 		if !ok {
 			continue
 		}
 		if p.Dist(cg) > maxSense {
-			violators = append(violators, rep.Node)
+			s.violators = append(s.violators, rep.Node)
 			continue
 		}
-		members = append(members, rep.Node)
+		s.members = append(s.members, rep.Node)
 	}
-	memberSet := make(map[int]bool, len(members))
-	for _, id := range members {
+	s.memberSet = resetBoolSet(s.memberSet, len(s.members))
+	memberSet := s.memberSet
+	for _, id := range s.members {
 		memberSet[id] = true
 	}
 
 	// Event neighbors of the candidate location that are not members of
 	// this cluster vote against it: silence and contradictory reports
 	// both count as "did not confirm this event".
-	var silent []int
+	s.silent = s.silent[:0]
 	for _, id := range l.pos.IDs() {
 		if memberSet[id] {
 			continue
 		}
 		p, _ := l.pos.Pos(id)
 		if p.Dist(cg) <= l.cfg.SenseRadius {
-			silent = append(silent, id)
+			s.silent = append(s.silent, id)
 		}
 	}
 
-	dec := core.DecideBinary(l.weigher, members, silent)
+	// DecideBinary copies both sides (filterActive), so the scratch
+	// slices stay ours to reuse.
+	dec := core.DecideBinary(l.weigher, s.members, s.silent)
 	if l.cfg.CoincidenceGuard > 0 {
 		// Re-weigh the reporting side with coincident cliques collapsed
 		// to their strongest member, then re-decide on the adjusted CTI.
@@ -313,13 +387,16 @@ func (l *Location) decideCandidate(ec cluster.EventCluster, reported map[int]boo
 		}
 	}
 	applyWithFeedback(l.weigher, dec, l.feedback)
-	sort.Ints(violators)
-	for _, id := range violators {
+	sort.Ints(s.violators)
+	for _, id := range s.violators {
 		l.weigher.Judge(id, false)
 		if l.feedback != nil {
 			l.feedback(id, false)
 		}
 	}
+	// The violator list escapes into the Candidate; copy it exactly sized
+	// (nil when empty, like the pre-scratch code).
+	violators := append([]int(nil), s.violators...)
 	return Candidate{Loc: loc, Occurred: dec.Occurred, Decision: dec, RangeViolators: violators}
 }
 
@@ -327,21 +404,25 @@ func (l *Location) decideCandidate(ec cluster.EventCluster, reported map[int]boo
 // groups (mutually within CoincidenceGuard) each capped at their single
 // heaviest member.
 func (l *Location) guardedCTI(ec cluster.EventCluster, reporters []int) float64 {
-	inSide := make(map[int]bool, len(reporters))
+	s := &l.scr
+	s.inSide = resetBoolSet(s.inSide, len(reporters))
+	inSide := s.inSide
 	for _, id := range reporters {
 		inSide[id] = true
 	}
-	var reps []cluster.Report
+	s.reps = s.reps[:0]
 	for _, r := range ec.Reports {
 		if inSide[r.Node] {
-			reps = append(reps, r)
+			s.reps = append(s.reps, r)
 		}
 	}
+	reps := s.reps
 	// Union-find over coincident pairs.
-	parent := make([]int, len(reps))
-	for i := range parent {
-		parent[i] = i
+	s.parent = s.parent[:0]
+	for i := range reps {
+		s.parent = append(s.parent, i)
 	}
+	parent := s.parent
 	var find func(int) int
 	find = func(i int) int {
 		for parent[i] != i {
@@ -358,18 +439,24 @@ func (l *Location) guardedCTI(ec cluster.EventCluster, reporters []int) float64 
 			}
 		}
 	}
-	groupMax := make(map[int]float64)
+	if s.groupMax == nil {
+		s.groupMax = make(map[int]float64)
+	} else {
+		clear(s.groupMax)
+	}
+	groupMax := s.groupMax
 	for i, r := range reps {
 		root := find(i)
 		if w := l.weigher.Weight(r.Node); w > groupMax[root] {
 			groupMax[root] = w
 		}
 	}
-	roots := make([]int, 0, len(groupMax))
+	roots := s.roots[:0]
 	for root := range groupMax {
 		roots = append(roots, root)
 	}
 	sort.Ints(roots)
+	s.roots = roots
 	var sum float64
 	for _, root := range roots {
 		sum += groupMax[root]
@@ -381,23 +468,23 @@ func (l *Location) guardedCTI(ec cluster.EventCluster, reporters []int) float64 
 // reporters' current trust, using pre-settlement weights so this round's
 // verdicts do not feed back into its own location estimate.
 func (l *Location) trustWeightedCenter(ec cluster.EventCluster, members map[int]bool) (geo.Point, bool) {
-	pts := make([]geo.Point, 0, len(ec.Reports))
-	weights := make([]float64, 0, len(ec.Reports))
+	s := &l.scr
+	s.pts, s.weights = s.pts[:0], s.weights[:0]
 	for _, rep := range ec.Reports {
 		if !members[rep.Node] {
 			continue
 		}
-		pts = append(pts, rep.Loc)
-		weights = append(weights, l.weigher.Weight(rep.Node))
+		s.pts = append(s.pts, rep.Loc)
+		s.weights = append(s.weights, l.weigher.Weight(rep.Node))
 	}
-	return geo.WeightedCentroid(pts, weights)
+	return geo.WeightedCentroid(s.pts, s.weights)
 }
 
 // dedupeByNode keeps each node's first report in a round; a node sends at
 // most one report per event, so duplicates can only arise from replayed
-// traffic, which the sink ignores.
-func dedupeByNode(reports []cluster.Report) []cluster.Report {
-	seen := make(map[int]bool, len(reports))
+// traffic, which the sink ignores. seen is caller-provided (emptied)
+// scratch.
+func dedupeByNode(reports []cluster.Report, seen map[int]bool) []cluster.Report {
 	out := reports[:0]
 	for _, r := range reports {
 		if seen[r.Node] {

@@ -22,6 +22,10 @@ type Report struct {
 // EventCluster is one group of mutually consistent reports. Center is the
 // cluster's center of gravity (cg) — the average location indicated by the
 // member reports — which the protocol takes as the event location.
+//
+// Clusters built by Cluster list Reports in ascending Node order (the
+// canonical processing order), so per-member iteration is deterministic
+// without re-sorting.
 type EventCluster struct {
 	Center  geo.Point
 	Reports []Report
@@ -81,22 +85,24 @@ func Cluster(reports []Report, rError float64) []EventCluster {
 	reports = sorted
 	centers := seedCenters(reports, rError)
 	var clusters []EventCluster
-	prev := ""
+	var sig sigScratch
+	// Member-list scratch for the refinement rounds: centers never grow
+	// after seeding, so one buffer sized to the seed count serves every
+	// round. The final assignment below allocates fresh lists, because
+	// those escape to the caller.
+	scratch := make([][]Report, len(centers))
 	for round := 0; round < maxRounds; round++ {
-		clusters = assign(reports, centers)
+		clusters = assign(reports, centers, scratch)
 		centers = mergeCenters(clusters, rError)
-		sig := signature(clusters)
-		if sig == prev && len(centers) == len(clusters) {
+		if sig.converged(clusters) && len(centers) == len(clusters) {
 			break
 		}
-		prev = sig
 	}
 	// Final assignment against the merged centers so that the returned
 	// clusters are consistent with the centers' separation invariant.
-	clusters = assign(reports, centers)
+	clusters = assign(reports, centers, nil)
 	for i := range clusters {
-		cg, _ := geo.Centroid(locations(clusters[i].Reports))
-		clusters[i].Center = cg
+		clusters[i].Center = reportCentroid(clusters[i].Reports)
 	}
 	sortClusters(clusters)
 	return clusters
@@ -111,8 +117,7 @@ func seedCenters(reports []Report, rError float64) []geo.Point {
 	ai, bi, maxD2 := farthestPair(reports)
 	if maxD2 <= rError*rError {
 		// All reports are mutually within rError: a single cluster.
-		cg, _ := geo.Centroid(locations(reports))
-		return []geo.Point{cg}
+		return []geo.Point{reportCentroid(reports)}
 	}
 	centers := []geo.Point{reports[ai].Loc, reports[bi].Loc}
 	for _, r := range reports {
@@ -138,9 +143,21 @@ func farthestPair(reports []Report) (ai, bi int, maxD2 float64) {
 }
 
 // assign groups every report with its nearest center (step 4) and sets
-// each cluster's center to the member centroid.
-func assign(reports []Report, centers []geo.Point) []EventCluster {
-	members := make([][]Report, len(centers))
+// each cluster's center to the member centroid. Because reports arrive in
+// ascending Node order, each member list is node-sorted by construction.
+// scratch, when large enough, provides reusable member-list storage for
+// rounds whose clusters do not outlive the refinement loop; pass nil when
+// the result escapes.
+func assign(reports []Report, centers []geo.Point, scratch [][]Report) []EventCluster {
+	var members [][]Report
+	if cap(scratch) >= len(centers) {
+		members = scratch[:len(centers)]
+		for i := range members {
+			members[i] = members[i][:0]
+		}
+	} else {
+		members = make([][]Report, len(centers))
+	}
 	for _, r := range reports {
 		best, bestD2 := 0, r.Loc.Dist2(centers[0])
 		for ci := 1; ci < len(centers); ci++ {
@@ -155,8 +172,7 @@ func assign(reports []Report, centers []geo.Point) []EventCluster {
 		if len(m) == 0 {
 			continue // a merged-away or out-competed center
 		}
-		cg, _ := geo.Centroid(locations(m))
-		clusters = append(clusters, EventCluster{Center: cg, Reports: m})
+		clusters = append(clusters, EventCluster{Center: reportCentroid(m), Reports: m})
 	}
 	return clusters
 }
@@ -202,15 +218,53 @@ func mergeCenters(clusters []EventCluster, rError float64) []geo.Point {
 	return out
 }
 
-// signature fingerprints cluster constituency for convergence detection.
-func signature(clusters []EventCluster) string {
-	parts := make([]string, len(clusters))
-	for i, c := range clusters {
-		ids := c.Nodes()
-		parts[i] = fmt.Sprint(ids)
+// sigScratch detects convergence of the refinement loop by comparing
+// cluster constituency between consecutive rounds. It replaces a
+// string-based fingerprint that allocated on every round: the partition is
+// flattened into reusable int buffers — clusters visited in order of their
+// smallest member ID, each contributing its member IDs plus a -1
+// separator — and two rounds converge when the flattened forms match.
+// (Partitions are equal iff these canonical forms are equal.)
+type sigScratch struct {
+	idx       []int
+	cur, prev []int
+	seeded    bool
+}
+
+// converged folds in the current round's clusters and reports whether the
+// constituency is unchanged from the previous round.
+func (s *sigScratch) converged(clusters []EventCluster) bool {
+	// Order clusters by smallest member; Reports are node-sorted, so that
+	// is Reports[0]. Insertion sort: the cluster count is tiny and the
+	// order is nearly stable across rounds.
+	s.idx = s.idx[:0]
+	for i := range clusters {
+		s.idx = append(s.idx, i)
 	}
-	sort.Strings(parts)
-	return fmt.Sprint(parts)
+	for i := 1; i < len(s.idx); i++ {
+		for j := i; j > 0 && clusters[s.idx[j]].Reports[0].Node < clusters[s.idx[j-1]].Reports[0].Node; j-- {
+			s.idx[j], s.idx[j-1] = s.idx[j-1], s.idx[j]
+		}
+	}
+	s.cur = s.cur[:0]
+	for _, ci := range s.idx {
+		for _, r := range clusters[ci].Reports {
+			s.cur = append(s.cur, r.Node)
+		}
+		s.cur = append(s.cur, -1)
+	}
+	same := s.seeded && len(s.cur) == len(s.prev)
+	if same {
+		for i, v := range s.cur {
+			if s.prev[i] != v {
+				same = false
+				break
+			}
+		}
+	}
+	s.cur, s.prev = s.prev, s.cur
+	s.seeded = true
+	return same
 }
 
 // sortClusters orders clusters by descending size then by center for
@@ -229,12 +283,17 @@ func sortClusters(clusters []EventCluster) {
 	})
 }
 
-func locations(reports []Report) []geo.Point {
-	out := make([]geo.Point, len(reports))
-	for i, r := range reports {
-		out[i] = r.Loc
+// reportCentroid is geo.Centroid over the report locations without
+// materializing an intermediate point slice; the summation order is the
+// same, so the result is bit-identical.
+func reportCentroid(reports []Report) geo.Point {
+	var sx, sy float64
+	for _, r := range reports {
+		sx += r.Loc.X
+		sy += r.Loc.Y
 	}
-	return out
+	n := float64(len(reports))
+	return geo.Point{X: sx / n, Y: sy / n}
 }
 
 func minDist2(p geo.Point, centers []geo.Point) float64 {

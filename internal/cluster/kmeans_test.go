@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -202,8 +204,15 @@ func TestClusterOrderInsensitiveProperty(t *testing.T) {
 	}
 }
 
+// partitionSignature fingerprints cluster constituency for the
+// order-insensitivity check: sorted member lists, cluster order ignored.
 func partitionSignature(cs []EventCluster) string {
-	return signature(cs)
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprint(c.Nodes())
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
 }
 
 func TestFarthestPair(t *testing.T) {

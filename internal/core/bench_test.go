@@ -1,0 +1,41 @@
+package core
+
+import "testing"
+
+// BenchmarkTableJudgeAndWeight measures the per-verdict trust-update and
+// per-vote weight-lookup path. The §3 update rule walks v over a small
+// quantized set, so the exp(-λ·v) memo turns nearly every Weight call
+// into a map hit.
+func BenchmarkTableJudgeAndWeight(b *testing.B) {
+	t := MustNewTable(Params{Lambda: 0.25, FaultRate: 0.1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		node := i % 64
+		t.Judge(node, i%10 != 0) // ~10% faulty, like a correct node near f_r
+		sink += t.Weight(node)
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkDecideBinary measures one §3.1 CTI vote over a 24/12 split.
+func BenchmarkDecideBinary(b *testing.B) {
+	t := MustNewTable(Params{Lambda: 0.1, FaultRate: 0.05})
+	reporters := make([]int, 24)
+	silent := make([]int, 12)
+	for i := range reporters {
+		reporters[i] = i
+	}
+	for i := range silent {
+		silent[i] = 24 + i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := DecideBinary(t, reporters, silent)
+		Apply(t, dec)
+	}
+}

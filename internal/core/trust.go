@@ -133,9 +133,16 @@ type Weigher interface {
 type Table struct {
 	params Params
 	recs   map[int]*Record
+	// tiCache memoizes exp(-λ·v) per distinct accumulator value; see
+	// trustOf.
+	tiCache map[float64]float64
 }
 
 var _ Weigher = (*Table)(nil)
+
+// tiCacheLimit bounds the memo so adversarial v trajectories cannot grow
+// it without bound; past the limit, lookups fall through to math.Exp.
+const tiCacheLimit = 4096
 
 // NewTable returns an empty trust table. It returns an error if the
 // parameters are invalid.
@@ -144,6 +151,31 @@ func NewTable(params Params) (*Table, error) {
 		return nil, err
 	}
 	return &Table{params: params, recs: make(map[int]*Record)}, nil
+}
+
+// trustOf is the table's memoized view of Params.trustOf. The §3 update
+// rule quantizes v onto sums of k·(1-f_r) − m·f_r floored at zero, so a
+// whole campaign revisits the same few hundred v values millions of times;
+// keying a map on the exact float collapses those math.Exp calls into
+// lookups. Linear mode is a multiply and skips the cache.
+func (t *Table) trustOf(v float64) float64 {
+	if t.params.Linear {
+		return t.params.trustOf(v)
+	}
+	if v < 0 {
+		v = 0
+	}
+	if ti, ok := t.tiCache[v]; ok {
+		return ti
+	}
+	ti := t.params.trustOf(v)
+	if t.tiCache == nil {
+		t.tiCache = make(map[float64]float64)
+	}
+	if len(t.tiCache) < tiCacheLimit {
+		t.tiCache[v] = ti
+	}
+	return ti
 }
 
 // MustNewTable is NewTable for callers with compile-time-constant params.
@@ -175,7 +207,7 @@ func (t *Table) rec(node int) *Record {
 // TI returns the node's current trust index. Unknown nodes have TI 1.
 func (t *Table) TI(node int) float64 {
 	if r, ok := t.recs[node]; ok {
-		return t.params.trustOf(r.V)
+		return t.trustOf(r.V)
 	}
 	return 1
 }
@@ -187,7 +219,7 @@ func (t *Table) Weight(node int) float64 {
 		if r.Isolated {
 			return 0
 		}
-		return t.params.trustOf(r.V)
+		return t.trustOf(r.V)
 	}
 	return 1
 }
@@ -234,7 +266,7 @@ func (t *Table) Judge(node int, correct bool) {
 			r.V += 1 - t.params.FaultRate
 		}
 	}
-	if t.params.RemovalThreshold > 0 && t.params.trustOf(r.V) <= t.params.RemovalThreshold {
+	if t.params.RemovalThreshold > 0 && t.trustOf(r.V) <= t.params.RemovalThreshold {
 		r.Isolated = true
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/tibfit/tibfit/internal/analysis"
 	"github.com/tibfit/tibfit/internal/metrics"
 	"github.com/tibfit/tibfit/internal/node"
+	"github.com/tibfit/tibfit/internal/parallel"
 	"github.com/tibfit/tibfit/internal/workload"
 )
 
@@ -41,6 +42,14 @@ type FigureOptions struct {
 	Events int
 	// Seed is the base random seed (default 1).
 	Seed int64
+	// Parallel caps the campaign-level worker pool: how many figure
+	// cells (independent simulated data points), sweep points, or
+	// resilience-grid points run concurrently. 1 runs the campaign
+	// sequentially on the calling goroutine, exactly as before the pool
+	// existed; 0 (the default) uses one worker per core. Cells merge in
+	// index order, so every setting produces byte-identical figures —
+	// the knob trades wall-clock time only.
+	Parallel int
 }
 
 func (o FigureOptions) withDefaults() FigureOptions {
@@ -53,38 +62,94 @@ func (o FigureOptions) withDefaults() FigureOptions {
 	return o
 }
 
+// workers resolves the campaign pool width from the Parallel knob.
+func (o FigureOptions) workers() int { return parallel.Workers(o.Parallel) }
+
+// runCells fans a figure's independent cells out on the shared ordered
+// work-pool and returns their results in cell order.
+func runCells[T any](opts FigureOptions, n int, run func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(n, opts.workers(), run)
+}
+
+// gridFigure runs the common figure shape — len(labels) series sampled
+// at the same x values, every (series, x) cell an independent simulation
+// returning an accuracy in [0, 1] — on the campaign pool, and assembles
+// the series in declaration order (cells merge by index, so the output
+// is identical at any worker count). Axis values and accuracies are
+// scaled to percent, as all these figures plot.
+func gridFigure(opts FigureOptions, labels []string, xs []float64,
+	cell func(series, xi int) (float64, error)) ([]metrics.Series, error) {
+	vals, err := runCells(opts, len(labels)*len(xs), func(i int) (float64, error) {
+		return cell(i/len(xs), i%len(xs))
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]metrics.Series, len(labels))
+	for si, label := range labels {
+		s := metrics.Series{Label: label}
+		for xi, x := range xs {
+			s.Add(x*100, vals[si*len(xs)+xi]*100)
+		}
+		series[si] = s
+	}
+	return series, nil
+}
+
+// exp1Cell builds the per-cell exp1 config shared by figures 2 and 3.
+func exp1Cell(opts FigureOptions, frac float64) Exp1Config {
+	cfg := DefaultExp1()
+	cfg.FaultyFraction = frac
+	cfg.Runs = opts.Runs
+	cfg.Seed = opts.Seed
+	if opts.Events > 0 {
+		cfg.Events = opts.Events
+	}
+	return cfg
+}
+
+// exp2Cell builds the per-cell exp2 config shared by the level figures.
+func exp2Cell(opts FigureOptions, frac float64) Exp2Config {
+	cfg := DefaultExp2()
+	cfg.FaultyFraction = frac
+	cfg.Runs = opts.Runs
+	cfg.Seed = opts.Seed
+	if opts.Events > 0 {
+		cfg.Events = opts.Events
+	}
+	return cfg
+}
+
 // Figure2 regenerates figure 2: binary-event accuracy vs percentage of
 // faulty nodes, faulty nodes producing missed alarms only (50%), for
 // correct-node NERs of 0, 1, and 5%.
 func Figure2(opts FigureOptions) (metrics.Figure, error) {
 	opts = opts.withDefaults()
-	fig := metrics.Figure{
+	ners := []float64{0, 0.01, 0.05}
+	labels := make([]string, len(ners))
+	for i, ner := range ners {
+		labels[i] = fmt.Sprintf("NER %g%%", ner*100)
+	}
+	series, err := gridFigure(opts, labels, Exp1Sweep, func(si, xi int) (float64, error) {
+		cfg := exp1Cell(opts, Exp1Sweep[xi])
+		cfg.NER = ners[si]
+		cfg.FalseAlarmProb = 0
+		res, err := RunExp1(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Accuracy, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
+	return metrics.Figure{
 		ID:     "figure2",
 		Title:  "Experiment 1 — missed alarms only (TIBFIT)",
 		XLabel: "% faulty",
 		YLabel: "accuracy %",
-	}
-	for _, ner := range []float64{0, 0.01, 0.05} {
-		s := metrics.Series{Label: fmt.Sprintf("NER %g%%", ner*100)}
-		for _, frac := range Exp1Sweep {
-			cfg := DefaultExp1()
-			cfg.NER = ner
-			cfg.FalseAlarmProb = 0
-			cfg.FaultyFraction = frac
-			cfg.Runs = opts.Runs
-			cfg.Seed = opts.Seed
-			if opts.Events > 0 {
-				cfg.Events = opts.Events
-			}
-			res, err := RunExp1(cfg)
-			if err != nil {
-				return metrics.Figure{}, err
-			}
-			s.Add(frac*100, res.Accuracy*100)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+		Series: series,
+	}, nil
 }
 
 // Figure3 regenerates figure 3: binary-event accuracy with faulty nodes
@@ -92,33 +157,31 @@ func Figure2(opts FigureOptions) (metrics.Figure, error) {
 // correct nodes at 1% NER.
 func Figure3(opts FigureOptions) (metrics.Figure, error) {
 	opts = opts.withDefaults()
-	fig := metrics.Figure{
+	fas := []float64{0, 0.10, 0.75}
+	labels := make([]string, len(fas))
+	for i, fa := range fas {
+		labels[i] = fmt.Sprintf("false alarms %g%%", fa*100)
+	}
+	series, err := gridFigure(opts, labels, Exp1Sweep, func(si, xi int) (float64, error) {
+		cfg := exp1Cell(opts, Exp1Sweep[xi])
+		cfg.NER = 0.01
+		cfg.FalseAlarmProb = fas[si]
+		res, err := RunExp1(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Accuracy, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
+	return metrics.Figure{
 		ID:     "figure3",
 		Title:  "Experiment 1 — missed and false alarms (TIBFIT, NER 1%)",
 		XLabel: "% faulty",
 		YLabel: "accuracy %",
-	}
-	for _, fa := range []float64{0, 0.10, 0.75} {
-		s := metrics.Series{Label: fmt.Sprintf("false alarms %g%%", fa*100)}
-		for _, frac := range Exp1Sweep {
-			cfg := DefaultExp1()
-			cfg.NER = 0.01
-			cfg.FalseAlarmProb = fa
-			cfg.FaultyFraction = frac
-			cfg.Runs = opts.Runs
-			cfg.Seed = opts.Seed
-			if opts.Events > 0 {
-				cfg.Events = opts.Events
-			}
-			res, err := RunExp1(cfg)
-			if err != nil {
-				return metrics.Figure{}, err
-			}
-			s.Add(frac*100, res.Accuracy*100)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+		Series: series,
+	}, nil
 }
 
 // levelFigure regenerates one of figures 4-6: location-determination
@@ -127,38 +190,44 @@ func Figure3(opts FigureOptions) (metrics.Figure, error) {
 // "Lvl M W-Z [TIBFIT or Baseline]".
 func levelFigure(id string, level node.Kind, opts FigureOptions) (metrics.Figure, error) {
 	opts = opts.withDefaults()
-	fig := metrics.Figure{
+	type variant struct {
+		pair   SigmaPair
+		scheme string
+	}
+	var (
+		variants []variant
+		labels   []string
+	)
+	for _, pair := range Table2SigmaPairs {
+		for _, scheme := range []string{SchemeTIBFIT, SchemeBaseline} {
+			variants = append(variants, variant{pair, scheme})
+			labels = append(labels, fmt.Sprintf("Lvl %d %s %s",
+				int(level)-int(node.Level0), pair.Label(), schemeTitle(scheme)))
+		}
+	}
+	series, err := gridFigure(opts, labels, Exp2Sweep, func(si, xi int) (float64, error) {
+		v := variants[si]
+		cfg := exp2Cell(opts, Exp2Sweep[xi])
+		cfg.Level = level
+		cfg.SigmaCorrect = v.pair.Correct
+		cfg.SigmaFaulty = v.pair.Faulty
+		cfg.Scheme = v.scheme
+		res, err := RunExp2(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Accuracy, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
+	return metrics.Figure{
 		ID:     id,
 		Title:  fmt.Sprintf("Experiment 2 — %v faulty nodes", level),
 		XLabel: "% faulty",
 		YLabel: "accuracy %",
-	}
-	for _, pair := range Table2SigmaPairs {
-		for _, scheme := range []string{SchemeTIBFIT, SchemeBaseline} {
-			s := metrics.Series{Label: fmt.Sprintf("Lvl %d %s %s",
-				int(level)-int(node.Level0), pair.Label(), schemeTitle(scheme))}
-			for _, frac := range Exp2Sweep {
-				cfg := DefaultExp2()
-				cfg.Level = level
-				cfg.SigmaCorrect = pair.Correct
-				cfg.SigmaFaulty = pair.Faulty
-				cfg.FaultyFraction = frac
-				cfg.Scheme = scheme
-				cfg.Runs = opts.Runs
-				cfg.Seed = opts.Seed
-				if opts.Events > 0 {
-					cfg.Events = opts.Events
-				}
-				res, err := RunExp2(cfg)
-				if err != nil {
-					return metrics.Figure{}, err
-				}
-				s.Add(frac*100, res.Accuracy*100)
-			}
-			fig.Series = append(fig.Series, s)
-		}
-	}
-	return fig, nil
+		Series: series,
+	}, nil
 }
 
 // Figure4 regenerates figure 4 (level-0 faulty nodes).
@@ -180,77 +249,84 @@ func Figure6(opts FigureOptions) (metrics.Figure, error) {
 // adversary, TIBFIT only.
 func Figure7(opts FigureOptions) (metrics.Figure, error) {
 	opts = opts.withDefaults()
-	fig := metrics.Figure{
+	modes := []bool{false, true}
+	labels := []string{"single", "concurrent"}
+	series, err := gridFigure(opts, labels, Exp2Sweep, func(si, xi int) (float64, error) {
+		cfg := exp2Cell(opts, Exp2Sweep[xi])
+		cfg.Concurrent = modes[si]
+		res, err := RunExp2(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Accuracy, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
+	return metrics.Figure{
 		ID:     "figure7",
 		Title:  "Experiment 2 — single vs concurrent events (TIBFIT, level 0)",
 		XLabel: "% faulty",
 		YLabel: "accuracy %",
-	}
-	for _, concurrent := range []bool{false, true} {
-		label := "single"
-		if concurrent {
-			label = "concurrent"
-		}
-		s := metrics.Series{Label: label}
-		for _, frac := range Exp2Sweep {
-			cfg := DefaultExp2()
-			cfg.Concurrent = concurrent
-			cfg.FaultyFraction = frac
-			cfg.Runs = opts.Runs
-			cfg.Seed = opts.Seed
-			if opts.Events > 0 {
-				cfg.Events = opts.Events
-			}
-			res, err := RunExp2(cfg)
-			if err != nil {
-				return metrics.Figure{}, err
-			}
-			s.Add(frac*100, res.Accuracy*100)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+		Series: series,
+	}, nil
 }
 
 // decayFigure regenerates figure 8 or 9: accuracy over time while the
 // compromised fraction grows linearly (5% + 5% per 50 events, to 75%),
-// for one faulty σ and both correct σ values, TIBFIT vs baseline.
+// for one faulty σ and both correct σ values, TIBFIT vs baseline. Each
+// (σ_correct, scheme) curve is one cell on the campaign pool.
 func decayFigure(id string, sigmaFaulty float64, opts FigureOptions) (metrics.Figure, error) {
 	opts = opts.withDefaults()
-	fig := metrics.Figure{
-		ID:     id,
-		Title:  fmt.Sprintf("Experiment 3 — linear decay (σ_faulty=%g)", sigmaFaulty),
-		XLabel: "event #",
-		YLabel: "accuracy %",
-	}
 	decay := workload.DefaultDecay()
 	events := opts.Events
 	if events == 0 {
 		// Enough events to walk the schedule from 5% to 75%.
 		events = decay.EventsPerStep * 15
 	}
+	type variant struct {
+		sigmaCorrect float64
+		scheme       string
+	}
+	var variants []variant
 	for _, sigmaCorrect := range []float64{1.6, 2.0} {
 		for _, scheme := range []string{SchemeTIBFIT, SchemeBaseline} {
-			s := metrics.Series{Label: fmt.Sprintf("Lvl 0 %g-%g %s",
-				sigmaCorrect, sigmaFaulty, schemeTitle(scheme))}
-			cfg := DefaultExp2()
-			cfg.SigmaCorrect = sigmaCorrect
-			cfg.SigmaFaulty = sigmaFaulty
-			cfg.Scheme = scheme
-			cfg.Decay = &decay
-			cfg.Events = events
-			cfg.Runs = opts.Runs
-			cfg.Seed = opts.Seed
-			res, err := RunExp2(cfg)
-			if err != nil {
-				return metrics.Figure{}, err
-			}
-			for i, acc := range res.Windowed {
-				// Window midpoints on the x-axis.
-				s.Add(float64(i*decay.EventsPerStep+decay.EventsPerStep/2), acc*100)
-			}
-			fig.Series = append(fig.Series, s)
+			variants = append(variants, variant{sigmaCorrect, scheme})
 		}
+	}
+	windowed, err := runCells(opts, len(variants), func(i int) ([]float64, error) {
+		v := variants[i]
+		cfg := DefaultExp2()
+		cfg.SigmaCorrect = v.sigmaCorrect
+		cfg.SigmaFaulty = sigmaFaulty
+		cfg.Scheme = v.scheme
+		cfg.Decay = &decay
+		cfg.Events = events
+		cfg.Runs = opts.Runs
+		cfg.Seed = opts.Seed
+		res, err := RunExp2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Windowed, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
+	fig := metrics.Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Experiment 3 — linear decay (σ_faulty=%g)", sigmaFaulty),
+		XLabel: "event #",
+		YLabel: "accuracy %",
+	}
+	for i, v := range variants {
+		s := metrics.Series{Label: fmt.Sprintf("Lvl 0 %g-%g %s",
+			v.sigmaCorrect, sigmaFaulty, schemeTitle(v.scheme))}
+		for j, acc := range windowed[i] {
+			// Window midpoints on the x-axis.
+			s.Add(float64(j*decay.EventsPerStep+decay.EventsPerStep/2), acc*100)
+		}
+		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil
 }
@@ -345,7 +421,8 @@ func schemeTitle(scheme string) string {
 // FigureReliability is an extension beyond the paper (its §7 future work:
 // "predict system reliability"): the semi-analytic reliability model's
 // per-event success probability at 70% binary compromise, plotted against
-// the simulation's windowed accuracy and the §5 stateless baseline.
+// the simulation's windowed accuracy and the §5 stateless baseline. It is
+// a single simulation campaign, so only its replicates parallelize.
 func FigureReliability(opts FigureOptions) (metrics.Figure, error) {
 	opts = opts.withDefaults()
 	cfg := DefaultExp1()
@@ -390,41 +467,32 @@ func FigureReliability(opts FigureOptions) (metrics.Figure, error) {
 // on and off, against the stateless baseline.
 func FigureCollusionGuard(opts FigureOptions) (metrics.Figure, error) {
 	opts = opts.withDefaults()
-	fig := metrics.Figure{
+	mutators := []func(*Exp2Config){
+		func(*Exp2Config) {},
+		func(c *Exp2Config) { c.CoincidenceGuard = 0.5 },
+		func(c *Exp2Config) { c.Scheme = SchemeBaseline },
+	}
+	labels := []string{"TIBFIT", "TIBFIT+guard", "Baseline"}
+	series, err := gridFigure(opts, labels, Exp2Sweep, func(si, xi int) (float64, error) {
+		cfg := exp2Cell(opts, Exp2Sweep[xi])
+		cfg.Level = node.Level2
+		mutators[si](&cfg)
+		res, err := RunExp2(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Accuracy, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
+	return metrics.Figure{
 		ID:     "ext-collusion-guard",
 		Title:  "Extension — coincidence guard vs level-2 collusion",
 		XLabel: "% faulty",
 		YLabel: "accuracy %",
-	}
-	variants := []struct {
-		label  string
-		mutate func(*Exp2Config)
-	}{
-		{"TIBFIT", func(*Exp2Config) {}},
-		{"TIBFIT+guard", func(c *Exp2Config) { c.CoincidenceGuard = 0.5 }},
-		{"Baseline", func(c *Exp2Config) { c.Scheme = SchemeBaseline }},
-	}
-	for _, v := range variants {
-		s := metrics.Series{Label: v.label}
-		for _, frac := range Exp2Sweep {
-			cfg := DefaultExp2()
-			cfg.Level = node.Level2
-			cfg.FaultyFraction = frac
-			cfg.Runs = opts.Runs
-			cfg.Seed = opts.Seed
-			if opts.Events > 0 {
-				cfg.Events = opts.Events
-			}
-			v.mutate(&cfg)
-			res, err := RunExp2(cfg)
-			if err != nil {
-				return metrics.Figure{}, err
-			}
-			s.Add(frac*100, res.Accuracy*100)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+		Series: series,
+	}, nil
 }
 
 // FigureSweepLambda is a registry-exposed instance of the §7 parameter
@@ -440,7 +508,7 @@ func FigureSweepLambda(opts FigureOptions) (metrics.Figure, error) {
 	if opts.Events > 0 {
 		base.Events = opts.Events
 	}
-	fig, err := SweepExp2("lambda", []float64{0.05, 0.1, 0.25, 0.5, 1.0}, base)
+	fig, err := SweepExp2N("lambda", []float64{0.05, 0.1, 0.25, 0.5, 1.0}, base, opts.workers())
 	if err != nil {
 		return metrics.Figure{}, err
 	}

@@ -2,54 +2,21 @@ package experiment
 
 import (
 	"runtime"
-	"sync"
+
+	"github.com/tibfit/tibfit/internal/parallel"
 )
 
 // Replicates of one experiment are independent simulations with distinct
 // seeds, so they parallelize perfectly. runReplicates fans the runs out
-// over the available cores and returns the results in replicate order,
-// which keeps every aggregate bit-identical to a sequential execution.
-// The first error wins; remaining workers still drain their queue (a
-// simulation has no way to block).
+// over the available cores on the shared ordered work-pool
+// (internal/parallel) and returns the results in replicate order, which
+// keeps every aggregate bit-identical to a sequential execution. The
+// lowest replicate's error wins; remaining workers still drain their
+// queue (a simulation has no way to block).
+//
+// Campaign-level parallelism (figure cells, sweep points, resilience
+// grid points) fans out one level up through the same pool; see
+// FigureOptions.Parallel.
 func runReplicates[T any](runs int, run func(replicate int) (T, error)) ([]T, error) {
-	results := make([]T, runs)
-	errs := make([]error, runs)
-	if runs <= 1 {
-		var err error
-		results[0], err = run(0)
-		if err != nil {
-			return nil, err
-		}
-		return results, nil
-	}
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > runs {
-		workers = runs
-	}
-	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range next {
-				results[r], errs[r] = run(r)
-			}
-		}()
-	}
-	for r := 0; r < runs; r++ {
-		next <- r
-	}
-	close(next)
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return parallel.Map(runs, runtime.GOMAXPROCS(0), run)
 }

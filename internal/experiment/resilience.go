@@ -261,38 +261,37 @@ func runResilienceOnce(cfg ResilienceConfig, seed int64) (ResilienceResult, erro
 
 // FigureResilience regenerates the extension figure "ext-resilience":
 // binary detection accuracy vs crashed-node fraction under a fixed number
-// of serving-head crashes, with the failover machinery off and on.
+// of serving-head crashes, with the failover machinery off and on. Every
+// (failover, crash-fraction) grid point is an independent campaign, so
+// the grid fans out on the campaign pool.
 func FigureResilience(opts FigureOptions) (metrics.Figure, error) {
 	opts = opts.withDefaults()
-	fig := metrics.Figure{
+	sweep := []float64{0, 0.10, 0.20, 0.30, 0.40, 0.50}
+	failovers := []bool{false, true}
+	labels := []string{"no failover", "failover + retries"}
+	series, err := gridFigure(opts, labels, sweep, func(si, xi int) (float64, error) {
+		cfg := DefaultResilience()
+		cfg.CrashFraction = sweep[xi]
+		cfg.Failover = failovers[si]
+		cfg.Runs = opts.Runs
+		cfg.Seed = opts.Seed
+		if opts.Events > 0 {
+			cfg.Events = opts.Events
+		}
+		res, err := RunResilience(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Accuracy, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
+	return metrics.Figure{
 		ID:     "ext-resilience",
 		Title:  "Extension — crash faults: accuracy vs crash rate, failover off/on",
 		XLabel: "% nodes crashed",
 		YLabel: "detection %",
-	}
-	sweep := []float64{0, 0.10, 0.20, 0.30, 0.40, 0.50}
-	for _, failover := range []bool{false, true} {
-		label := "no failover"
-		if failover {
-			label = "failover + retries"
-		}
-		s := metrics.Series{Label: label}
-		for _, frac := range sweep {
-			cfg := DefaultResilience()
-			cfg.CrashFraction = frac
-			cfg.Failover = failover
-			cfg.Runs = opts.Runs
-			cfg.Seed = opts.Seed
-			if opts.Events > 0 {
-				cfg.Events = opts.Events
-			}
-			res, err := RunResilience(cfg)
-			if err != nil {
-				return metrics.Figure{}, err
-			}
-			s.Add(frac*100, res.Accuracy*100)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+		Series: series,
+	}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/tibfit/tibfit/internal/metrics"
+	"github.com/tibfit/tibfit/internal/parallel"
 )
 
 // The paper's future work asks to "further explore the impact of
@@ -12,6 +13,10 @@ import (
 // does exactly that: vary one protocol parameter over a value list while
 // holding an experiment config fixed, and emit a figure of accuracy (and
 // end-of-run trust separation) against the parameter.
+//
+// Sweep points are independent simulations, so they fan out on the
+// shared ordered work-pool (internal/parallel); results merge in value
+// order, keeping the emitted figure byte-identical at any worker count.
 
 // exp1Setters maps sweepable parameter names to Exp1Config mutations.
 var exp1Setters = map[string]func(*Exp1Config, float64){
@@ -52,8 +57,17 @@ func sortedKeys[V any](m map[string]V) []string {
 }
 
 // SweepExp1 runs the binary experiment once per value of the named
-// parameter and returns accuracy and trust-separation series.
+// parameter and returns accuracy and trust-separation series. Points run
+// on the campaign pool, one worker per core; use SweepExp1N to pick the
+// width explicitly.
 func SweepExp1(param string, values []float64, base Exp1Config) (metrics.Figure, error) {
+	return SweepExp1N(param, values, base, 0)
+}
+
+// SweepExp1N is SweepExp1 with an explicit campaign worker count
+// (parallel.Workers semantics: 1 = sequential on the calling goroutine,
+// 0 or negative = one worker per core).
+func SweepExp1N(param string, values []float64, base Exp1Config, workers int) (metrics.Figure, error) {
 	set, ok := exp1Setters[param]
 	if !ok {
 		return metrics.Figure{}, fmt.Errorf("experiment: unknown exp1 sweep parameter %q (known: %v)",
@@ -61,6 +75,18 @@ func SweepExp1(param string, values []float64, base Exp1Config) (metrics.Figure,
 	}
 	if len(values) == 0 {
 		return metrics.Figure{}, fmt.Errorf("experiment: sweep needs at least one value")
+	}
+	results, err := parallel.Map(len(values), parallel.Workers(workers), func(i int) (Exp1Result, error) {
+		cfg := base
+		set(&cfg, values[i])
+		res, err := RunExp1(cfg)
+		if err != nil {
+			return Exp1Result{}, fmt.Errorf("sweep %s=%v: %w", param, values[i], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
 	}
 	fig := metrics.Figure{
 		ID:     "sweep-exp1-" + param,
@@ -71,16 +97,10 @@ func SweepExp1(param string, values []float64, base Exp1Config) (metrics.Figure,
 	acc := metrics.Series{Label: "accuracy %"}
 	faultyTI := metrics.Series{Label: "mean faulty TI"}
 	correctTI := metrics.Series{Label: "mean correct TI"}
-	for _, v := range values {
-		cfg := base
-		set(&cfg, v)
-		res, err := RunExp1(cfg)
-		if err != nil {
-			return metrics.Figure{}, fmt.Errorf("sweep %s=%v: %w", param, v, err)
-		}
-		acc.Add(v, res.Accuracy*100)
-		faultyTI.Add(v, res.MeanFaultyTI)
-		correctTI.Add(v, res.MeanCorrectTI)
+	for i, v := range values {
+		acc.Add(v, results[i].Accuracy*100)
+		faultyTI.Add(v, results[i].MeanFaultyTI)
+		correctTI.Add(v, results[i].MeanCorrectTI)
 	}
 	fig.Series = []metrics.Series{acc, faultyTI, correctTI}
 	return fig, nil
@@ -88,7 +108,16 @@ func SweepExp1(param string, values []float64, base Exp1Config) (metrics.Figure,
 
 // SweepExp2 runs the location experiment once per value of the named
 // parameter and returns accuracy, false-positive, and isolation series.
+// Points run on the campaign pool, one worker per core; use SweepExp2N
+// to pick the width explicitly.
 func SweepExp2(param string, values []float64, base Exp2Config) (metrics.Figure, error) {
+	return SweepExp2N(param, values, base, 0)
+}
+
+// SweepExp2N is SweepExp2 with an explicit campaign worker count
+// (parallel.Workers semantics: 1 = sequential on the calling goroutine,
+// 0 or negative = one worker per core).
+func SweepExp2N(param string, values []float64, base Exp2Config, workers int) (metrics.Figure, error) {
 	set, ok := exp2Setters[param]
 	if !ok {
 		return metrics.Figure{}, fmt.Errorf("experiment: unknown exp2 sweep parameter %q (known: %v)",
@@ -96,6 +125,18 @@ func SweepExp2(param string, values []float64, base Exp2Config) (metrics.Figure,
 	}
 	if len(values) == 0 {
 		return metrics.Figure{}, fmt.Errorf("experiment: sweep needs at least one value")
+	}
+	results, err := parallel.Map(len(values), parallel.Workers(workers), func(i int) (Exp2Result, error) {
+		cfg := base
+		set(&cfg, values[i])
+		res, err := RunExp2(cfg)
+		if err != nil {
+			return Exp2Result{}, fmt.Errorf("sweep %s=%v: %w", param, values[i], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
 	}
 	fig := metrics.Figure{
 		ID:     "sweep-exp2-" + param,
@@ -107,17 +148,11 @@ func SweepExp2(param string, values []float64, base Exp2Config) (metrics.Figure,
 	fp := metrics.Series{Label: "false positives/event"}
 	isoF := metrics.Series{Label: "isolated faulty"}
 	isoC := metrics.Series{Label: "isolated correct"}
-	for _, v := range values {
-		cfg := base
-		set(&cfg, v)
-		res, err := RunExp2(cfg)
-		if err != nil {
-			return metrics.Figure{}, fmt.Errorf("sweep %s=%v: %w", param, v, err)
-		}
-		acc.Add(v, res.Accuracy*100)
-		fp.Add(v, res.FalsePositiveRate)
-		isoF.Add(v, res.IsolatedFaulty)
-		isoC.Add(v, res.IsolatedCorrect)
+	for i, v := range values {
+		acc.Add(v, results[i].Accuracy*100)
+		fp.Add(v, results[i].FalsePositiveRate)
+		isoF.Add(v, results[i].IsolatedFaulty)
+		isoC.Add(v, results[i].IsolatedCorrect)
 	}
 	fig.Series = []metrics.Series{acc, fp, isoF, isoC}
 	return fig, nil

@@ -1,0 +1,90 @@
+// Package parallel implements the deterministic ordered work-pool the
+// experiment harness fans campaigns out on.
+//
+// Every unit of campaign work in this repository — a replicate of one
+// experiment, a figure cell (one simulated data point), a sweep point, a
+// resilience-grid point — is an independent simulation: a pure function
+// of its configuration and seed with no shared mutable state. Such units
+// parallelize perfectly, and because Map writes each result into the
+// slot of its index and callers merge in index order, the assembled
+// output is byte-identical whatever the worker count. Parallelism here
+// changes wall-clock time and nothing else; the determinism regression
+// tests (internal/experiment) pin that property.
+//
+// The pool is deliberately dumb: a bounded set of workers draining an
+// index channel. No worker identity, no wall-clock reads, no randomness
+// — nothing the determinism lint suite (internal/lint) polices, so the
+// package needs no //lint:allow annotations.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a "-parallel N" style knob to an effective worker
+// count: n >= 1 is taken literally (1 = run inline on the caller's
+// goroutine, exactly the pre-pool sequential execution), anything else
+// (0, negative) means one worker per available core.
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0) … fn(n-1) on at most workers goroutines and returns
+// the results in index order. workers <= 1 (or n <= 1) runs every call
+// inline on the caller's goroutine in ascending index order — the
+// sequential execution the parallel path must stay byte-identical to.
+//
+// Error policy: the error of the lowest failing index wins, whatever
+// order workers finish in, so error reporting is as deterministic as
+// the results. All submitted work runs to completion before Map returns
+// — a unit of simulation work has no way to block, so there is nothing
+// to gain from cancelling stragglers and much to lose in determinism.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if results[i], err = fn(i); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,134 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: got %d results, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSequentialExactly(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("cell-%03d", i), nil }
+	seq, err := Map(40, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(40, 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %q != parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4, 32} {
+		_, err := Map(30, workers, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errLow
+			case 23:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestMapParallelRunsAllWorkDespiteError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(20, 4, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d units, want all 20 (no cancellation)", ran.Load())
+	}
+}
+
+func TestMapInlinePathStaysOnCallerGoroutine(t *testing.T) {
+	// workers=1 must not spawn goroutines: fn mutates captured state
+	// without synchronization, which -race would flag if a pool ran it.
+	before := runtime.NumGoroutine()
+	sum := 0
+	got, err := Map(10, 1, func(i int) (int, error) {
+		sum += i
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 45 || got[9] != 45 {
+		t.Fatalf("inline accumulation broken: sum=%d last=%d", sum, got[9])
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Fatalf("inline path leaked goroutines: %d -> %d", before, after)
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got, err := Map(0, 8, func(int) (int, error) { return 1, nil }); err != nil || got != nil {
+		t.Fatalf("n=0: got (%v, %v), want (nil, nil)", got, err)
+	}
+	got, err := Map(1, 8, func(int) (int, error) { return 42, nil })
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("n=1: got (%v, %v)", got, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(1) != 1 || Workers(5) != 5 {
+		t.Fatal("explicit worker counts must pass through")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatal("0 and negatives must resolve to GOMAXPROCS")
+	}
+}
+
+// TestMapRace drives heavy concurrent writes through the pool so the CI
+// -race pass exercises the result-slot and error-slot handoffs.
+func TestMapRace(t *testing.T) {
+	var calls atomic.Int64
+	got, err := Map(500, 16, func(i int) (int64, error) {
+		return calls.Add(1), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 500 || len(got) != 500 {
+		t.Fatalf("calls=%d results=%d, want 500", calls.Load(), len(got))
+	}
+}

@@ -12,6 +12,12 @@
 // without concurrency, and a single-threaded kernel makes every run exactly
 // reproducible — a property the experiment harness and the regression tests
 // rely on.
+//
+// Event records are recycled through a kernel-local free list (backed by
+// block allocation) rather than garbage-collected per event: a campaign
+// dispatches millions of timer events, and the steady-state cost of one is
+// a heap push/pop, not an allocation. Generation counters keep stale Timer
+// handles safe after their event record is reused.
 package sim
 
 import (
@@ -49,42 +55,64 @@ var ErrPastTime = errors.New("sim: cannot schedule event in the past")
 // Handler is a callback invoked when a scheduled event fires.
 type Handler func()
 
+// arenaBlock is how many event records each backing allocation holds. One
+// block covers the typical standing-timer population of a run; busier runs
+// amortize growth over 256 events at a time.
+const arenaBlock = 256
+
+// initialQueueCap pre-sizes the heap so the first few hundred schedules
+// never reallocate the queue slice.
+const initialQueueCap = 64
+
 // event is a queue entry. seq breaks ties so that events scheduled for the
 // same instant fire in scheduling order (FIFO), which keeps runs stable.
+// Records are reused via the kernel free list; gen increments on every
+// recycle so Timer handles from a previous life cannot touch the new one.
 type event struct {
-	at       Time
-	seq      uint64
-	fn       Handler
-	canceled bool
-	index    int // heap index, maintained by the heap interface
+	at    Time
+	seq   uint64
+	fn    Handler
+	gen   uint64
+	index int // heap index, maintained by the heap interface; -1 off-heap
 }
 
 // Timer is a handle to a scheduled event that can be cancelled or queried.
+// Handles stay valid (and inert) after the event fires or is stopped, even
+// though the underlying record is recycled for later events: the generation
+// snapshot detects reuse.
 type Timer struct {
-	ev *event
+	k   *Kernel
+	ev  *event
+	gen uint64
 }
 
-// Stop cancels the timer. It reports whether the cancellation prevented the
-// event from firing (false if it already fired or was already stopped).
+// pending reports whether the handle still refers to its original, queued
+// event.
+func (t *Timer) pending() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+}
+
+// Stop cancels the timer, removing its event from the queue immediately
+// (heap.Remove by index), so heavy timer churn cannot bloat the queue with
+// dead entries. It reports whether the cancellation prevented the event
+// from firing (false if it already fired or was already stopped).
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled {
+	if !t.pending() {
 		return false
 	}
-	if t.ev.index < 0 { // already fired and removed from the queue
-		return false
-	}
-	t.ev.canceled = true
+	ev := t.ev
+	heap.Remove(&t.k.queue, ev.index)
+	t.k.recycle(ev)
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
-}
+func (t *Timer) Active() bool { return t.pending() }
 
-// When returns the virtual time the timer is scheduled to fire.
+// When returns the virtual time the timer is scheduled to fire, or End once
+// it is no longer pending (fired, stopped, or nil).
 func (t *Timer) When() Time {
-	if t == nil || t.ev == nil {
+	if !t.pending() {
 		return End
 	}
 	return t.ev.at
@@ -125,28 +153,70 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
-// Kernel is the discrete-event scheduler. The zero value is ready to use.
+// Kernel is the discrete-event scheduler. The zero value is ready to use;
+// New additionally pre-sizes the queue.
 type Kernel struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
 	stopped bool
 	fired   uint64
+
+	// free holds recycled event records; arena is the tail of the current
+	// backing block, consumed one record at a time. Records never move, so
+	// pointers into a block stay valid for the kernel's lifetime.
+	free  []*event
+	arena []event
 }
 
 // New returns a kernel with the clock at zero.
-func New() *Kernel { return &Kernel{} }
+func New() *Kernel {
+	return &Kernel{queue: make(eventQueue, 0, initialQueueCap)}
+}
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Pending returns the number of events still queued (including cancelled
-// entries that have not yet been drained).
+// Pending returns the number of events still queued. Stopped timers are
+// removed from the queue eagerly, so cancelled events never count (they
+// used to linger until drained; since the heap.Remove-based Stop they do
+// not).
 func (k *Kernel) Pending() int { return len(k.queue) }
 
 // Fired returns the number of events that have been dispatched so far. It
 // is useful for instrumentation and for sanity bounds in tests.
 func (k *Kernel) Fired() uint64 { return k.fired }
+
+// alloc returns an event record from the free list (or carves one from the
+// current arena block), initialized for scheduling at the given time.
+func (k *Kernel) alloc(at Time, fn Handler) *event {
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		if len(k.arena) == 0 {
+			k.arena = make([]event, arenaBlock)
+		}
+		ev = &k.arena[0]
+		k.arena = k.arena[1:]
+	}
+	ev.at = at
+	ev.seq = k.seq
+	ev.fn = fn
+	k.seq++
+	return ev
+}
+
+// recycle retires a record that left the queue (fired or stopped). Bumping
+// gen invalidates every outstanding Timer handle to this life of the
+// record; dropping fn releases the captured closure to the GC.
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	k.free = append(k.free, ev)
+}
 
 // At schedules fn to run at absolute virtual time at. Scheduling at the
 // current time is allowed; the event fires after all events already queued
@@ -156,10 +226,9 @@ func (k *Kernel) At(at Time, fn Handler) (*Timer, error) {
 	if at < k.now {
 		return nil, fmt.Errorf("%w: now=%v requested=%v", ErrPastTime, k.now, at)
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn}
-	k.seq++
+	ev := k.alloc(at, fn)
 	heap.Push(&k.queue, ev)
-	return &Timer{ev: ev}, nil
+	return &Timer{k: k, ev: ev, gen: ev.gen}, nil
 }
 
 // After schedules fn to run d time units from now. A non-positive delay
@@ -192,11 +261,12 @@ func (k *Kernel) Run(until Time) uint64 {
 			break
 		}
 		heap.Pop(&k.queue)
-		if next.canceled {
-			continue
-		}
 		k.now = next.at
-		next.fn()
+		fn := next.fn
+		// Recycle before dispatch: the record may be reused by events the
+		// handler schedules, and the gen bump already shields the handle.
+		k.recycle(next)
+		fn()
 		k.fired++
 		dispatched++
 	}
@@ -212,19 +282,19 @@ func (k *Kernel) Run(until Time) uint64 {
 // than by a horizon.
 func (k *Kernel) RunAll() uint64 { return k.Run(End) }
 
-// Step dispatches exactly one pending non-cancelled event, if any, and
-// reports whether one was dispatched. Tests use it to single-step protocol
-// state machines.
+// Step dispatches exactly one pending event, if any, and reports whether
+// one was dispatched. Tests use it to single-step protocol state machines.
+// (Stopped timers leave the queue immediately, so every queued event is
+// dispatchable.)
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		next := heap.Pop(&k.queue).(*event)
-		if next.canceled {
-			continue
-		}
-		k.now = next.at
-		next.fn()
-		k.fired++
-		return true
+	if len(k.queue) == 0 {
+		return false
 	}
-	return false
+	next := heap.Pop(&k.queue).(*event)
+	k.now = next.at
+	fn := next.fn
+	k.recycle(next)
+	fn()
+	k.fired++
+	return true
 }

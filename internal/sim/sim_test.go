@@ -208,6 +208,77 @@ func TestStepSkipsCancelled(t *testing.T) {
 	}
 }
 
+func TestStopRemovesEventFromQueue(t *testing.T) {
+	k := New()
+	tm := k.After(1, func() {})
+	k.After(2, func() {})
+	k.After(3, func() {})
+	if k.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", k.Pending())
+	}
+	tm.Stop()
+	if k.Pending() != 2 {
+		t.Fatalf("Pending() after Stop = %d, want 2 (eager removal)", k.Pending())
+	}
+}
+
+// TestStaleTimerHandleAfterRecycle pins the generation-counter safety net:
+// once a stopped timer's record is reused by a later schedule, the old
+// handle must stay inert and must not be able to cancel the new event.
+func TestStaleTimerHandleAfterRecycle(t *testing.T) {
+	k := New()
+	old := k.After(1, func() { t.Fatal("stopped event fired") })
+	old.Stop()
+	fired := false
+	fresh := k.After(2, func() { fired = true })
+	if old.ev != fresh.ev {
+		t.Skip("free list did not reuse the record; nothing to pin")
+	}
+	if old.Active() {
+		t.Fatal("stale handle reports active")
+	}
+	if old.Stop() {
+		t.Fatal("stale handle cancelled someone else's event")
+	}
+	if old.When() != End {
+		t.Fatalf("stale When() = %v, want End", old.When())
+	}
+	k.RunAll()
+	if !fired {
+		t.Fatal("fresh event lost to a stale handle")
+	}
+}
+
+func TestTimerWhenAfterStopAndFire(t *testing.T) {
+	k := New()
+	stopped := k.After(1, func() {})
+	stopped.Stop()
+	if stopped.When() != End {
+		t.Fatalf("stopped When() = %v, want End", stopped.When())
+	}
+	firing := k.After(2, func() {})
+	k.RunAll()
+	if firing.When() != End {
+		t.Fatalf("fired When() = %v, want End", firing.When())
+	}
+}
+
+// TestSteadyStateSchedulingDoesNotAllocateEvents checks the free list: in
+// a schedule/dispatch steady state the event record is recycled, leaving
+// only the Timer handle itself (one small allocation) per cycle.
+func TestSteadyStateSchedulingDoesNotAllocateEvents(t *testing.T) {
+	k := New()
+	k.After(1, func() {})
+	k.Step() // prime the free list
+	avg := testing.AllocsPerRun(200, func() {
+		k.After(1, func() {})
+		k.Step()
+	})
+	if avg > 2 {
+		t.Fatalf("steady-state schedule+dispatch allocates %.1f objects/op, want <= 2", avg)
+	}
+}
+
 func TestHandlersCanScheduleMoreWork(t *testing.T) {
 	k := New()
 	depth := 0

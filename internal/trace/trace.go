@@ -116,6 +116,33 @@ func (t *Trace) Stream(w io.Writer) *Trace {
 	return t
 }
 
+// Verbose reports whether emitted records are retained or streamed. Hot
+// paths pair it with Hit to skip message formatting — and the argument
+// boxing Emit's variadic signature forces at the call site — when records
+// are only counted. A nil Trace is not verbose.
+func (t *Trace) Verbose() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.keep || t.out != nil
+}
+
+// Hit counts one action without building a record: the allocation-free
+// Emit for counting-only traces. A nil Trace discards silently.
+func (t *Trace) Hit(kind Kind) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.counts == nil {
+		t.counts = make(map[Kind]int)
+	}
+	t.counts[kind]++
+}
+
 // Emit records one action. A nil Trace discards silently, so components can
 // hold a *Trace without nil checks at every call site.
 func (t *Trace) Emit(now float64, kind Kind, node int, format string, args ...any) {

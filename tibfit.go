@@ -181,13 +181,31 @@ func RunTracking(cfg TrackingConfig) (TrackingResult, error) {
 }
 
 // SweepExp1 varies one binary-experiment parameter over a value list.
+// Sweep points fan out on the deterministic campaign pool (one worker
+// per core); SweepExp1N picks the worker count explicitly.
 func SweepExp1(param string, values []float64, base Exp1Config) (Figure, error) {
 	return experiment.SweepExp1(param, values, base)
 }
 
+// SweepExp1N is SweepExp1 with an explicit campaign worker count
+// (1 = sequential, 0 = one per core). Results are byte-identical at any
+// worker count.
+func SweepExp1N(param string, values []float64, base Exp1Config, workers int) (Figure, error) {
+	return experiment.SweepExp1N(param, values, base, workers)
+}
+
 // SweepExp2 varies one location-experiment parameter over a value list.
+// Sweep points fan out on the deterministic campaign pool (one worker
+// per core); SweepExp2N picks the worker count explicitly.
 func SweepExp2(param string, values []float64, base Exp2Config) (Figure, error) {
 	return experiment.SweepExp2(param, values, base)
+}
+
+// SweepExp2N is SweepExp2 with an explicit campaign worker count
+// (1 = sequential, 0 = one per core). Results are byte-identical at any
+// worker count.
+func SweepExp2N(param string, values []float64, base Exp2Config, workers int) (Figure, error) {
+	return experiment.SweepExp2N(param, values, base, workers)
 }
 
 // DefaultExp1 returns Table 1's parameters.
