@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench bench-report bench-check profile figures validate examples fuzz soak clean
+.PHONY: all build test test-race conformance vet lint bench bench-report bench-check profile figures validate examples fuzz soak clean
 
 all: build lint test
 
@@ -27,6 +27,14 @@ test-race:
 # Short mode skips the million-event kernel stress test.
 test-short:
 	$(GO) test -short ./...
+
+# Scheme-conformance harness under the race detector: every registered
+# decision scheme against the trust-bound/isolation/purity/determinism
+# contract, plus per-scheme campaign byte-identity across worker counts
+# (see docs/SCHEMES.md).
+conformance:
+	$(GO) test -race -count=1 ./internal/decision/
+	$(GO) test -race -count=1 -run 'TestScheme' ./internal/experiment/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -30,8 +30,10 @@ import (
 	"time"
 
 	"github.com/tibfit/tibfit/internal/aggregator"
+	"github.com/tibfit/tibfit/internal/cli"
 	"github.com/tibfit/tibfit/internal/cluster"
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/experiment"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/sim"
@@ -87,7 +89,13 @@ func run(args []string) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run")
 		memprofile = fs.String("memprofile", "", "write a heap profile after the benchmark run")
 	)
+	var sf cli.SchemeFlags
+	sf.Register(fs, experiment.SchemeTIBFIT)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := sf.Resolve()
+	if err != nil {
 		return err
 	}
 
@@ -132,7 +140,7 @@ func run(args []string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
-	for _, bm := range suite() {
+	for _, bm := range suite(scheme, sf) {
 		if filter != nil && !filter.MatchString(bm.name) {
 			continue
 		}
@@ -248,7 +256,11 @@ type benchmark struct {
 // Workload sizes are identical in quick and full mode — -quick only
 // shortens benchtime — so ns/op stays comparable across the two and the
 // CI quick run can be checked against a full-run baseline.
-func suite() []benchmark {
+//
+// The campaign benchmarks run under the -scheme/-lambda/-fr selection;
+// the per-scheme decision/<name>-window entries always cover every
+// registered scheme so the registry's arbitration costs stay comparable.
+func suite(scheme string, sf cli.SchemeFlags) []benchmark {
 	const figEvents = 100
 	figOpts := experiment.FigureOptions{Runs: 1, Events: figEvents, Seed: 1, Parallel: 1}
 
@@ -261,6 +273,12 @@ func suite() []benchmark {
 		{"cluster/kmeans", benchClusterKMeans},
 		{"aggregator/location-round", benchLocationRound},
 		{"aggregator/binary-window", benchBinaryWindow},
+	}
+	for _, name := range decision.Names() {
+		name := name
+		bms = append(bms, benchmark{"decision/" + name + "-window", func(b *testing.B) {
+			benchSchemeWindow(b, name)
+		}})
 	}
 	for _, id := range []string{"figure2", "figure4", "figure8"} {
 		id := id
@@ -276,6 +294,8 @@ func suite() []benchmark {
 		benchmark{"campaign/exp1-table1", func(b *testing.B) {
 			cfg := experiment.DefaultExp1()
 			cfg.FaultyFraction = 0.5
+			cfg.Scheme = scheme
+			sf.ApplyLambda(&cfg.Lambda)
 			for i := 0; i < b.N; i++ {
 				if _, err := experiment.RunExp1(cfg); err != nil {
 					b.Fatal(err)
@@ -285,6 +305,9 @@ func suite() []benchmark {
 		benchmark{"campaign/exp2-table2", func(b *testing.B) {
 			cfg := experiment.DefaultExp2()
 			cfg.Events = figEvents
+			cfg.Scheme = scheme
+			sf.ApplyLambda(&cfg.Lambda)
+			sf.ApplyFaultRate(&cfg.FaultRate)
 			for i := 0; i < b.N; i++ {
 				if _, err := experiment.RunExp2(cfg); err != nil {
 					b.Fatal(err)
@@ -445,7 +468,7 @@ func benchLocationRound(b *testing.B) {
 	}
 	agg, err := aggregator.NewLocation(
 		aggregator.LocationConfig{Tout: 1, RError: 5, SenseRadius: 25},
-		table, kernel, pos, nil, nil, nil)
+		decision.Adapt(table), kernel, pos, nil, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -473,7 +496,38 @@ func benchBinaryWindow(b *testing.B) {
 	}
 	agg, err := aggregator.NewBinary(
 		aggregator.BinaryConfig{Tout: 1, Members: members},
-		table, kernel, nil, nil, nil)
+		decision.Adapt(table), kernel, nil, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, nodeID := range members[:18] {
+			agg.Deliver(nodeID)
+		}
+		kernel.RunAll()
+	}
+}
+
+// benchSchemeWindow times one full binary decision window under a named
+// registered scheme: 18 of 25 members report, the window closes, the
+// scheme arbitrates and absorbs the trust feedback.
+func benchSchemeWindow(b *testing.B, name string) {
+	kernel := sim.New()
+	s, err := decision.New(name, decision.Params{
+		Trust: core.Params{Lambda: 0.1, FaultRate: 0.05},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := make([]int, 25)
+	for i := range members {
+		members[i] = i
+	}
+	agg, err := aggregator.NewBinary(
+		aggregator.BinaryConfig{Tout: 1, Members: members},
+		s, kernel, nil, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

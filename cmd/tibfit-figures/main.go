@@ -6,6 +6,7 @@
 //
 //	tibfit-figures [-out figures/] [-runs 3] [-events 0] [-seed 1] [-only figure4,figure5]
 //	               [-parallel N]   # campaign workers; output is byte-identical at any N
+//	               [-scheme NAME] [-lambda L] [-fr F]  # override the free scheme/params
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tibfit/tibfit/internal/cli"
 	"github.com/tibfit/tibfit/internal/experiment"
 )
 
@@ -36,7 +38,13 @@ func run(args []string) error {
 		only   = fs.String("only", "", "comma-separated figure IDs (default: all)")
 		par    = fs.Int("parallel", 0, "campaign workers: figure cells simulated concurrently (1 = sequential, 0 = one per core); output is identical either way")
 	)
+	var sf cli.SchemeFlags
+	sf.Register(fs, "")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := sf.Resolve()
+	if err != nil {
 		return err
 	}
 
@@ -48,7 +56,10 @@ func run(args []string) error {
 		return err
 	}
 
-	opts := experiment.FigureOptions{Runs: *runs, Events: *events, Seed: *seed, Parallel: *par}
+	opts := experiment.FigureOptions{
+		Runs: *runs, Events: *events, Seed: *seed, Parallel: *par,
+		Scheme: scheme, Lambda: sf.Lambda, FaultRate: sf.FaultRate,
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()

@@ -21,6 +21,7 @@ import (
 	"runtime/pprof"
 
 	"github.com/tibfit/tibfit/internal/chaos"
+	"github.com/tibfit/tibfit/internal/cli"
 	"github.com/tibfit/tibfit/internal/energy"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/leach"
@@ -50,7 +51,6 @@ func run(args []string, out *os.File) error {
 		multihop = fs.Bool("multihop", false, "route reports over the relay mesh")
 		rng0     = fs.Int64("seed", 7, "random seed")
 		rrange   = fs.Float64("range", 16, "radio range (multihop mode)")
-		scheme   = fs.String("scheme", "tibfit", "tibfit or baseline")
 		savePath = fs.String("save", "", "write base-station trust state to this file")
 		loadPath = fs.String("load", "", "seed the base station from this file")
 		showMap  = fs.Bool("map", false, "render the trust field map after the run")
@@ -64,7 +64,13 @@ func run(args []string, out *os.File) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile after the run to this file")
 	)
+	var sf cli.SchemeFlags
+	sf.Register(fs, "tibfit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := sf.Resolve()
+	if err != nil {
 		return err
 	}
 	if *rounds < 1 {
@@ -100,7 +106,8 @@ func run(args []string, out *os.File) error {
 	root := rng.New(*rng0)
 
 	netCfg := network.DefaultConfig()
-	netCfg.Scheme = *scheme
+	netCfg.Scheme = scheme
+	netCfg.Trust = sf.ApplyTrust(netCfg.Trust)
 	netCfg.Multihop = *multihop
 	netCfg.Mode = *mode
 	if *failover {
@@ -178,7 +185,7 @@ func run(args []string, out *os.File) error {
 	}
 
 	fmt.Fprintf(out, "%d nodes (%d faulty), %d clusters, scheme=%s multihop=%t\n",
-		*nNodes, nFaulty, len(net.Heads()), *scheme, *multihop)
+		*nNodes, nFaulty, len(net.Heads()), scheme, *multihop)
 
 	evSrc := root.Split("events")
 	period := 10.0

@@ -5,7 +5,8 @@
 //
 //	tibfit-sim -fig figure4 [-runs 3] [-events 500] [-seed 1] [-format table|csv]
 //	tibfit-sim -exp 1 -faulty 0.7 -ner 0.01 -fa 0.1 [-scheme tibfit]
-//	tibfit-sim -exp 2 -faulty 0.5 -level 1 [-scheme baseline] [-concurrent]
+//	tibfit-sim -exp 2 -faulty 0.5 -level 1 [-scheme dynamic-trust] [-concurrent]
+//	tibfit-sim -exp 2 -scheme fuzzy -lambda 0.5 -fr 0.05
 //	tibfit-sim -exp 3 [-scheme tibfit]
 //	tibfit-sim -track -faulty 0.4 [-scheme baseline]
 //	tibfit-sim -sweep lambda -values 0.05,0.1,0.25,0.5 -exp 2
@@ -20,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/tibfit/tibfit/internal/cli"
 	"github.com/tibfit/tibfit/internal/experiment"
 	"github.com/tibfit/tibfit/internal/metrics"
 	"github.com/tibfit/tibfit/internal/node"
@@ -49,7 +51,6 @@ func run(args []string) error {
 		ner        = fs.Float64("ner", 0.01, "correct-node natural error rate (exp 1)")
 		fa         = fs.Float64("fa", 0, "faulty-node false-alarm probability (exp 1)")
 		level      = fs.Int("level", 0, "adversary level 0-3 (exp 2-3; 3 = jittering coalition extension)")
-		scheme     = fs.String("scheme", experiment.SchemeTIBFIT, "tibfit or baseline")
 		concurrent = fs.Bool("concurrent", false, "concurrent events (exp 2)")
 		track      = fs.Bool("track", false, "run the mobile-target tracking scenario")
 		sweep      = fs.String("sweep", "", "sweep one parameter of -exp 1 or 2 (see -sweep help)")
@@ -58,7 +59,13 @@ func run(args []string) error {
 		guard      = fs.Float64("guard", 0, "coincidence-guard distance (exp 2-3 extension; 0 = off)")
 		par        = fs.Int("parallel", 0, "campaign workers: figure cells / sweep points run concurrently (1 = sequential, 0 = one per core); output is identical either way")
 	)
+	var sf cli.SchemeFlags
+	sf.Register(fs, experiment.SchemeTIBFIT)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := sf.Resolve()
+	if err != nil {
 		return err
 	}
 
@@ -92,6 +99,7 @@ func run(args []string) error {
 	case *fig != "":
 		f, err := experiment.Generate(*fig, experiment.FigureOptions{
 			Runs: *runs, Events: *events, Seed: *seed, Parallel: *par,
+			Scheme: scheme, Lambda: sf.Lambda, FaultRate: sf.FaultRate,
 		})
 		if err != nil {
 			return err
@@ -113,7 +121,8 @@ func run(args []string) error {
 		case 1:
 			base := experiment.DefaultExp1()
 			base.FaultyFraction = *faulty
-			base.Scheme = *scheme
+			base.Scheme = scheme
+			sf.ApplyLambda(&base.Lambda)
 			base.Runs = *runs
 			base.Seed = *seed
 			if *events > 0 {
@@ -123,7 +132,9 @@ func run(args []string) error {
 		case 0, 2:
 			base := experiment.DefaultExp2()
 			base.FaultyFraction = *faulty
-			base.Scheme = *scheme
+			base.Scheme = scheme
+			sf.ApplyLambda(&base.Lambda)
+			sf.ApplyFaultRate(&base.FaultRate)
 			base.Runs = *runs
 			base.Seed = *seed
 			if *events > 0 {
@@ -141,7 +152,9 @@ func run(args []string) error {
 	case *track:
 		cfg := experiment.DefaultTracking()
 		cfg.FaultyFraction = *faulty
-		cfg.Scheme = *scheme
+		cfg.Scheme = scheme
+		sf.ApplyLambda(&cfg.Lambda)
+		sf.ApplyFaultRate(&cfg.FaultRate)
 		cfg.Runs = *runs
 		cfg.Seed = *seed
 		if *events > 0 {
@@ -175,7 +188,8 @@ func run(args []string) error {
 		cfg.FaultyFraction = *faulty
 		cfg.NER = *ner
 		cfg.FalseAlarmProb = *fa
-		cfg.Scheme = *scheme
+		cfg.Scheme = scheme
+		sf.ApplyLambda(&cfg.Lambda)
 		cfg.Runs = *runs
 		cfg.Seed = *seed
 		if *events > 0 {
@@ -198,7 +212,9 @@ func run(args []string) error {
 		cfg.Trace = tr
 		cfg.CoincidenceGuard = *guard
 		cfg.FaultyFraction = *faulty
-		cfg.Scheme = *scheme
+		cfg.Scheme = scheme
+		sf.ApplyLambda(&cfg.Lambda)
+		sf.ApplyFaultRate(&cfg.FaultRate)
 		cfg.Concurrent = *concurrent
 		cfg.Runs = *runs
 		cfg.Seed = *seed

@@ -14,9 +14,11 @@
 //     event cluster, using CH-known node positions to derive each
 //     candidate's event-neighbor set.
 //
-// Both aggregators are agnostic to the weighing scheme (TIBFIT trust table
-// or stateless majority baseline) via core.Weigher, which is how the
-// paper's TIBFIT-vs-baseline comparisons are run through identical code.
+// Both aggregators share one windowing-and-feedback pipeline and are
+// agnostic to the decision engine via decision.Scheme: the scheme weighs
+// each report, arbitrates each window, and absorbs the post-decision trust
+// feedback, which is how the paper's TIBFIT-vs-baseline comparisons (and
+// the extension schemes in docs/SCHEMES.md) run through identical code.
 package aggregator
 
 import (
@@ -24,6 +26,7 @@ import (
 	"sort"
 
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/sim"
 	"github.com/tibfit/tibfit/internal/trace"
@@ -82,30 +85,24 @@ type BinaryConfig struct {
 
 // Binary is the §3.1 binary-event aggregator.
 type Binary struct {
+	pipeline
 	cfg      BinaryConfig
-	weigher  core.Weigher
-	kernel   *sim.Kernel
-	feedback Feedback
 	onDecide func(BinaryOutcome)
-	tr       *trace.Trace
 
-	windowOpen    bool
-	windowTrigger sim.Time
-	reporters     map[int]bool
-	windows       int
-	closed        bool
+	reporters map[int]bool
 
 	// scrR and scrNR are the per-window R/NR scratch slices, reused
-	// across windows: every consumer of the two sides (DecideBinary and
+	// across windows: every consumer of the two sides (Arbitrate and
 	// the BinaryDecider implementations) copies what it keeps, so the
 	// backing arrays stay ours.
 	scrR  []int
 	scrNR []int
 }
 
-// NewBinary returns a binary aggregator. onDecide is invoked after every
-// completed window; feedback (optional) receives per-node verdicts.
-func NewBinary(cfg BinaryConfig, w core.Weigher, kernel *sim.Kernel,
+// NewBinary returns a binary aggregator running the given decision scheme.
+// onDecide is invoked after every completed window; feedback (optional)
+// receives per-node verdicts.
+func NewBinary(cfg BinaryConfig, scheme decision.Scheme, kernel *sim.Kernel,
 	onDecide func(BinaryOutcome), feedback Feedback, tr *trace.Trace) (*Binary, error) {
 	if cfg.Tout <= 0 {
 		return nil, fmt.Errorf("aggregator: Tout must be positive, got %v", cfg.Tout)
@@ -113,19 +110,21 @@ func NewBinary(cfg BinaryConfig, w core.Weigher, kernel *sim.Kernel,
 	if len(cfg.Members) == 0 {
 		return nil, fmt.Errorf("aggregator: binary aggregator needs at least one member")
 	}
-	if w == nil || kernel == nil {
-		return nil, fmt.Errorf("aggregator: weigher and kernel are required")
+	if scheme == nil || kernel == nil {
+		return nil, fmt.Errorf("aggregator: scheme and kernel are required")
 	}
 	members := make([]int, len(cfg.Members))
 	copy(members, cfg.Members)
 	cfg.Members = members
 	return &Binary{
+		pipeline: pipeline{
+			scheme:   scheme,
+			kernel:   kernel,
+			feedback: feedback,
+			tr:       tr,
+		},
 		cfg:       cfg,
-		weigher:   w,
-		kernel:    kernel,
-		feedback:  feedback,
 		onDecide:  onDecide,
-		tr:        tr,
 		reporters: make(map[int]bool, len(cfg.Members)),
 		scrR:      make([]int, 0, len(cfg.Members)),
 		scrNR:     make([]int, 0, len(cfg.Members)),
@@ -133,16 +132,7 @@ func NewBinary(cfg BinaryConfig, w core.Weigher, kernel *sim.Kernel,
 }
 
 // Windows returns how many aggregation windows have completed.
-func (b *Binary) Windows() int { return b.windows }
-
-// Close marks the aggregator dead: its cluster head crashed, so buffered
-// reports and any open window die with it. Subsequent Deliver calls and
-// the pending T_out expiry become no-ops. Close is idempotent and
-// irreversible; failover builds a fresh aggregator for the new head.
-func (b *Binary) Close() { b.closed = true }
-
-// Closed reports whether Close has been called.
-func (b *Binary) Closed() bool { return b.closed }
+func (b *Binary) Windows() int { return b.decided }
 
 // Deliver hands the aggregator one event report that survived the channel.
 // The first report of a window opens it and schedules the T_out expiry.
@@ -150,14 +140,10 @@ func (b *Binary) Deliver(nodeID int) {
 	if b.closed {
 		return
 	}
-	if b.weigher.Isolated(nodeID) {
+	if b.scheme.Isolated(nodeID) {
 		return // the sink no longer listens to isolated nodes
 	}
-	if !b.windowOpen {
-		b.windowOpen = true
-		b.windowTrigger = b.kernel.Now()
-		b.kernel.After(b.cfg.Tout, b.closeWindow)
-	}
+	b.openWindow(b.cfg.Tout, b.closeWindow)
 	b.reporters[nodeID] = true
 	if b.tr.Verbose() {
 		b.tr.Emit(float64(b.kernel.Now()), trace.KindReportDelivered, nodeID, "binary report")
@@ -188,19 +174,12 @@ func (b *Binary) closeWindow() {
 	if b.cfg.Decider != nil {
 		dec = b.cfg.Decider.DecideAndSettle(reporters, silent)
 		// The decision broadcast still reaches every member.
-		if b.feedback != nil {
-			for _, id := range dec.Reporters {
-				b.feedback(id, dec.Occurred)
-			}
-			for _, id := range dec.Silent {
-				b.feedback(id, !dec.Occurred)
-			}
-		}
+		b.relay(dec)
 	} else {
-		dec = core.DecideBinary(b.weigher, reporters, silent)
-		applyWithFeedback(b.weigher, dec, b.feedback)
+		dec = b.scheme.Arbitrate(reporters, silent)
+		b.settle(dec)
 	}
-	b.windows++
+	b.decided++
 	out := BinaryOutcome{
 		TriggerTime: b.windowTrigger,
 		DecideTime:  b.kernel.Now(),
@@ -216,23 +195,6 @@ func (b *Binary) closeWindow() {
 	b.scrR, b.scrNR = reporters, silent
 	if b.onDecide != nil {
 		b.onDecide(out)
-	}
-}
-
-// applyWithFeedback commits a decision's trust updates and relays each
-// verdict to the feedback sink (the decision broadcast).
-func applyWithFeedback(w core.Weigher, d core.BinaryDecision, fb Feedback) {
-	for _, id := range d.Reporters {
-		w.Judge(id, d.Occurred)
-		if fb != nil {
-			fb(id, d.Occurred)
-		}
-	}
-	for _, id := range d.Silent {
-		w.Judge(id, !d.Occurred)
-		if fb != nil {
-			fb(id, !d.Occurred)
-		}
 	}
 }
 

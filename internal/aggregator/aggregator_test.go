@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/sim"
 )
@@ -19,7 +20,7 @@ func newBinaryHarness(t *testing.T, members []int) (*Binary, *core.Table, *sim.K
 	var outcomes []BinaryOutcome
 	b, err := NewBinary(
 		BinaryConfig{Tout: 1, Members: members},
-		table, kernel,
+		decision.Adapt(table), kernel,
 		func(o BinaryOutcome) { outcomes = append(outcomes, o) },
 		nil, nil)
 	if err != nil {
@@ -31,16 +32,16 @@ func newBinaryHarness(t *testing.T, members []int) (*Binary, *core.Table, *sim.K
 func TestNewBinaryValidation(t *testing.T) {
 	kernel := sim.New()
 	table := core.MustNewTable(testTrustParams())
-	if _, err := NewBinary(BinaryConfig{Tout: 0, Members: []int{1}}, table, kernel, nil, nil, nil); err == nil {
+	if _, err := NewBinary(BinaryConfig{Tout: 0, Members: []int{1}}, decision.Adapt(table), kernel, nil, nil, nil); err == nil {
 		t.Fatal("accepted zero Tout")
 	}
-	if _, err := NewBinary(BinaryConfig{Tout: 1}, table, kernel, nil, nil, nil); err == nil {
+	if _, err := NewBinary(BinaryConfig{Tout: 1}, decision.Adapt(table), kernel, nil, nil, nil); err == nil {
 		t.Fatal("accepted empty members")
 	}
 	if _, err := NewBinary(BinaryConfig{Tout: 1, Members: []int{1}}, nil, kernel, nil, nil, nil); err == nil {
 		t.Fatal("accepted nil weigher")
 	}
-	if _, err := NewBinary(BinaryConfig{Tout: 1, Members: []int{1}}, table, nil, nil, nil, nil); err == nil {
+	if _, err := NewBinary(BinaryConfig{Tout: 1, Members: []int{1}}, decision.Adapt(table), nil, nil, nil, nil); err == nil {
 		t.Fatal("accepted nil kernel")
 	}
 }
@@ -139,7 +140,7 @@ func TestBinaryIgnoresIsolatedReporters(t *testing.T) {
 		t.Fatal("setup: node not isolated")
 	}
 	var outcomes []BinaryOutcome
-	b, err := NewBinary(BinaryConfig{Tout: 1, Members: members}, table, kernel,
+	b, err := NewBinary(BinaryConfig{Tout: 1, Members: members}, decision.Adapt(table), kernel,
 		func(o BinaryOutcome) { outcomes = append(outcomes, o) }, nil, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +157,7 @@ func TestBinaryFeedbackBroadcast(t *testing.T) {
 	kernel := sim.New()
 	table := core.MustNewTable(testTrustParams())
 	verdicts := make(map[int]bool)
-	b, err := NewBinary(BinaryConfig{Tout: 1, Members: members}, table, kernel,
+	b, err := NewBinary(BinaryConfig{Tout: 1, Members: members}, decision.Adapt(table), kernel,
 		nil, func(id int, correct bool) { verdicts[id] = correct }, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/sim"
 )
@@ -31,7 +32,7 @@ func BenchmarkLocationRound(b *testing.B) {
 	pos := benchGrid(5)
 	agg, err := NewLocation(
 		LocationConfig{Tout: 1, RError: 5, SenseRadius: 25},
-		table, kernel, pos, nil, nil, nil)
+		decision.Adapt(table), kernel, pos, nil, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func BenchmarkBinaryWindow(b *testing.B) {
 	}
 	agg, err := NewBinary(
 		BinaryConfig{Tout: 1, Members: members},
-		table, kernel, nil, nil, nil)
+		decision.Adapt(table), kernel, nil, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/sim"
 )
@@ -19,7 +20,7 @@ func TestBinaryAliveHookExcludesDownMembers(t *testing.T) {
 	var outcomes []BinaryOutcome
 	b, err := NewBinary(
 		BinaryConfig{Tout: 1, Members: members, Alive: func(id int) bool { return !downed[id] }},
-		table, kernel,
+		decision.Adapt(table), kernel,
 		func(o BinaryOutcome) { outcomes = append(outcomes, o) },
 		nil, nil)
 	if err != nil {
@@ -88,7 +89,7 @@ func TestLocationCloseKillsPendingWindow(t *testing.T) {
 	table := core.MustNewTable(testTrustParams())
 	pos := PosMap{0: {X: 0, Y: 0}, 1: {X: 1, Y: 0}, 2: {X: 0, Y: 1}}
 	var decided int
-	l, err := NewLocation(LocationConfig{Tout: 1, RError: 5, SenseRadius: 20}, table, kernel, pos,
+	l, err := NewLocation(LocationConfig{Tout: 1, RError: 5, SenseRadius: 20}, decision.Adapt(table), kernel, pos,
 		func(o LocationOutcome) { decided++ }, nil, nil)
 	if err != nil {
 		t.Fatal(err)

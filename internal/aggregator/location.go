@@ -6,6 +6,7 @@ import (
 
 	"github.com/tibfit/tibfit/internal/cluster"
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/sim"
 	"github.com/tibfit/tibfit/internal/trace"
@@ -104,24 +105,17 @@ func (o LocationOutcome) Declared() []geo.Point {
 
 // Location is the §3.2/§3.3 location-determination aggregator.
 type Location struct {
+	pipeline
 	cfg      LocationConfig
-	weigher  core.Weigher
-	kernel   *sim.Kernel
 	pos      Positions
-	feedback Feedback
 	onDecide func(LocationOutcome)
-	tr       *trace.Trace
 
-	// Single-window mode state.
-	windowOpen    bool
-	windowTrigger sim.Time
-	pending       []cluster.Report
+	// Single-window mode state (the window lifecycle itself lives in the
+	// shared pipeline).
+	pending []cluster.Report
 
 	// Concurrent mode state.
 	circles *cluster.CircleSet
-
-	rounds int
-	closed bool
 
 	// scr is per-round working storage, reused across aggregation rounds
 	// so the decide path stops allocating maps and slices per event. The
@@ -173,23 +167,26 @@ func resetBoolSet(m map[int]bool, sizeHint int) map[int]bool {
 	return m
 }
 
-// NewLocation returns a location aggregator over the given known positions.
-func NewLocation(cfg LocationConfig, w core.Weigher, kernel *sim.Kernel, pos Positions,
+// NewLocation returns a location aggregator over the given known positions,
+// running the given decision scheme.
+func NewLocation(cfg LocationConfig, scheme decision.Scheme, kernel *sim.Kernel, pos Positions,
 	onDecide func(LocationOutcome), feedback Feedback, tr *trace.Trace) (*Location, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if w == nil || kernel == nil || pos == nil {
-		return nil, fmt.Errorf("aggregator: weigher, kernel, and positions are required")
+	if scheme == nil || kernel == nil || pos == nil {
+		return nil, fmt.Errorf("aggregator: scheme, kernel, and positions are required")
 	}
 	l := &Location{
+		pipeline: pipeline{
+			scheme:   scheme,
+			kernel:   kernel,
+			feedback: feedback,
+			tr:       tr,
+		},
 		cfg:      cfg,
-		weigher:  w,
-		kernel:   kernel,
 		pos:      pos,
-		feedback: feedback,
 		onDecide: onDecide,
-		tr:       tr,
 	}
 	if cfg.Concurrent {
 		l.circles = cluster.NewCircleSet(cfg.RError, cfg.Tout)
@@ -198,15 +195,7 @@ func NewLocation(cfg LocationConfig, w core.Weigher, kernel *sim.Kernel, pos Pos
 }
 
 // Rounds returns how many aggregation rounds have completed.
-func (l *Location) Rounds() int { return l.rounds }
-
-// Close marks the aggregator dead: its cluster head crashed, so buffered
-// reports and any pending window or circle deadline die with it. It is
-// idempotent and irreversible; failover builds a fresh aggregator.
-func (l *Location) Close() { l.closed = true }
-
-// Closed reports whether Close has been called.
-func (l *Location) Closed() bool { return l.closed }
+func (l *Location) Rounds() int { return l.decided }
 
 // Deliver hands the aggregator one location report that survived the
 // channel: the sender and the polar offset it transmitted. The aggregator
@@ -217,7 +206,7 @@ func (l *Location) Deliver(nodeID int, off geo.Polar) {
 		return
 	}
 	origin, ok := l.pos.Pos(nodeID)
-	if !ok || l.weigher.Isolated(nodeID) {
+	if !ok || l.scheme.Isolated(nodeID) {
 		return
 	}
 	rep := cluster.Report{Node: nodeID, Loc: geo.FromPolar(origin, off)}
@@ -230,11 +219,7 @@ func (l *Location) Deliver(nodeID int, off geo.Polar) {
 		l.deliverConcurrent(rep)
 		return
 	}
-	if !l.windowOpen {
-		l.windowOpen = true
-		l.windowTrigger = l.kernel.Now()
-		l.kernel.After(l.cfg.Tout, l.closeWindow)
-	}
+	l.openWindow(l.cfg.Tout, l.closeWindow)
 	l.pending = append(l.pending, rep)
 }
 
@@ -300,7 +285,7 @@ func (l *Location) decideGroup(reports []cluster.Report, trigger sim.Time) {
 	for _, ec := range clusters {
 		var cti float64
 		for _, r := range ec.Reports {
-			cti += l.weigher.Weight(r.Node)
+			cti += l.scheme.Weight(r.Node)
 		}
 		l.scr.ctis = append(l.scr.ctis, cti)
 	}
@@ -323,7 +308,7 @@ func (l *Location) decideGroup(reports []cluster.Report, trigger sim.Time) {
 			l.tr.Hit(trace.KindDecision)
 		}
 	}
-	l.rounds++
+	l.decided++
 	if l.onDecide != nil {
 		l.onDecide(out)
 	}
@@ -371,9 +356,9 @@ func (l *Location) decideCandidate(ec cluster.EventCluster, reported map[int]boo
 		}
 	}
 
-	// DecideBinary copies both sides (filterActive), so the scratch
-	// slices stay ours to reuse.
-	dec := core.DecideBinary(l.weigher, s.members, s.silent)
+	// Arbitrate copies both sides (filterActive), so the scratch slices
+	// stay ours to reuse.
+	dec := l.scheme.Arbitrate(s.members, s.silent)
 	if l.cfg.CoincidenceGuard > 0 {
 		// Re-weigh the reporting side with coincident cliques collapsed
 		// to their strongest member, then re-decide on the adjusted CTI.
@@ -386,13 +371,10 @@ func (l *Location) decideCandidate(ec cluster.EventCluster, reported map[int]boo
 			loc = w
 		}
 	}
-	applyWithFeedback(l.weigher, dec, l.feedback)
+	l.settle(dec)
 	sort.Ints(s.violators)
 	for _, id := range s.violators {
-		l.weigher.Judge(id, false)
-		if l.feedback != nil {
-			l.feedback(id, false)
-		}
+		l.judge(id, false)
 	}
 	// The violator list escapes into the Candidate; copy it exactly sized
 	// (nil when empty, like the pre-scratch code).
@@ -447,7 +429,7 @@ func (l *Location) guardedCTI(ec cluster.EventCluster, reporters []int) float64 
 	groupMax := s.groupMax
 	for i, r := range reps {
 		root := find(i)
-		if w := l.weigher.Weight(r.Node); w > groupMax[root] {
+		if w := l.scheme.Weight(r.Node); w > groupMax[root] {
 			groupMax[root] = w
 		}
 	}
@@ -475,7 +457,7 @@ func (l *Location) trustWeightedCenter(ec cluster.EventCluster, members map[int]
 			continue
 		}
 		s.pts = append(s.pts, rep.Loc)
-		s.weights = append(s.weights, l.weigher.Weight(rep.Node))
+		s.weights = append(s.weights, l.scheme.Weight(rep.Node))
 	}
 	return geo.WeightedCentroid(s.pts, s.weights)
 }

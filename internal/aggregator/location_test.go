@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/sim"
 )
@@ -37,7 +38,7 @@ func newLocHarness(t *testing.T, concurrent bool) *locHarness {
 	}
 	agg, err := NewLocation(
 		LocationConfig{Tout: 1, RError: 5, SenseRadius: 20, Concurrent: concurrent},
-		h.table, h.kernel, h.pos,
+		decision.Adapt(h.table), h.kernel, h.pos,
 		func(o LocationOutcome) { h.outcomes = append(h.outcomes, o) },
 		func(id int, correct bool) { h.verdicts[id] = append(h.verdicts[id], correct) },
 		nil)
@@ -63,7 +64,7 @@ func TestNewLocationValidation(t *testing.T) {
 		{Tout: 1, RError: 5, SenseRadius: 0},
 	}
 	for i, cfg := range bad {
-		if _, err := NewLocation(cfg, table, kernel, pos, nil, nil, nil); err == nil {
+		if _, err := NewLocation(cfg, decision.Adapt(table), kernel, pos, nil, nil, nil); err == nil {
 			t.Fatalf("case %d: invalid config accepted", i)
 		}
 	}
@@ -71,10 +72,10 @@ func TestNewLocationValidation(t *testing.T) {
 	if _, err := NewLocation(good, nil, kernel, pos, nil, nil, nil); err == nil {
 		t.Fatal("accepted nil weigher")
 	}
-	if _, err := NewLocation(good, table, nil, pos, nil, nil, nil); err == nil {
+	if _, err := NewLocation(good, decision.Adapt(table), nil, pos, nil, nil, nil); err == nil {
 		t.Fatal("accepted nil kernel")
 	}
-	if _, err := NewLocation(good, table, kernel, nil, nil, nil, nil); err == nil {
+	if _, err := NewLocation(good, decision.Adapt(table), kernel, nil, nil, nil, nil); err == nil {
 		t.Fatal("accepted nil positions")
 	}
 }
@@ -195,7 +196,7 @@ func TestLocationIsolatedReporterIgnored(t *testing.T) {
 	pos := PosMap{3: {X: 10, Y: 10}}
 	var outcomes []LocationOutcome
 	agg, err := NewLocation(LocationConfig{Tout: 1, RError: 5, SenseRadius: 20},
-		table, kernel, pos, func(o LocationOutcome) { outcomes = append(outcomes, o) }, nil, nil)
+		decision.Adapt(table), kernel, pos, func(o LocationOutcome) { outcomes = append(outcomes, o) }, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestTrustWeightedCentroidPullsTowardTrusted(t *testing.T) {
 	var outcomes []LocationOutcome
 	agg, err := NewLocation(
 		LocationConfig{Tout: 1, RError: 5, SenseRadius: 25, TrustWeightedCentroid: true},
-		table, kernel, pos,
+		decision.Adapt(table), kernel, pos,
 		func(o LocationOutcome) { outcomes = append(outcomes, o) }, nil, nil)
 	if err != nil {
 		t.Fatal(err)

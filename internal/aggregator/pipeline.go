@@ -1,0 +1,82 @@
+package aggregator
+
+import (
+	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
+	"github.com/tibfit/tibfit/internal/sim"
+	"github.com/tibfit/tibfit/internal/trace"
+)
+
+// pipeline is the windowing-and-feedback machinery shared by the binary
+// and location aggregators: the decision scheme, the simulation kernel,
+// the T_out window lifecycle, the verdict settlement (trust updates plus
+// the overheard decision broadcast), and the lifecycle/accounting state.
+// What differs between the two aggregators — how reports accumulate and
+// how the two sides of a vote are formed — stays in Binary and Location;
+// everything downstream of "we have the two sides" lives here.
+type pipeline struct {
+	scheme   decision.Scheme
+	kernel   *sim.Kernel
+	feedback Feedback
+	tr       *trace.Trace
+
+	windowOpen    bool
+	windowTrigger sim.Time
+	decided       int
+	closed        bool
+}
+
+// Close marks the aggregator dead: its cluster head crashed, so buffered
+// reports and any pending window or circle deadline die with it. Close is
+// idempotent and irreversible; failover builds a fresh aggregator for the
+// new head.
+func (p *pipeline) Close() { p.closed = true }
+
+// Closed reports whether Close has been called.
+func (p *pipeline) Closed() bool { return p.closed }
+
+// openWindow starts a T_out window at the current time if none is open,
+// scheduling expire at its deadline.
+func (p *pipeline) openWindow(tout sim.Duration, expire func()) {
+	if p.windowOpen {
+		return
+	}
+	p.windowOpen = true
+	p.windowTrigger = p.kernel.Now()
+	p.kernel.After(tout, expire)
+}
+
+// judge commits one verdict to the scheme and relays it to the feedback
+// sink — the decision broadcast every one-hop member overhears.
+func (p *pipeline) judge(node int, correct bool) {
+	p.scheme.Judge(node, correct)
+	if p.feedback != nil {
+		p.feedback(node, correct)
+	}
+}
+
+// settle commits a decision's implied verdicts: reporters were correct iff
+// the event occurred, silent event neighbors iff it did not.
+func (p *pipeline) settle(d core.BinaryDecision) {
+	for _, id := range d.Reporters {
+		p.judge(id, d.Occurred)
+	}
+	for _, id := range d.Silent {
+		p.judge(id, !d.Occurred)
+	}
+}
+
+// relay broadcasts a decision's verdicts without judging — for the
+// BinaryDecider path, where the decider already applied its own trust
+// updates but the broadcast still reaches every member.
+func (p *pipeline) relay(d core.BinaryDecision) {
+	if p.feedback == nil {
+		return
+	}
+	for _, id := range d.Reporters {
+		p.feedback(id, d.Occurred)
+	}
+	for _, id := range d.Silent {
+		p.feedback(id, !d.Occurred)
+	}
+}

@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/core"
+)
+
+func parse(t *testing.T, defaultScheme string, argv ...string) *SchemeFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var sf SchemeFlags
+	sf.Register(fs, defaultScheme)
+	if err := fs.Parse(argv); err != nil {
+		t.Fatal(err)
+	}
+	return &sf
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	sf := parse(t, "tibfit")
+	if sf.Scheme != "tibfit" || sf.Lambda != 0 || sf.FaultRate != 0 {
+		t.Fatalf("defaults = %+v", sf)
+	}
+	scheme, err := sf.Resolve()
+	if err != nil || scheme != "tibfit" {
+		t.Fatalf("Resolve() = %q, %v", scheme, err)
+	}
+}
+
+func TestResolveAlias(t *testing.T) {
+	sf := parse(t, "tibfit", "-scheme", "baseline")
+	scheme, err := sf.Resolve()
+	if err != nil || scheme != "majority" {
+		t.Fatalf("Resolve(baseline) = %q, %v", scheme, err)
+	}
+}
+
+// An empty default (tibfit-figures) must resolve to "", meaning "keep each
+// figure's own scheme" — critical for byte-identity of the committed
+// figures.
+func TestResolveEmptyKeepsDefault(t *testing.T) {
+	sf := parse(t, "")
+	scheme, err := sf.Resolve()
+	if err != nil || scheme != "" {
+		t.Fatalf("Resolve(\"\") = %q, %v", scheme, err)
+	}
+}
+
+func TestResolveTypoSuggests(t *testing.T) {
+	sf := parse(t, "tibfit", "-scheme", "fuzy")
+	if _, err := sf.Resolve(); err == nil ||
+		!strings.Contains(err.Error(), `did you mean "fuzzy"`) {
+		t.Fatalf("Resolve(fuzy) err = %v", err)
+	}
+}
+
+func TestApplyOverrides(t *testing.T) {
+	sf := parse(t, "tibfit", "-lambda", "0.4", "-fr", "0.02")
+	base := core.Params{Lambda: 0.1, FaultRate: 0.05, RemovalThreshold: 0.3}
+	got := sf.ApplyTrust(base)
+	if got.Lambda != 0.4 || got.FaultRate != 0.02 || got.RemovalThreshold != 0.3 {
+		t.Fatalf("ApplyTrust = %+v", got)
+	}
+	lam, fr := 0.1, 0.05
+	sf.ApplyLambda(&lam)
+	sf.ApplyFaultRate(&fr)
+	if lam != 0.4 || fr != 0.02 {
+		t.Fatalf("ApplyLambda/ApplyFaultRate = %v, %v", lam, fr)
+	}
+}
+
+func TestApplyZeroIsNoOp(t *testing.T) {
+	sf := parse(t, "tibfit")
+	base := core.Params{Lambda: 0.1, FaultRate: 0.05}
+	if got := sf.ApplyTrust(base); got != base {
+		t.Fatalf("zero flags changed params: %+v", got)
+	}
+	lam := 0.1
+	sf.ApplyLambda(&lam)
+	if lam != 0.1 {
+		t.Fatalf("zero -lambda overwrote: %v", lam)
+	}
+}

@@ -20,7 +20,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -354,19 +353,3 @@ func (Baseline) Judge(int, bool) {}
 
 // Isolated implements Weigher: the baseline never removes nodes.
 func (Baseline) Isolated(int) bool { return false }
-
-// ErrUnknownScheme is returned by NewWeigher for unrecognized names.
-var ErrUnknownScheme = errors.New("core: unknown weighing scheme")
-
-// NewWeigher constructs a weigher by scheme name ("tibfit" or "baseline").
-// The params are only consulted for the TIBFIT scheme.
-func NewWeigher(scheme string, params Params) (Weigher, error) {
-	switch scheme {
-	case "tibfit":
-		return NewTable(params)
-	case "baseline":
-		return Baseline{}, nil
-	default:
-		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
-	}
-}

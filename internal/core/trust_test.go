@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -293,18 +292,6 @@ func TestBaselineProperties(t *testing.T) {
 	b.Judge(42, false) // must be a no-op
 	if b.Weight(42) != 1 || b.Isolated(42) {
 		t.Fatal("baseline kept state after Judge")
-	}
-}
-
-func TestNewWeigher(t *testing.T) {
-	if w, err := NewWeigher("tibfit", testParams()); err != nil || w.Name() != "tibfit" {
-		t.Fatalf("NewWeigher(tibfit) = %v, %v", w, err)
-	}
-	if w, err := NewWeigher("baseline", Params{}); err != nil || w.Name() != "baseline" {
-		t.Fatalf("NewWeigher(baseline) = %v, %v", w, err)
-	}
-	if _, err := NewWeigher("bogus", testParams()); !errors.Is(err, ErrUnknownScheme) {
-		t.Fatalf("NewWeigher(bogus) err = %v, want ErrUnknownScheme", err)
 	}
 }
 

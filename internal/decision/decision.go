@@ -1,0 +1,166 @@
+// Package decision is the pluggable decision-engine layer: the policy
+// seam between the aggregation pipeline (windows, report collection,
+// verdict broadcast — internal/aggregator) and the question of how a
+// window's two sides are weighed, arbitrated, and fed back into per-node
+// trust state.
+//
+// The paper's contribution is exactly such a policy — trust-weighted CTI
+// voting (§3) — and the related work swaps the policy while keeping the
+// pipeline: Wang & Liu's dynamic-trust event-region detection
+// (arXiv:1610.02291) and FAIR's fuzzy-weighted aggregation
+// (arXiv:0901.1095) both fit the same seam. Each policy is a Scheme,
+// constructed by name through the package registry, so experiments,
+// figures, and the command-line tools select decision engines uniformly
+// (see docs/SCHEMES.md for each scheme's provenance and parameters).
+package decision
+
+import (
+	"math"
+
+	"github.com/tibfit/tibfit/internal/core"
+)
+
+// Scheme is one decision engine: the per-report vote weights, the window
+// arbitration, and the post-decision trust feedback. It extends
+// core.Weigher (weigh/judge/isolate) with window arbitration and the
+// trust introspection the experiments report on. A Scheme instance holds
+// one sink's state and, like core.Table, is not safe for concurrent use.
+type Scheme interface {
+	core.Weigher
+
+	// TI returns the node's current trust index in [0, 1], ignoring
+	// isolation (an isolated node keeps its last index; its *weight* is
+	// zero). Unknown nodes have TI 1. Stateless schemes report 1.
+	TI(node int) float64
+
+	// IsolatedNodes returns the sorted IDs of all isolated nodes.
+	IsolatedNodes() []int
+
+	// Arbitrate runs one window vote over the reporter and silent sides
+	// and returns the decision without committing any trust updates. The
+	// argument slices may be caller-owned scratch; implementations must
+	// copy what they keep (core.DecideBinary already does).
+	Arbitrate(reporters, silent []int) core.BinaryDecision
+}
+
+// Stateful is implemented by schemes whose per-node trust state survives
+// cluster-head rotation through the base station (§2's trust handoff).
+// The snapshot uses core.Record with the convention that Record.V is the
+// §3 fault accumulator equivalent of the scheme's trust index
+// (TI = exp(-λ·V)), so the base station's eligibility checks
+// (leach.Station.TI) read any scheme's records correctly.
+type Stateful interface {
+	Snapshot() map[int]core.Record
+	Restore(map[int]core.Record)
+}
+
+// Params configures scheme construction. Trust is consulted by every
+// trust-carrying scheme; the scheme-specific knobs fall back to their
+// documented defaults when zero.
+type Params struct {
+	// Trust carries the §3 parameters (λ, f_r, removal threshold, linear
+	// ablation). Every registered scheme honours Trust.RemovalThreshold
+	// with the same semantics: once a judged node's trust index falls to
+	// or below the threshold the node is isolated — zero weight, further
+	// judgments ignored.
+	Trust core.Params
+
+	// Beta is the dynamic-trust scheme's moving-average retention factor
+	// in (0, 1): each verdict updates T ← β·T + (1-β)·outcome
+	// (arXiv:1610.02291). Zero means DefaultBeta.
+	Beta float64
+
+	// FuzzyLow and FuzzyHigh bound the fuzzy scheme's membership ramp
+	// over the smoothed correctness ratio (arXiv:0901.1095): ratios at or
+	// below FuzzyLow weigh 0, at or above FuzzyHigh weigh 1, linear in
+	// between. Zeros mean DefaultFuzzyLow / DefaultFuzzyHigh.
+	FuzzyLow  float64
+	FuzzyHigh float64
+}
+
+// Scheme-specific parameter defaults.
+const (
+	// DefaultBeta keeps ~85% of the previous trust estimate per verdict,
+	// the midpoint of the weighting range arXiv:1610.02291 explores.
+	DefaultBeta = 0.85
+	// DefaultFuzzyLow / DefaultFuzzyHigh place the fuzzy ramp so a node
+	// must be judged correct clearly more often than not to keep weight.
+	DefaultFuzzyLow  = 0.25
+	DefaultFuzzyHigh = 0.75
+)
+
+// minTI floors trust indices before log-encoding them as accumulators;
+// below it a persisted record is indistinguishable from "no trust".
+const minTI = 1e-12
+
+// vFromTI encodes a trust index as the equivalent §3 fault accumulator
+// (TI = exp(-λ·v)) for base-station persistence; see Stateful.
+func vFromTI(ti, lambda float64) float64 {
+	if ti >= 1 {
+		return 0
+	}
+	if ti < minTI {
+		ti = minTI
+	}
+	return -math.Log(ti) / lambda
+}
+
+// tiFromV is the inverse of vFromTI.
+func tiFromV(v, lambda float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return math.Exp(-lambda * v)
+}
+
+// Adapt wraps a bare core.Weigher in a Scheme with the canonical CTI
+// arbitration, for callers that construct their weigher directly instead
+// of through the registry. Known weighers keep their full trust
+// introspection; arbitrary implementations fall back to weight-as-trust.
+// Adapt(nil) returns nil so constructor validation still fires.
+func Adapt(w core.Weigher) Scheme {
+	switch t := w.(type) {
+	case nil:
+		return nil
+	case Scheme:
+		return t
+	case *core.Table:
+		return &tableScheme{Table: t, name: t.Name()}
+	case core.Baseline:
+		return majorityScheme{name: t.Name()}
+	default:
+		return weigherScheme{w: t}
+	}
+}
+
+// weigherScheme is Adapt's fallback for arbitrary Weigher implementations.
+type weigherScheme struct {
+	w core.Weigher
+}
+
+func (s weigherScheme) Name() string            { return s.w.Name() }
+func (s weigherScheme) Weight(node int) float64 { return s.w.Weight(node) }
+func (s weigherScheme) Judge(node int, correct bool) {
+	s.w.Judge(node, correct)
+}
+func (s weigherScheme) Isolated(node int) bool { return s.w.Isolated(node) }
+
+// TI forwards to the weigher's own TI when it has one, else reports the
+// vote weight — the best trust estimate a bare weigher exposes.
+func (s weigherScheme) TI(node int) float64 {
+	if t, ok := s.w.(interface{ TI(int) float64 }); ok {
+		return t.TI(node)
+	}
+	return s.w.Weight(node)
+}
+
+func (s weigherScheme) IsolatedNodes() []int {
+	if t, ok := s.w.(interface{ IsolatedNodes() []int }); ok {
+		return t.IsolatedNodes()
+	}
+	return nil
+}
+
+func (s weigherScheme) Arbitrate(reporters, silent []int) core.BinaryDecision {
+	return core.DecideBinary(s.w, reporters, silent)
+}

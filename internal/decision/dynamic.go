@@ -1,0 +1,169 @@
+package decision
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tibfit/tibfit/internal/core"
+)
+
+func init() {
+	Register(SchemeDynamicTrust, "Dynamic trust", func(p Params) (Scheme, error) {
+		return newDynamic(p)
+	})
+}
+
+// dynamicScheme is the Wang-&-Liu-style dynamic trust model
+// (arXiv:1610.02291): each node carries a trust estimate T ∈ (0, 1],
+// updated after every verdict by an exponentially weighted moving
+// average toward the verdict's indicator,
+//
+//	T ← β·T + (1-β)·outcome    (outcome 1 when judged correct, else 0)
+//
+// so recent behaviour dominates and a recovering node regains trust
+// geometrically instead of TIBFIT's slow f_r-per-event earn-back. Votes
+// are weighed by T through the same CTI arbitration, and the shared
+// removal-threshold semantics apply: once a judged node's T falls to or
+// below Trust.RemovalThreshold it is isolated.
+type dynamicScheme struct {
+	beta      float64
+	threshold float64
+	lambda    float64 // for the Stateful accumulator encoding only
+	recs      map[int]*dynamicRecord
+}
+
+type dynamicRecord struct {
+	trust    float64
+	correct  int
+	faulty   int
+	isolated bool
+}
+
+var (
+	_ Scheme   = (*dynamicScheme)(nil)
+	_ Stateful = (*dynamicScheme)(nil)
+)
+
+func newDynamic(p Params) (*dynamicScheme, error) {
+	if err := p.Trust.Validate(); err != nil {
+		return nil, err
+	}
+	beta := p.Beta
+	//lint:allow floateq zero-value sentinel for "unset"; Beta is a config value stored verbatim
+	if beta == 0 {
+		beta = DefaultBeta
+	}
+	if beta <= 0 || beta >= 1 {
+		return nil, fmt.Errorf("decision: Beta must be in (0,1), got %v", beta)
+	}
+	return &dynamicScheme{
+		beta:      beta,
+		threshold: p.Trust.RemovalThreshold,
+		lambda:    p.Trust.Lambda,
+		recs:      make(map[int]*dynamicRecord),
+	}, nil
+}
+
+// Name implements core.Weigher.
+func (s *dynamicScheme) Name() string { return SchemeDynamicTrust }
+
+// rec returns the node's record, creating a fully trusted one on first
+// sight (T starts at 1, like TIBFIT's v=0).
+func (s *dynamicScheme) rec(node int) *dynamicRecord {
+	r, ok := s.recs[node]
+	if !ok {
+		r = &dynamicRecord{trust: 1}
+		s.recs[node] = r
+	}
+	return r
+}
+
+// TI implements Scheme: the current moving-average trust estimate.
+func (s *dynamicScheme) TI(node int) float64 {
+	if r, ok := s.recs[node]; ok {
+		return r.trust
+	}
+	return 1
+}
+
+// Weight implements core.Weigher.
+func (s *dynamicScheme) Weight(node int) float64 {
+	if r, ok := s.recs[node]; ok {
+		if r.isolated {
+			return 0
+		}
+		return r.trust
+	}
+	return 1
+}
+
+// Judge implements core.Weigher with the EWMA update, then isolates on
+// threshold crossing. Verdicts on isolated nodes are ignored.
+func (s *dynamicScheme) Judge(node int, correct bool) {
+	r := s.rec(node)
+	if r.isolated {
+		return
+	}
+	if correct {
+		r.correct++
+		r.trust = s.beta*r.trust + (1 - s.beta)
+	} else {
+		r.faulty++
+		r.trust = s.beta * r.trust
+	}
+	if s.threshold > 0 && r.trust <= s.threshold {
+		r.isolated = true
+	}
+}
+
+// Isolated implements core.Weigher.
+func (s *dynamicScheme) Isolated(node int) bool {
+	r, ok := s.recs[node]
+	return ok && r.isolated
+}
+
+// IsolatedNodes implements Scheme.
+func (s *dynamicScheme) IsolatedNodes() []int {
+	var out []int
+	for id, r := range s.recs {
+		if r.isolated {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Arbitrate implements Scheme with the shared CTI face-off over the
+// moving-average weights.
+func (s *dynamicScheme) Arbitrate(reporters, silent []int) core.BinaryDecision {
+	return core.DecideBinary(s, reporters, silent)
+}
+
+// Snapshot implements Stateful, log-encoding T into the accumulator
+// convention (see Stateful) so station eligibility checks stay correct.
+func (s *dynamicScheme) Snapshot() map[int]core.Record {
+	out := make(map[int]core.Record, len(s.recs))
+	for id, r := range s.recs {
+		out[id] = core.Record{
+			V:        vFromTI(r.trust, s.lambda),
+			Correct:  r.correct,
+			Faulty:   r.faulty,
+			Isolated: r.isolated,
+		}
+	}
+	return out
+}
+
+// Restore implements Stateful.
+func (s *dynamicScheme) Restore(snap map[int]core.Record) {
+	s.recs = make(map[int]*dynamicRecord, len(snap))
+	for id, r := range snap {
+		s.recs[id] = &dynamicRecord{
+			trust:    tiFromV(r.V, s.lambda),
+			correct:  r.Correct,
+			faulty:   r.Faulty,
+			isolated: r.Isolated,
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package decision
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tibfit/tibfit/internal/core"
+)
+
+func init() {
+	Register(SchemeFuzzy, "Fuzzy", func(p Params) (Scheme, error) {
+		return newFuzzy(p)
+	})
+}
+
+// fuzzyPrior is the Laplace-style optimistic prior on the correctness
+// ratio: counting prior successes makes an unseen node's ratio 1 (full
+// trust, like TIBFIT's v=0) and keeps single verdicts from swinging the
+// membership to an extreme.
+const fuzzyPrior = 2
+
+// fuzzyScheme is the FAIR-style fuzzy reputation weigher
+// (arXiv:0901.1095): each node's verdict history is summarized by the
+// smoothed correctness ratio
+//
+//	ratio = (correct + prior) / (correct + faulty + prior)
+//
+// which a trapezoidal membership function maps to a vote weight — 0 at or
+// below FuzzyLow, 1 at or above FuzzyHigh, linear in between. Reports are
+// then aggregated through the same CTI arbitration, so chronically wrong
+// nodes fade out smoothly instead of at a hard count. The shared
+// removal-threshold semantics apply to the membership value.
+type fuzzyScheme struct {
+	low       float64
+	high      float64
+	threshold float64
+	lambda    float64 // for the Stateful accumulator encoding only
+	recs      map[int]*fuzzyRecord
+}
+
+type fuzzyRecord struct {
+	correct  int
+	faulty   int
+	isolated bool
+}
+
+var (
+	_ Scheme   = (*fuzzyScheme)(nil)
+	_ Stateful = (*fuzzyScheme)(nil)
+)
+
+func newFuzzy(p Params) (*fuzzyScheme, error) {
+	if err := p.Trust.Validate(); err != nil {
+		return nil, err
+	}
+	low, high := p.FuzzyLow, p.FuzzyHigh
+	//lint:allow floateq zero-value sentinel for "unset"; the ramp bounds are config values stored verbatim
+	if low == 0 && high == 0 {
+		low, high = DefaultFuzzyLow, DefaultFuzzyHigh
+	}
+	if low < 0 || high > 1 || low >= high {
+		return nil, fmt.Errorf("decision: fuzzy ramp needs 0 <= low < high <= 1, got [%v, %v]", low, high)
+	}
+	return &fuzzyScheme{
+		low:       low,
+		high:      high,
+		threshold: p.Trust.RemovalThreshold,
+		lambda:    p.Trust.Lambda,
+		recs:      make(map[int]*fuzzyRecord),
+	}, nil
+}
+
+// Name implements core.Weigher.
+func (s *fuzzyScheme) Name() string { return SchemeFuzzy }
+
+// membership maps a record's verdict counts to the fuzzy weight.
+func (s *fuzzyScheme) membership(r *fuzzyRecord) float64 {
+	ratio := float64(r.correct+fuzzyPrior) / float64(r.correct+r.faulty+fuzzyPrior)
+	switch {
+	case ratio <= s.low:
+		return 0
+	case ratio >= s.high:
+		return 1
+	default:
+		return (ratio - s.low) / (s.high - s.low)
+	}
+}
+
+// TI implements Scheme: the membership value of the node's history.
+func (s *fuzzyScheme) TI(node int) float64 {
+	if r, ok := s.recs[node]; ok {
+		return s.membership(r)
+	}
+	return 1
+}
+
+// Weight implements core.Weigher.
+func (s *fuzzyScheme) Weight(node int) float64 {
+	if r, ok := s.recs[node]; ok {
+		if r.isolated {
+			return 0
+		}
+		return s.membership(r)
+	}
+	return 1
+}
+
+// Judge implements core.Weigher by updating the verdict counts, then
+// isolating on threshold crossing. Verdicts on isolated nodes are
+// ignored.
+func (s *fuzzyScheme) Judge(node int, correct bool) {
+	r, ok := s.recs[node]
+	if !ok {
+		r = &fuzzyRecord{}
+		s.recs[node] = r
+	}
+	if r.isolated {
+		return
+	}
+	if correct {
+		r.correct++
+	} else {
+		r.faulty++
+	}
+	if s.threshold > 0 && s.membership(r) <= s.threshold {
+		r.isolated = true
+	}
+}
+
+// Isolated implements core.Weigher.
+func (s *fuzzyScheme) Isolated(node int) bool {
+	r, ok := s.recs[node]
+	return ok && r.isolated
+}
+
+// IsolatedNodes implements Scheme.
+func (s *fuzzyScheme) IsolatedNodes() []int {
+	var out []int
+	for id, r := range s.recs {
+		if r.isolated {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Arbitrate implements Scheme with the shared CTI face-off over the
+// fuzzy weights.
+func (s *fuzzyScheme) Arbitrate(reporters, silent []int) core.BinaryDecision {
+	return core.DecideBinary(s, reporters, silent)
+}
+
+// Snapshot implements Stateful; the verdict counts round-trip exactly and
+// V carries the accumulator-encoded membership for station eligibility.
+func (s *fuzzyScheme) Snapshot() map[int]core.Record {
+	out := make(map[int]core.Record, len(s.recs))
+	for id, r := range s.recs {
+		out[id] = core.Record{
+			V:        vFromTI(s.membership(r), s.lambda),
+			Correct:  r.correct,
+			Faulty:   r.faulty,
+			Isolated: r.isolated,
+		}
+	}
+	return out
+}
+
+// Restore implements Stateful, rebuilding memberships from the counts.
+func (s *fuzzyScheme) Restore(snap map[int]core.Record) {
+	s.recs = make(map[int]*fuzzyRecord, len(snap))
+	for id, r := range snap {
+		s.recs[id] = &fuzzyRecord{
+			correct:  r.Correct,
+			faulty:   r.Faulty,
+			isolated: r.Isolated,
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package decision
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical scheme names. SchemeBaseline is an alias for SchemeMajority —
+// the name the paper's figures use for stateless majority voting.
+const (
+	SchemeTIBFIT       = "tibfit"
+	SchemeMajority     = "majority"
+	SchemeBaseline     = "baseline"
+	SchemeLinear       = "linear"
+	SchemeDynamicTrust = "dynamic-trust"
+	SchemeFuzzy        = "fuzzy"
+)
+
+// Factory constructs a fresh Scheme instance under the given parameters.
+type Factory func(Params) (Scheme, error)
+
+// entry is one registered scheme.
+type entry struct {
+	title   string
+	factory Factory
+}
+
+var (
+	registry = map[string]entry{}
+	aliases  = map[string]string{}
+)
+
+// ErrUnknownScheme is returned by New for unregistered names.
+var ErrUnknownScheme = errors.New("decision: unknown scheme")
+
+// Register adds a scheme under a unique name. The title is the display
+// form figure legends use. Register panics on empty or duplicate names —
+// a registration conflict is a programming error, caught at init.
+func Register(name, title string, factory Factory) {
+	if name == "" || factory == nil {
+		panic("decision: Register needs a name and a factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("decision: scheme %q registered twice", name))
+	}
+	if _, dup := aliases[name]; dup {
+		panic(fmt.Sprintf("decision: scheme %q already registered as an alias", name))
+	}
+	registry[name] = entry{title: title, factory: factory}
+}
+
+// RegisterAlias makes alias resolve to an already-registered canonical
+// name, with its own display title. It panics on conflicts, like Register.
+func RegisterAlias(alias, title, canonical string) {
+	if _, ok := registry[canonical]; !ok {
+		panic(fmt.Sprintf("decision: alias %q targets unregistered scheme %q", alias, canonical))
+	}
+	if _, dup := registry[alias]; dup {
+		panic(fmt.Sprintf("decision: alias %q collides with a registered scheme", alias))
+	}
+	if _, dup := aliases[alias]; dup {
+		panic(fmt.Sprintf("decision: alias %q registered twice", alias))
+	}
+	aliases[alias] = canonical
+	titles[alias] = title
+}
+
+// titles holds display names for aliases (canonical titles live in the
+// registry entries).
+var titles = map[string]string{}
+
+// Names returns the canonical registered scheme names in sorted order
+// (aliases excluded), so iteration over the registry is deterministic.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether the name resolves to a registered scheme,
+// directly or through an alias.
+func Known(name string) bool {
+	if _, ok := registry[name]; ok {
+		return true
+	}
+	_, ok := aliases[name]
+	return ok
+}
+
+// Title returns the display name figure legends use for a scheme.
+// Unregistered names render as themselves.
+func Title(name string) string {
+	if t, ok := titles[name]; ok {
+		return t
+	}
+	if e, ok := registry[name]; ok {
+		return e.title
+	}
+	return name
+}
+
+// Resolve maps a name or alias to its canonical registered name. Unknown
+// names error with a "did you mean" suggestion and the registered listing,
+// so a typo on a -scheme flag is self-explanatory.
+func Resolve(name string) (string, error) {
+	if canonical, ok := aliases[name]; ok {
+		name = canonical
+	}
+	if _, ok := registry[name]; !ok {
+		if s := Suggest(name); s != "" {
+			return "", fmt.Errorf("%w %q (did you mean %q?); registered: %s",
+				ErrUnknownScheme, name, s, strings.Join(allNames(), ", "))
+		}
+		return "", fmt.Errorf("%w %q; registered: %s",
+			ErrUnknownScheme, name, strings.Join(allNames(), ", "))
+	}
+	return name, nil
+}
+
+// New constructs a scheme by name or alias, with Resolve's error behaviour
+// on unknown names.
+func New(name string, p Params) (Scheme, error) {
+	canonical, err := Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return registry[canonical].factory(p)
+}
+
+// allNames returns canonical names plus aliases, sorted, for error text.
+func allNames() []string {
+	out := Names()
+	for alias := range aliases {
+		out = append(out, alias)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suggest returns the registered name (or alias) closest to the given
+// one, or "" when nothing is plausibly close (edit distance > 3).
+func Suggest(name string) string {
+	best, bestDist := "", 4
+	for _, candidate := range allNames() {
+		if d := editDistance(name, candidate); d < bestDist {
+			best, bestDist = candidate, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,134 @@
+package decision
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/core"
+)
+
+func testTrust() core.Params {
+	return core.Params{Lambda: 0.25, FaultRate: 0.1}
+}
+
+func TestNamesSortedAndCanonical(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	want := []string{SchemeDynamicTrust, SchemeFuzzy, SchemeLinear, SchemeMajority, SchemeTIBFIT}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		if n == SchemeBaseline {
+			t.Fatal("Names() must exclude aliases")
+		}
+	}
+}
+
+func TestKnownCoversAliases(t *testing.T) {
+	for _, n := range append(Names(), SchemeBaseline) {
+		if !Known(n) {
+			t.Fatalf("Known(%q) = false", n)
+		}
+	}
+	if Known("nope") {
+		t.Fatal(`Known("nope") = true`)
+	}
+}
+
+// TestTitles pins the legend strings the committed figures depend on: the
+// default scheme must render as "TIBFIT" and the alias as "Baseline",
+// byte-for-byte.
+func TestTitles(t *testing.T) {
+	for name, want := range map[string]string{
+		SchemeTIBFIT:       "TIBFIT",
+		SchemeBaseline:     "Baseline",
+		SchemeMajority:     "Majority",
+		SchemeLinear:       "Linear",
+		SchemeDynamicTrust: "Dynamic trust",
+		SchemeFuzzy:        "Fuzzy",
+		"unregistered":     "unregistered",
+	} {
+		if got := Title(name); got != want {
+			t.Errorf("Title(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	factory := func(Params) (Scheme, error) { return majorityScheme{name: "x"}, nil }
+	mustPanic("duplicate Register", func() { Register(SchemeTIBFIT, "dup", factory) })
+	mustPanic("Register over alias", func() { Register(SchemeBaseline, "dup", factory) })
+	mustPanic("empty Register", func() { Register("", "dup", factory) })
+	mustPanic("nil factory", func() { Register("new-name", "dup", nil) })
+	mustPanic("duplicate alias", func() { RegisterAlias(SchemeBaseline, "dup", SchemeMajority) })
+	mustPanic("alias over scheme", func() { RegisterAlias(SchemeTIBFIT, "dup", SchemeMajority) })
+	mustPanic("alias to unknown", func() { RegisterAlias("other", "dup", "nope") })
+}
+
+func TestResolveAlias(t *testing.T) {
+	got, err := Resolve(SchemeBaseline)
+	if err != nil || got != SchemeMajority {
+		t.Fatalf("Resolve(baseline) = %q, %v", got, err)
+	}
+	got, err = Resolve(SchemeTIBFIT)
+	if err != nil || got != SchemeTIBFIT {
+		t.Fatalf("Resolve(tibfit) = %q, %v", got, err)
+	}
+}
+
+func TestNewAliasConstructs(t *testing.T) {
+	s, err := New(SchemeBaseline, Params{Trust: testTrust()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != SchemeMajority {
+		t.Fatalf("alias constructed %q, want the canonical %q", s.Name(), SchemeMajority)
+	}
+}
+
+func TestNewUnknownSuggests(t *testing.T) {
+	_, err := New("tibfut", Params{Trust: testTrust()})
+	if !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
+	}
+	if !strings.Contains(err.Error(), `did you mean "tibfit"`) {
+		t.Fatalf("no suggestion in %q", err)
+	}
+	if !strings.Contains(err.Error(), SchemeDynamicTrust) {
+		t.Fatalf("no registry listing in %q", err)
+	}
+	if _, err := New("zzzzzzzzzzz", Params{}); err == nil ||
+		strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("implausible name still suggested: %v", err)
+	}
+}
+
+func TestNewPropagatesBadParams(t *testing.T) {
+	for _, name := range Names() {
+		if name == SchemeMajority {
+			continue // stateless, ignores Trust
+		}
+		if _, err := New(name, Params{Trust: core.Params{Lambda: -1}}); err == nil {
+			t.Errorf("%s accepted invalid trust params", name)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package decision
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/core"
+)
+
+func TestDynamicEWMA(t *testing.T) {
+	s, err := New(SchemeDynamicTrust, Params{Trust: testTrust(), Beta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti := s.TI(7); ti != 1 {
+		t.Fatalf("fresh TI = %v, want 1", ti)
+	}
+	s.Judge(7, false) // 0.5·1 + 0 = 0.5
+	if ti := s.TI(7); math.Abs(ti-0.5) > 1e-12 {
+		t.Fatalf("TI after one fault = %v, want 0.5", ti)
+	}
+	s.Judge(7, true) // 0.5·0.5 + 0.5 = 0.75
+	if ti := s.TI(7); math.Abs(ti-0.75) > 1e-12 {
+		t.Fatalf("TI after recovery = %v, want 0.75", ti)
+	}
+	if s.Isolated(7) || s.Weight(7) != s.TI(7) {
+		t.Fatal("non-isolated weight must equal TI")
+	}
+}
+
+func TestDynamicBetaValidation(t *testing.T) {
+	if _, err := New(SchemeDynamicTrust, Params{Trust: testTrust(), Beta: 1.5}); err == nil {
+		t.Fatal("accepted beta > 1")
+	}
+	s, err := New(SchemeDynamicTrust, Params{Trust: testTrust()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Judge(1, false)
+	if ti := s.TI(1); math.Abs(ti-DefaultBeta) > 1e-12 {
+		t.Fatalf("default beta not applied: TI = %v, want %v", ti, DefaultBeta)
+	}
+}
+
+func TestFuzzyMembershipRamp(t *testing.T) {
+	s, err := New(SchemeFuzzy, Params{Trust: testTrust(), FuzzyLow: 0.25, FuzzyHigh: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti := s.TI(3); ti != 1 {
+		t.Fatalf("fresh TI = %v, want 1 (prior ratio 2/2 above the ramp)", ti)
+	}
+	// 0 correct, 2 faulty: ratio (0+2)/(0+2+2) = 0.5, mid-ramp -> 0.5.
+	s.Judge(3, false)
+	s.Judge(3, false)
+	if ti := s.TI(3); math.Abs(ti-0.5) > 1e-12 {
+		t.Fatalf("mid-ramp TI = %v, want 0.5", ti)
+	}
+	// 0 correct, 6 faulty: ratio 2/8 = 0.25 <= low -> 0.
+	for i := 0; i < 4; i++ {
+		s.Judge(3, false)
+	}
+	if ti := s.TI(3); ti != 0 {
+		t.Fatalf("below-ramp TI = %v, want 0", ti)
+	}
+}
+
+func TestFuzzyRampValidation(t *testing.T) {
+	if _, err := New(SchemeFuzzy, Params{Trust: testTrust(), FuzzyLow: 0.8, FuzzyHigh: 0.2}); err == nil {
+		t.Fatal("accepted inverted ramp")
+	}
+	if _, err := New(SchemeFuzzy, Params{Trust: testTrust(), FuzzyLow: 0.1, FuzzyHigh: 1.5}); err == nil {
+		t.Fatal("accepted high > 1")
+	}
+}
+
+func TestStatefulRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		p := Params{Trust: testTrust()}
+		s, err := New(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, ok := s.(Stateful)
+		if !ok {
+			continue // stateless schemes have nothing to hand off
+		}
+		for i := 0; i < 30; i++ {
+			s.Judge(i%5, i%3 != 0)
+		}
+		snap := st.Snapshot()
+
+		fresh, err := New(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.(Stateful).Restore(snap)
+		for id := 0; id < 5; id++ {
+			if got, want := fresh.TI(id), s.TI(id); math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s: restored TI(%d) = %v, want %v", name, id, got, want)
+			}
+		}
+		// Schemes with exponential trust encode Record.V under the §3
+		// convention TI = exp(-λ·V), so the station can hand records to
+		// any of them. (The linear ablation decodes its raw v through a
+		// linear table instead — its round-trip is covered above.)
+		if name == SchemeLinear {
+			continue
+		}
+		for id, r := range snap {
+			if got, want := math.Exp(-p.Trust.Lambda*r.V), s.TI(id); math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s: station decode of node %d = %v, scheme TI %v", name, id, got, want)
+			}
+		}
+	}
+}
+
+func TestAdapt(t *testing.T) {
+	if Adapt(nil) != nil {
+		t.Fatal("Adapt(nil) must stay nil for constructor validation")
+	}
+
+	table := core.MustNewTable(testTrust())
+	table.Judge(4, false)
+	s := Adapt(table)
+	if s.Name() != "tibfit" {
+		t.Fatalf("adapted table Name = %q", s.Name())
+	}
+	if s.TI(4) != table.TI(4) || s.TI(4) >= 1 {
+		t.Fatalf("adapted table TI = %v, table %v", s.TI(4), table.TI(4))
+	}
+	if got := Adapt(s); got != s {
+		t.Fatal("Adapt of a Scheme must be the identity")
+	}
+
+	b := Adapt(core.Baseline{})
+	if b.Name() != "baseline" || b.TI(9) != 1 || b.IsolatedNodes() != nil {
+		t.Fatalf("adapted baseline: name=%q TI=%v", b.Name(), b.TI(9))
+	}
+
+	w := Adapt(halfWeigher{})
+	if w.TI(1) != 0.5 || w.Weight(1) != 0.5 || w.IsolatedNodes() != nil {
+		t.Fatalf("fallback adapter: TI=%v Weight=%v", w.TI(1), w.Weight(1))
+	}
+	if dec := w.Arbitrate([]int{1, 2, 3}, []int{4}); !dec.Occurred {
+		t.Fatalf("fallback arbitration = %+v", dec)
+	}
+}
+
+// halfWeigher exercises Adapt's fallback path for foreign Weigher
+// implementations.
+type halfWeigher struct{}
+
+func (halfWeigher) Name() string       { return "half" }
+func (halfWeigher) Weight(int) float64 { return 0.5 }
+func (halfWeigher) Judge(int, bool)    {}
+func (halfWeigher) Isolated(int) bool  { return false }

@@ -19,6 +19,7 @@ import (
 
 	"github.com/tibfit/tibfit/internal/aggregator"
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/metrics"
 	"github.com/tibfit/tibfit/internal/node"
@@ -29,10 +30,12 @@ import (
 	"github.com/tibfit/tibfit/internal/trace"
 )
 
-// Scheme names accepted by the experiment configs.
+// Scheme names accepted by the experiment configs. Any name registered in
+// internal/decision is valid; the paper's two are re-exported here for
+// convenience.
 const (
-	SchemeTIBFIT   = "tibfit"
-	SchemeBaseline = "baseline"
+	SchemeTIBFIT   = decision.SchemeTIBFIT
+	SchemeBaseline = decision.SchemeBaseline
 )
 
 // Exp1Config holds Table 1's parameters for the binary-event experiment.
@@ -58,7 +61,8 @@ type Exp1Config struct {
 	// FalseAlarmProb is the faulty nodes' false-alarm probability
 	// (0/10/75%).
 	FalseAlarmProb float64
-	// Scheme selects "tibfit" or "baseline".
+	// Scheme selects a registered decision scheme (internal/decision);
+	// "tibfit" and "baseline" reproduce the paper's comparison.
 	Scheme string
 	// LinearTI switches the trust penalty to the linear model — the
 	// ablation for §3's argument that the exponential form is better.
@@ -114,7 +118,7 @@ func (c Exp1Config) Validate() error {
 		return fmt.Errorf("experiment: Tout must be positive, got %v", c.Tout)
 	case c.FaultyFraction < 0 || c.FaultyFraction > 1:
 		return fmt.Errorf("experiment: FaultyFraction must be in [0,1], got %v", c.FaultyFraction)
-	case c.Scheme != SchemeTIBFIT && c.Scheme != SchemeBaseline:
+	case !decision.Known(c.Scheme):
 		return fmt.Errorf("experiment: unknown scheme %q", c.Scheme)
 	case c.CHFlipProb < 0 || c.CHFlipProb > 1:
 		return fmt.Errorf("experiment: CHFlipProb must be in [0,1], got %v", c.CHFlipProb)
@@ -219,7 +223,7 @@ func runExp1Once(cfg Exp1Config, seed int64) (Exp1Result, error) {
 	}
 
 	trustParams := core.Params{Lambda: cfg.Lambda, FaultRate: cfg.NER, Linear: cfg.LinearTI}
-	w, err := core.NewWeigher(cfg.Scheme, trustParams)
+	scheme, err := decision.New(cfg.Scheme, decision.Params{Trust: trustParams})
 	if err != nil {
 		return Exp1Result{}, err
 	}
@@ -230,15 +234,15 @@ func runExp1Once(cfg Exp1Config, seed int64) (Exp1Result, error) {
 	if cfg.CHFlipProb > 0 {
 		coin := root.Split("ch-fault")
 		if cfg.ShadowCH {
-			panel, perr := shadow.NewPanel(trustParams, -1,
+			panel, perr := shadow.NewPanelScheme(cfg.Scheme, decision.Params{Trust: trustParams}, -1,
 				shadow.FlipCorruptor(cfg.CHFlipProb, coin.Bernoulli), nil)
 			if perr != nil {
 				return Exp1Result{}, perr
 			}
-			w = panel.PrimaryTable() // isolation checks share the primary's view
+			scheme = panel.Primary() // isolation checks share the primary's view
 			decider = panel
 		} else {
-			decider = &lyingCH{weigher: w, flip: func() bool { return coin.Bernoulli(cfg.CHFlipProb) }}
+			decider = &lyingCH{weigher: scheme, flip: func() bool { return coin.Bernoulli(cfg.CHFlipProb) }}
 		}
 	}
 
@@ -246,7 +250,7 @@ func runExp1Once(cfg Exp1Config, seed int64) (Exp1Result, error) {
 	feedback := func(id int, correct bool) { nodes[id].ObserveVerdict(correct) }
 	agg, err := aggregator.NewBinary(
 		aggregator.BinaryConfig{Tout: sim.Duration(cfg.Tout), Members: members, Decider: decider},
-		w, kernel,
+		scheme, kernel,
 		func(o aggregator.BinaryOutcome) { outcomes = append(outcomes, o) },
 		feedback, cfg.Trace)
 	if err != nil {
@@ -302,13 +306,9 @@ func runExp1Once(cfg Exp1Config, seed int64) (Exp1Result, error) {
 	res := Exp1Result{
 		Accuracy:          det.Accuracy.Rate(),
 		FalsePositiveRate: float64(det.FalsePositives) / float64(cfg.Events),
-		MeanCorrectTI:     1,
-		MeanFaultyTI:      1,
+		MeanCorrectTI:     meanTI(scheme, members[nFaulty:]),
+		MeanFaultyTI:      meanTI(scheme, members[:nFaulty]),
 		Windowed:          det.WindowedAccuracy(window),
-	}
-	if table, ok := w.(*core.Table); ok {
-		res.MeanCorrectTI = meanTI(table, members[nFaulty:])
-		res.MeanFaultyTI = meanTI(table, members[:nFaulty])
 	}
 	return res, nil
 }
@@ -366,13 +366,13 @@ func (l *lyingCH) DecideAndSettle(reporters, silent []int) core.BinaryDecision {
 	return dec
 }
 
-func meanTI(t *core.Table, ids []int) float64 {
+func meanTI(s decision.Scheme, ids []int) float64 {
 	if len(ids) == 0 {
 		return 1
 	}
 	var sum float64
 	for _, id := range ids {
-		sum += t.TI(id)
+		sum += s.TI(id)
 	}
 	return sum / float64(len(ids))
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/tibfit/tibfit/internal/aggregator"
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/leach"
 	"github.com/tibfit/tibfit/internal/metrics"
@@ -71,7 +72,8 @@ type Exp2Config struct {
 	// CHTerms rotates the cluster head this many times across the run
 	// with base-station trust handoff (Table 2 lists 5 CHs).
 	CHTerms int
-	// Scheme selects "tibfit" or "baseline".
+	// Scheme selects a registered decision scheme (internal/decision);
+	// "tibfit" and "baseline" reproduce the paper's comparison.
 	Scheme string
 	// TrustWeightedCentroid enables the extension that declares events at
 	// the trust-weighted average of cluster reports (see
@@ -151,7 +153,7 @@ func (c Exp2Config) Validate() error {
 		return fmt.Errorf("experiment: FaultyFraction must be in [0,1], got %v", c.FaultyFraction)
 	case !c.Level.Faulty():
 		return fmt.Errorf("experiment: Level must be a faulty kind, got %v", c.Level)
-	case c.Scheme != SchemeTIBFIT && c.Scheme != SchemeBaseline:
+	case !decision.Known(c.Scheme):
 		return fmt.Errorf("experiment: unknown scheme %q", c.Scheme)
 	case c.CHTerms < 1:
 		return fmt.Errorf("experiment: CHTerms must be at least 1, got %d", c.CHTerms)
@@ -319,11 +321,11 @@ func runExp2Once(cfg Exp2Config, seed int64) (Exp2Result, error) {
 
 	trustTrace := make(map[int][]float64, len(cfg.TrackTrust))
 	var (
-		truths   []*truthEvent
-		falsePos int
-		curWeigh core.Weigher
-		curAgg   *aggregator.Location
-		aggCfg   = aggregator.LocationConfig{
+		truths    []*truthEvent
+		falsePos  int
+		curScheme decision.Scheme
+		curAgg    *aggregator.Location
+		aggCfg    = aggregator.LocationConfig{
 			Tout:                  sim.Duration(cfg.Tout),
 			RError:                cfg.RError,
 			SenseRadius:           cfg.SenseRadius,
@@ -332,12 +334,26 @@ func runExp2Once(cfg Exp2Config, seed int64) (Exp2Result, error) {
 			CoincidenceGuard:      cfg.CoincidenceGuard,
 		}
 	)
-	// Smart adversaries self-censor to dodge TIBFIT's isolation threshold.
-	// Under the stateless baseline there is no trust state and no
-	// isolation, so a rational adversary never stops lying: the verdict
-	// broadcast is only wired to the nodes when TIBFIT is running.
+	// Smart adversaries self-censor to dodge the isolation threshold.
+	// Under a stateless scheme there is no trust state and no isolation,
+	// so a rational adversary never stops lying: the verdict broadcast is
+	// only wired to the nodes when the scheme carries trust state.
+	newScheme := func() (decision.Scheme, error) {
+		s, err := decision.New(cfg.Scheme, decision.Params{Trust: trustParams})
+		if err != nil {
+			return nil, err
+		}
+		if st, ok := s.(decision.Stateful); ok {
+			st.Restore(station.Snapshot())
+		}
+		return s, nil
+	}
+	probe, err := newScheme()
+	if err != nil {
+		return Exp2Result{}, err
+	}
 	var feedback aggregator.Feedback
-	if cfg.Scheme == SchemeTIBFIT {
+	if _, stateful := probe.(decision.Stateful); stateful {
 		feedback = func(id int, correct bool) { nodes[id].ObserveVerdict(correct) }
 	}
 	onDecide := func(o aggregator.LocationOutcome) {
@@ -350,25 +366,19 @@ func runExp2Once(cfg Exp2Config, seed int64) (Exp2Result, error) {
 			}
 		}
 	}
-	newWeigher := func() (core.Weigher, error) {
-		if cfg.Scheme == SchemeBaseline {
-			return core.Baseline{}, nil
-		}
-		return station.NewTable(), nil
-	}
 	rotate := func() error {
-		if t, ok := curWeigh.(*core.Table); ok {
-			station.StoreSnapshot(t.Snapshot())
+		if st, ok := curScheme.(decision.Stateful); ok {
+			station.StoreSnapshot(st.Snapshot())
 		}
-		w, err := newWeigher()
+		s, err := newScheme()
 		if err != nil {
 			return err
 		}
-		a, err := aggregator.NewLocation(aggCfg, w, kernel, posMap, onDecide, feedback, cfg.Trace)
+		a, err := aggregator.NewLocation(aggCfg, s, kernel, posMap, onDecide, feedback, cfg.Trace)
 		if err != nil {
 			return err
 		}
-		curWeigh, curAgg = w, a
+		curScheme, curAgg = s, a
 		cfg.Trace.Emit(float64(kernel.Now()), trace.KindCHElected, -1, "term rotation")
 		return nil
 	}
@@ -413,14 +423,8 @@ func runExp2Once(cfg Exp2Config, seed int64) (Exp2Result, error) {
 		if len(cfg.TrackTrust) > 0 {
 			at := sim.Time(batch[0].Time + cfg.Period/4)
 			if _, err := kernel.At(at, func() {
-				if t, ok := curWeigh.(*core.Table); ok {
-					for _, id := range cfg.TrackTrust {
-						trustTrace[id] = append(trustTrace[id], t.TI(id))
-					}
-				} else {
-					for _, id := range cfg.TrackTrust {
-						trustTrace[id] = append(trustTrace[id], 1)
-					}
+				for _, id := range cfg.TrackTrust {
+					trustTrace[id] = append(trustTrace[id], curScheme.TI(id))
 				}
 			}); err != nil {
 				return Exp2Result{}, err
@@ -475,27 +479,23 @@ func runExp2Once(cfg Exp2Config, seed int64) (Exp2Result, error) {
 		Accuracy:          det.Accuracy.Rate(),
 		FalsePositiveRate: float64(falsePos) / float64(len(truths)),
 		MeanLocErr:        det.MeanLocErr(),
-		MeanCorrectTI:     1,
-		MeanFaultyTI:      1,
 		Windowed:          det.WindowedAccuracy(window),
 	}
-	if table, ok := curWeigh.(*core.Table); ok {
-		var corr, faul []int
-		for i, n := range nodes {
-			if n.Kind().Faulty() {
-				faul = append(faul, i)
-			} else {
-				corr = append(corr, i)
-			}
+	var corr, faul []int
+	for i, n := range nodes {
+		if n.Kind().Faulty() {
+			faul = append(faul, i)
+		} else {
+			corr = append(corr, i)
 		}
-		res.MeanCorrectTI = meanTI(table, corr)
-		res.MeanFaultyTI = meanTI(table, faul)
-		for _, id := range table.IsolatedNodes() {
-			if nodes[id].Kind().Faulty() {
-				res.IsolatedFaulty++
-			} else {
-				res.IsolatedCorrect++
-			}
+	}
+	res.MeanCorrectTI = meanTI(curScheme, corr)
+	res.MeanFaultyTI = meanTI(curScheme, faul)
+	for _, id := range curScheme.IsolatedNodes() {
+		if nodes[id].Kind().Faulty() {
+			res.IsolatedFaulty++
+		} else {
+			res.IsolatedCorrect++
 		}
 	}
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/tibfit/tibfit/internal/analysis"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/metrics"
 	"github.com/tibfit/tibfit/internal/node"
 	"github.com/tibfit/tibfit/internal/parallel"
@@ -50,6 +51,17 @@ type FigureOptions struct {
 	// index order, so every setting produces byte-identical figures —
 	// the knob trades wall-clock time only.
 	Parallel int
+	// Scheme overrides the default decision scheme for figures that do not
+	// themselves compare schemes (figures 2, 3, 7 and the sweeps). Empty
+	// keeps each figure's default. Figures whose point is a scheme
+	// comparison (4-6, 8, 9) pin their schemes regardless.
+	Scheme string
+	// Lambda, when positive, overrides the trust decay constant λ of every
+	// simulated cell. Zero keeps each experiment's default.
+	Lambda float64
+	// FaultRate, when positive, overrides the tolerated error rate f_r of
+	// the location-experiment cells. Zero keeps the experiment default.
+	FaultRate float64
 }
 
 func (o FigureOptions) withDefaults() FigureOptions {
@@ -105,10 +117,18 @@ func exp1Cell(opts FigureOptions, frac float64) Exp1Config {
 	if opts.Events > 0 {
 		cfg.Events = opts.Events
 	}
+	if opts.Scheme != "" {
+		cfg.Scheme = opts.Scheme
+	}
+	if opts.Lambda > 0 {
+		cfg.Lambda = opts.Lambda
+	}
 	return cfg
 }
 
 // exp2Cell builds the per-cell exp2 config shared by the level figures.
+// Scheme-comparison figures overwrite cfg.Scheme after this, so the
+// opts.Scheme override only reaches figures with a single free scheme.
 func exp2Cell(opts FigureOptions, frac float64) Exp2Config {
 	cfg := DefaultExp2()
 	cfg.FaultyFraction = frac
@@ -116,6 +136,15 @@ func exp2Cell(opts FigureOptions, frac float64) Exp2Config {
 	cfg.Seed = opts.Seed
 	if opts.Events > 0 {
 		cfg.Events = opts.Events
+	}
+	if opts.Scheme != "" {
+		cfg.Scheme = opts.Scheme
+	}
+	if opts.Lambda > 0 {
+		cfg.Lambda = opts.Lambda
+	}
+	if opts.FaultRate > 0 {
+		cfg.FaultRate = opts.FaultRate
 	}
 	return cfg
 }
@@ -411,11 +440,39 @@ func Figure11Roots() metrics.Figure {
 	return fig
 }
 
-func schemeTitle(scheme string) string {
-	if scheme == SchemeTIBFIT {
-		return "TIBFIT"
+func schemeTitle(scheme string) string { return decision.Title(scheme) }
+
+// FigureSchemeComparison is the extended comparison figure: every
+// registered decision scheme on the same level-0 location workload
+// (figure 4's first σ pairing), one curve per scheme. The registry's
+// sorted Names() fixes the series order, so the figure is reproducible
+// regardless of registration order.
+func FigureSchemeComparison(opts FigureOptions) (metrics.Figure, error) {
+	opts = opts.withDefaults()
+	schemes := decision.Names()
+	labels := make([]string, len(schemes))
+	for i, s := range schemes {
+		labels[i] = decision.Title(s)
 	}
-	return "Baseline"
+	series, err := gridFigure(opts, labels, Exp2Sweep, func(si, xi int) (float64, error) {
+		cfg := exp2Cell(opts, Exp2Sweep[xi])
+		cfg.Scheme = schemes[si]
+		res, err := RunExp2(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Accuracy, nil
+	})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
+	return metrics.Figure{
+		ID:     "ext-scheme-comparison",
+		Title:  "Extension — decision schemes compared (level 0, σ 1.6-4.25)",
+		XLabel: "% faulty",
+		YLabel: "accuracy %",
+		Series: series,
+	}, nil
 }
 
 // FigureReliability is an extension beyond the paper (its §7 future work:

@@ -12,7 +12,8 @@ func quickOpts() FigureOptions {
 
 func TestFigureRegistryComplete(t *testing.T) {
 	want := []string{
-		"ext-collusion-guard", "ext-reliability", "ext-resilience", "ext-sweep-lambda",
+		"ext-collusion-guard", "ext-reliability", "ext-resilience",
+		"ext-scheme-comparison", "ext-sweep-lambda",
 		"figure10", "figure11", "figure11-roots", "figure2", "figure3",
 		"figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
 	}

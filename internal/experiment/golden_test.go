@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden figures pin the default scheme's outputs byte-for-byte: the
+// committed CSVs were captured before the decision-engine refactor, so any
+// drift in the tibfit/baseline pipeline — windowing, feedback ordering,
+// trust arithmetic, legend strings — fails here. Regenerate only for an
+// intentional behaviour change:
+//
+//	go run ./cmd/tibfit-figures -out /tmp/g -runs 2 -events 40 -seed 5 \
+//	    -only figure2,figure8
+//	cp /tmp/g/figure{2,8}.csv internal/experiment/testdata/golden-...
+func TestGoldenFigures(t *testing.T) {
+	opts := FigureOptions{Runs: 2, Events: 40, Seed: 5, Parallel: 1}
+	for _, tc := range []struct {
+		id     string
+		golden string
+	}{
+		{"figure2", "golden-figure2.csv"},
+		{"figure8", "golden-figure8.csv"},
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig, err := Generate(tc.id, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fig.CSV(); got != string(want) {
+			t.Errorf("%s drifted from the pre-refactor golden output:\ngot:\n%s\nwant:\n%s",
+				tc.id, got, want)
+		}
+	}
+}

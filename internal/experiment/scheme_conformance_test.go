@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/decision"
+)
+
+// The campaign half of the scheme-conformance harness: every registered
+// decision scheme must drive the experiments deterministically — the same
+// sweep rerun, and the same sweep at campaign worker counts 1 (sequential)
+// and 0 (one per core), must emit byte-identical figures. Run under -race
+// by `make conformance` and the CI conformance job.
+func TestSchemeCampaignByteIdentity(t *testing.T) {
+	for _, name := range decision.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			base := DefaultExp2()
+			base.Scheme = name
+			base.Runs = 1
+			base.Events = 30
+			base.Seed = 11
+			vals := []float64{0.2, 0.4, 0.6}
+
+			seq, err := SweepExp2N("faulty", vals, base, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := SweepExp2N("faulty", vals, base, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rerun, err := SweepExp2N("faulty", vals, base, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.CSV() != par.CSV() {
+				t.Fatalf("scheme %s: -parallel 1 and -parallel 0 disagree:\n%s\n---\n%s",
+					name, seq.CSV(), par.CSV())
+			}
+			if seq.CSV() != rerun.CSV() {
+				t.Fatalf("scheme %s: rerun disagrees:\n%s\n---\n%s", name, seq.CSV(), rerun.CSV())
+			}
+		})
+	}
+}
+
+// Every registered scheme must also run the binary experiment end to end.
+func TestSchemesRunExp1(t *testing.T) {
+	for _, name := range decision.Names() {
+		cfg := DefaultExp1()
+		cfg.Scheme = name
+		cfg.Runs = 1
+		cfg.Events = 40
+		if _, err := RunExp1(cfg); err != nil {
+			t.Errorf("scheme %s: RunExp1: %v", name, err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/tibfit/tibfit/internal/aggregator"
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/mobility"
 	"github.com/tibfit/tibfit/internal/node"
@@ -100,7 +101,7 @@ func (c TrackingConfig) Validate() error {
 		return fmt.Errorf("experiment: need 0 < MinSpeed <= MaxSpeed")
 	case !c.Level.Faulty():
 		return fmt.Errorf("experiment: Level must be a faulty kind")
-	case c.Scheme != SchemeTIBFIT && c.Scheme != SchemeBaseline:
+	case !decision.Known(c.Scheme):
 		return fmt.Errorf("experiment: unknown scheme %q", c.Scheme)
 	}
 	return nil
@@ -201,9 +202,9 @@ func runTrackingOnce(cfg TrackingConfig, seed int64) (TrackingResult, error) {
 		return TrackingResult{}, err
 	}
 
-	var weigher core.Weigher = core.Baseline{}
-	if cfg.Scheme == SchemeTIBFIT {
-		weigher = core.MustNewTable(trustParams)
+	scheme, err := decision.New(cfg.Scheme, decision.Params{Trust: trustParams})
+	if err != nil {
+		return TrackingResult{}, err
 	}
 
 	var (
@@ -211,7 +212,7 @@ func runTrackingOnce(cfg TrackingConfig, seed int64) (TrackingResult, error) {
 		falsePos int
 	)
 	var feedback aggregator.Feedback
-	if cfg.Scheme == SchemeTIBFIT {
+	if _, stateful := scheme.(decision.Stateful); stateful {
 		feedback = func(id int, correct bool) { nodes[id].ObserveVerdict(correct) }
 	}
 	agg, err := aggregator.NewLocation(
@@ -220,7 +221,7 @@ func runTrackingOnce(cfg TrackingConfig, seed int64) (TrackingResult, error) {
 			RError:      cfg.RError,
 			SenseRadius: cfg.SenseRadius,
 		},
-		weigher, kernel, posMap,
+		scheme, kernel, posMap,
 		func(o aggregator.LocationOutcome) {
 			for _, cand := range o.Candidates {
 				if !cand.Occurred {

@@ -92,6 +92,17 @@ func (s *Station) NewTable() *core.Table {
 	return t
 }
 
+// Snapshot returns a copy of the persisted trust state, for restoring into
+// a newly constructed decision scheme (the generalization of NewTable to
+// any trust-carrying scheme).
+func (s *Station) Snapshot() map[int]core.Record {
+	out := make(map[int]core.Record, len(s.trust))
+	for id, r := range s.trust {
+		out[id] = r
+	}
+	return out
+}
+
 // TI returns the persisted trust index for a node (1 if never reported).
 func (s *Station) TI(nodeID int) float64 {
 	if r, ok := s.trust[nodeID]; ok {

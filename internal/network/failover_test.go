@@ -7,6 +7,7 @@ import (
 
 	"github.com/tibfit/tibfit/internal/chaos"
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/energy"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/node"
@@ -129,7 +130,7 @@ func TestHeadCrashFailover(t *testing.T) {
 	if cs == nil {
 		t.Fatalf("no cluster under emergency head %d", newHead)
 	}
-	if ti := cs.weigher.(*core.Table).TI(sentinel); ti > 0.5 {
+	if ti := cs.scheme.TI(sentinel); ti > 0.5 {
 		t.Fatalf("sentinel TI after failover = %v, want the restored low snapshot", ti)
 	}
 
@@ -200,7 +201,7 @@ func TestCrashedNodesLeaveNRSet(t *testing.T) {
 	h.kernel.RunAll()
 	head := h.net.memberOf[dead]
 	if cs := h.net.clusters[head]; cs != nil {
-		if _, seen := cs.weigher.(*core.Table).Record(dead); seen {
+		if _, seen := cs.scheme.(decision.Stateful).Snapshot()[dead]; seen {
 			t.Fatalf("crashed member %d was trust-judged while down", dead)
 		}
 	}

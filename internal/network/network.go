@@ -17,6 +17,7 @@ import (
 
 	"github.com/tibfit/tibfit/internal/aggregator"
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/energy"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/leach"
@@ -49,7 +50,8 @@ type Config struct {
 	Tout sim.Duration
 	// Trust parameterizes every trust table and the base station.
 	Trust core.Params
-	// Scheme selects "tibfit" or "baseline" aggregation.
+	// Scheme selects a registered decision scheme (internal/decision) for
+	// aggregation; "tibfit" and "baseline" reproduce the paper.
 	Scheme string
 	// Election parameterizes LEACH rounds.
 	Election leach.Config
@@ -98,7 +100,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("network: SenseRadius and RError must be positive")
 	case c.Tout <= 0:
 		return fmt.Errorf("network: Tout must be positive")
-	case c.Scheme != "tibfit" && c.Scheme != "baseline":
+	case !decision.Known(c.Scheme):
 		return fmt.Errorf("network: unknown scheme %q", c.Scheme)
 	case c.Mode != "" && c.Mode != ModeLocation && c.Mode != ModeBinary:
 		return fmt.Errorf("network: unknown mode %q", c.Mode)
@@ -142,7 +144,7 @@ type Declaration struct {
 type clusterState struct {
 	head    int
 	members []int
-	weigher core.Weigher
+	scheme  decision.Scheme
 	agg     *aggregator.Location
 	binAgg  *aggregator.Binary
 }
@@ -316,7 +318,7 @@ func (n *Network) Recluster() error {
 			// the previous snapshot are lost (crash-stop semantics).
 			continue
 		}
-		if t, ok := cs.weigher.(*core.Table); ok {
+		if t, ok := cs.scheme.(decision.Stateful); ok {
 			snap := t.Snapshot()
 			upload := make(map[int]core.Record, len(cs.members))
 			for _, id := range cs.members {
@@ -366,17 +368,18 @@ func (n *Network) Recluster() error {
 // buildCluster wires one cluster head's aggregator over its member
 // positions, restoring trust state from the base station.
 func (n *Network) buildCluster(head int, members []int) (*clusterState, error) {
-	var w core.Weigher
-	if n.cfg.Scheme == "baseline" {
-		w = core.Baseline{}
-	} else {
-		w = n.station.NewTable()
+	w, err := decision.New(n.cfg.Scheme, decision.Params{Trust: n.cfg.Trust})
+	if err != nil {
+		return nil, err
+	}
+	if st, ok := w.(decision.Stateful); ok {
+		st.Restore(n.station.Snapshot())
 	}
 	pos := make(aggregator.PosMap, len(members))
 	for _, id := range members {
 		pos[id] = n.byID[id].Pos()
 	}
-	cs := &clusterState{head: head, members: members, weigher: w}
+	cs := &clusterState{head: head, members: members, scheme: w}
 	if n.cfg.Mode == ModeBinary {
 		bin, err := aggregator.NewBinary(
 			aggregator.BinaryConfig{Tout: n.cfg.Tout, Members: members, Alive: n.memberUp},

@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"github.com/tibfit/tibfit/internal/core"
 	"github.com/tibfit/tibfit/internal/geo"
 )
 
@@ -47,20 +46,16 @@ func (n *Network) RenderField(cols, rows int) string {
 		heads[head] = true
 	}
 
-	// The base station's persisted view plus live tables: prefer the live
-	// cluster table for members of active clusters.
+	// The base station's persisted view plus live state: prefer the live
+	// cluster scheme for members of active clusters.
 	ti := func(id int) (float64, bool) {
 		if head, ok := n.memberOf[id]; ok {
 			if cs, ok := n.clusters[head]; ok {
-				if t, ok := cs.weigher.(*core.Table); ok {
-					return t.TI(id), t.Isolated(id)
-				}
+				return cs.scheme.TI(id), cs.scheme.Isolated(id)
 			}
 		}
 		if cs, ok := n.clusters[id]; ok {
-			if t, ok := cs.weigher.(*core.Table); ok {
-				return t.TI(id), t.Isolated(id)
-			}
+			return cs.scheme.TI(id), cs.scheme.Isolated(id)
 		}
 		return n.station.TI(id), false
 	}
@@ -159,18 +154,10 @@ func (n *Network) Census() TrustCensus {
 		var trust float64
 		if head, ok := n.memberOf[id]; ok {
 			if cs, ok := n.clusters[head]; ok {
-				if t, ok := cs.weigher.(*core.Table); ok {
-					trust = t.TI(id)
-				} else {
-					trust = 1
-				}
+				trust = cs.scheme.TI(id)
 			}
 		} else if cs, ok := n.clusters[id]; ok {
-			if t, ok := cs.weigher.(*core.Table); ok {
-				trust = t.TI(id)
-			} else {
-				trust = 1
-			}
+			trust = cs.scheme.TI(id)
 		} else {
 			trust = n.station.TI(id)
 		}

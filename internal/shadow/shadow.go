@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 )
 
 // Corruptor decides whether the primary CH corrupts a given decision; the
@@ -50,10 +51,10 @@ type Report struct {
 // station's vote. Only binary conclusions are compared — the same
 // mechanism guards location decisions in the paper, and the simulation's
 // location experiments exercise it through the binary vote each candidate
-// cluster reduces to.
+// cluster reduces to. The replicas run any registered decision scheme;
+// NewPanel builds the paper's configuration (three TIBFIT trust tables).
 type Panel struct {
-	params   core.Params
-	replicas []*core.Table // index 0 is the primary's table
+	replicas []decision.Scheme // index 0 is the primary's scheme
 	corrupt  Corruptor
 	station  StationPenalty
 
@@ -67,18 +68,26 @@ type Panel struct {
 // (which reduces that node's persisted trust). Optional.
 type StationPenalty func(primaryNode int)
 
-// NewPanel returns a panel of one primary and two shadow replicas with
-// fresh trust state under params.
+// NewPanel returns a panel of one primary and two shadow replicas running
+// the canonical TIBFIT scheme with fresh trust state under params.
 func NewPanel(params core.Params, primaryNode int, corrupt Corruptor, penalty StationPenalty) (*Panel, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
-	replicas := make([]*core.Table, 3)
+	return NewPanelScheme(decision.SchemeTIBFIT, decision.Params{Trust: params},
+		primaryNode, corrupt, penalty)
+}
+
+// NewPanelScheme returns a panel whose three replicas each run a fresh
+// instance of the named registered scheme.
+func NewPanelScheme(scheme string, params decision.Params, primaryNode int,
+	corrupt Corruptor, penalty StationPenalty) (*Panel, error) {
+	replicas := make([]decision.Scheme, 3)
 	for i := range replicas {
-		replicas[i] = core.MustNewTable(params)
+		s, err := decision.New(scheme, params)
+		if err != nil {
+			return nil, err
+		}
+		replicas[i] = s
 	}
 	return &Panel{
-		params:      params,
 		replicas:    replicas,
 		corrupt:     corrupt,
 		station:     penalty,
@@ -88,24 +97,32 @@ func NewPanel(params core.Params, primaryNode int, corrupt Corruptor, penalty St
 
 // Restore loads the same persisted trust snapshot into every replica, as
 // happens when a new CH (and its shadows) fetch state from the base
-// station.
+// station. Stateless schemes have nothing to restore.
 func (p *Panel) Restore(snap map[int]core.Record) {
 	for _, r := range p.replicas {
-		r.Restore(snap)
+		if s, ok := r.(decision.Stateful); ok {
+			s.Restore(snap)
+		}
 	}
 }
 
-// Snapshot exports the authoritative (shadow-verified) trust state.
-func (p *Panel) Snapshot() map[int]core.Record { return p.replicas[1].Snapshot() }
+// Snapshot exports the authoritative (shadow-verified) trust state, or nil
+// for stateless schemes.
+func (p *Panel) Snapshot() map[int]core.Record {
+	if s, ok := p.replicas[1].(decision.Stateful); ok {
+		return s.Snapshot()
+	}
+	return nil
+}
 
 // Stats returns the number of rounds, disagreements, and demotions so far.
 func (p *Panel) Stats() (rounds, disagreements, demotions int) {
 	return p.rounds, p.disagreement, p.demotions
 }
 
-// PrimaryTable exposes the primary's trust table (shared with the
+// Primary exposes the primary's decision scheme (shared with the
 // aggregator that drives the cluster in a live simulation).
-func (p *Panel) PrimaryTable() *core.Table { return p.replicas[0] }
+func (p *Panel) Primary() decision.Scheme { return p.replicas[0] }
 
 // SetPrimaryNode records which node currently serves as primary, so that a
 // demotion penalizes the right identity.
@@ -119,7 +136,7 @@ func (p *Panel) SetPrimaryNode(nodeID int) { p.primaryNode = nodeID }
 // otherwise compound a single CH fault into lasting damage.
 func (p *Panel) Decide(reporters, silent []int) Report {
 	p.rounds++
-	honest := core.DecideBinary(p.replicas[0], reporters, silent)
+	honest := p.replicas[0].Arbitrate(reporters, silent)
 	broadcast := honest
 	corrupted := false
 	if p.corrupt != nil {
@@ -127,8 +144,8 @@ func (p *Panel) Decide(reporters, silent []int) Report {
 	}
 
 	// Shadows replicate the computation on identical inputs and state.
-	shadow1 := core.DecideBinary(p.replicas[1], reporters, silent)
-	shadow2 := core.DecideBinary(p.replicas[2], reporters, silent)
+	shadow1 := p.replicas[1].Arbitrate(reporters, silent)
+	shadow2 := p.replicas[2].Arbitrate(reporters, silent)
 
 	rep := Report{Final: broadcast}
 	if shadow1.Occurred != broadcast.Occurred || shadow2.Occurred != broadcast.Occurred {
@@ -153,8 +170,8 @@ func (p *Panel) Decide(reporters, silent []int) Report {
 		}
 	}
 
-	for _, t := range p.replicas {
-		core.Apply(t, rep.Final)
+	for _, r := range p.replicas {
+		core.Apply(r, rep.Final)
 	}
 	return rep
 }

@@ -115,7 +115,7 @@ func TestRestoreLoadsAllReplicas(t *testing.T) {
 	if rep.Disagreed {
 		t.Fatal("replicas disagreed after identical restore")
 	}
-	if p.PrimaryTable().TI(7) >= 0.5 {
+	if p.Primary().TI(7) >= 0.5 {
 		t.Fatal("primary table missing restored state")
 	}
 }

@@ -7,6 +7,7 @@ package tibfit
 
 import (
 	"github.com/tibfit/tibfit/internal/aggregator"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/leach"
 	"github.com/tibfit/tibfit/internal/mobility"
@@ -86,16 +87,18 @@ type (
 	Feedback = aggregator.Feedback
 )
 
-// NewBinaryAggregator wires a §3.1 aggregator to a kernel.
+// NewBinaryAggregator wires a §3.1 aggregator to a kernel. The Weigher is
+// adapted into a decision.Scheme; pass a DecisionScheme directly to keep
+// scheme-specific behaviour (per-scheme TI, isolation lists).
 func NewBinaryAggregator(cfg BinaryAggregatorConfig, w Weigher, kernel *Kernel,
 	onDecide func(BinaryOutcome), fb Feedback, tr *Trace) (*BinaryAggregator, error) {
-	return aggregator.NewBinary(cfg, w, kernel, onDecide, fb, tr)
+	return aggregator.NewBinary(cfg, decision.Adapt(w), kernel, onDecide, fb, tr)
 }
 
 // NewLocationAggregator wires a §3.2/§3.3 aggregator to a kernel.
 func NewLocationAggregator(cfg LocationAggregatorConfig, w Weigher, kernel *Kernel,
 	pos Positions, onDecide func(LocationOutcome), fb Feedback, tr *Trace) (*LocationAggregator, error) {
-	return aggregator.NewLocation(cfg, w, kernel, pos, onDecide, fb, tr)
+	return aggregator.NewLocation(cfg, decision.Adapt(w), kernel, pos, onDecide, fb, tr)
 }
 
 // LEACH election and base station.

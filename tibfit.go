@@ -40,6 +40,7 @@ import (
 	"github.com/tibfit/tibfit/internal/analysis"
 	"github.com/tibfit/tibfit/internal/cluster"
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/experiment"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/metrics"
@@ -157,11 +158,35 @@ type (
 	DecaySchedule = workload.DecaySchedule
 )
 
-// Scheme names for the experiment configs.
+// Scheme names for the experiment configs. Any name registered in the
+// decision registry is accepted; DecisionSchemeNames lists them all.
 const (
 	SchemeTIBFIT   = experiment.SchemeTIBFIT
 	SchemeBaseline = experiment.SchemeBaseline
 )
+
+// Decision-engine layer: the pluggable voting schemes behind every
+// aggregator and experiment.
+type (
+	// DecisionScheme is the pluggable per-report weighing / window
+	// arbitration / post-decision feedback policy.
+	DecisionScheme = decision.Scheme
+	// DecisionParams configures a scheme instance.
+	DecisionParams = decision.Params
+)
+
+// NewDecisionScheme builds a registered scheme by name ("tibfit",
+// "majority", "linear", "dynamic-trust", "fuzzy", alias "baseline").
+func NewDecisionScheme(name string, p DecisionParams) (DecisionScheme, error) {
+	return decision.New(name, p)
+}
+
+// DecisionSchemeNames lists the registered canonical scheme names, sorted.
+func DecisionSchemeNames() []string { return decision.Names() }
+
+// DecisionSchemeTitle returns the scheme's human-readable figure-legend
+// title.
+func DecisionSchemeTitle(name string) string { return decision.Title(name) }
 
 // Tracking (the §3.2 mobile-target application) and parameter sweeps
 // (§7 future work).
