@@ -1,0 +1,39 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// SchedulerFlag carries the event-queue selection shared by the cmd
+// tools. An empty Name keeps the process default (TIBFIT_SCHEDULER, or
+// the calendar queue).
+type SchedulerFlag struct {
+	// Name is the -scheduler value: one of sim.Schedulers().
+	Name string
+}
+
+// Register installs -scheduler on the flag set. The default is empty —
+// "keep the process default" — so the TIBFIT_SCHEDULER environment
+// variable still applies when the flag is absent.
+func (s *SchedulerFlag) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Name, "scheduler", "",
+		"event-queue implementation: "+strings.Join(sim.Schedulers(), ", ")+
+			" (default: $"+sim.EnvScheduler+" or "+sim.SchedulerCalendar+")")
+}
+
+// Apply validates the parsed value and installs it as the process-default
+// scheduler, so every kernel the tool builds — including ones deep inside
+// the experiment harness — picks it up. An empty value is a no-op.
+func (s *SchedulerFlag) Apply() error {
+	if s.Name == "" {
+		return nil
+	}
+	if err := sim.SetDefaultScheduler(s.Name); err != nil {
+		return fmt.Errorf("-scheduler: %w", err) // sim's error already lists the valid names
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+func parseScheduler(t *testing.T, argv ...string) *SchedulerFlag {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var sched SchedulerFlag
+	sched.Register(fs)
+	if err := fs.Parse(argv); err != nil {
+		t.Fatal(err)
+	}
+	return &sched
+}
+
+// restoreDefaultScheduler snapshots the process default and restores it
+// when the test ends: Apply mutates process-global state.
+func restoreDefaultScheduler(t *testing.T) {
+	t.Helper()
+	prev := sim.DefaultScheduler()
+	t.Cleanup(func() {
+		if err := sim.SetDefaultScheduler(prev); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSchedulerFlagDefaultKeepsProcessDefault(t *testing.T) {
+	restoreDefaultScheduler(t)
+	sched := parseScheduler(t)
+	if sched.Name != "" {
+		t.Fatalf("default Name = %q, want empty", sched.Name)
+	}
+	before := sim.DefaultScheduler()
+	if err := sched.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.DefaultScheduler(); got != before {
+		t.Fatalf("empty flag changed process default: %q -> %q", before, got)
+	}
+}
+
+func TestSchedulerFlagAppliesSelection(t *testing.T) {
+	restoreDefaultScheduler(t)
+	for _, name := range sim.Schedulers() {
+		sched := parseScheduler(t, "-scheduler", name)
+		if err := sched.Apply(); err != nil {
+			t.Fatalf("Apply(%q): %v", name, err)
+		}
+		if got := sim.DefaultScheduler(); got != name {
+			t.Fatalf("process default = %q, want %q", got, name)
+		}
+	}
+}
+
+func TestSchedulerFlagRejectsUnknown(t *testing.T) {
+	restoreDefaultScheduler(t)
+	sched := parseScheduler(t, "-scheduler", "fibheap")
+	err := sched.Apply()
+	if err == nil {
+		t.Fatal("Apply(fibheap) succeeded")
+	}
+	for _, name := range sim.Schedulers() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid scheduler %q", err, name)
+		}
+	}
+}

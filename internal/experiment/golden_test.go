@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/tibfit/tibfit/internal/sim"
 )
 
 // The golden figures pin the default scheme's outputs byte-for-byte: the
@@ -15,8 +17,12 @@ import (
 //	go run ./cmd/tibfit-figures -out /tmp/g -runs 2 -events 40 -seed 5 \
 //	    -only figure2,figure8
 //	cp /tmp/g/figure{2,8}.csv internal/experiment/testdata/golden-...
+//
+// Each golden is checked under every event-queue implementation: the CSVs
+// were captured on the heap scheduler, so the calendar queue reproducing
+// them byte-for-byte is the end-to-end proof of the (time, seq) dispatch
+// contract.
 func TestGoldenFigures(t *testing.T) {
-	opts := FigureOptions{Runs: 2, Events: 40, Seed: 5, Parallel: 1}
 	for _, tc := range []struct {
 		id     string
 		golden string
@@ -28,13 +34,16 @@ func TestGoldenFigures(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fig, err := Generate(tc.id, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := fig.CSV(); got != string(want) {
-			t.Errorf("%s drifted from the pre-refactor golden output:\ngot:\n%s\nwant:\n%s",
-				tc.id, got, want)
+		for _, sched := range sim.Schedulers() {
+			opts := FigureOptions{Runs: 2, Events: 40, Seed: 5, Parallel: 1, Scheduler: sched}
+			fig, err := Generate(tc.id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fig.CSV(); got != string(want) {
+				t.Errorf("%s (%s) drifted from the pre-refactor golden output:\ngot:\n%s\nwant:\n%s",
+					tc.id, sched, got, want)
+			}
 		}
 	}
 }

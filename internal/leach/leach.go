@@ -344,7 +344,7 @@ func (e *Election) affiliate(heads []int) map[int]int {
 		}
 		best, bestRSS := -1, 0.0
 		for _, h := range heads {
-			rss := e.channel.RSS(n.Pos().Dist(headPos[h]))
+			rss := e.channel.LinkRSS(n.Pos(), headPos[h])
 			if best == -1 || rss > bestRSS {
 				best, bestRSS = h, rss
 			}

@@ -1,0 +1,72 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// benchTopology is a star of members around one cluster head — the pair
+// population Send prices over and over in a campaign.
+func benchTopology(n int) (head geo.Point, members []geo.Point) {
+	src := rng.New(1)
+	head = geo.Point{X: 50, Y: 50}
+	members = make([]geo.Point, n)
+	for i := range members {
+		members[i] = geo.Point{X: src.Uniform(0, 100), Y: src.Uniform(0, 100)}
+	}
+	return head, members
+}
+
+// BenchmarkSend measures the steady-state cost of pricing and scheduling
+// one member→CH transmission with the link cache warm (the campaign
+// regime: static positions, repeated pairs).
+func BenchmarkSend(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Range = 200
+	k := sim.New()
+	ch := NewChannel(cfg, k, rng.New(1))
+	head, members := benchTopology(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Send(members[i%len(members)], head, func() {})
+		if k.Pending() > 4096 {
+			b.StopTimer()
+			k.RunAll()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkLinkRSS measures the affiliation hot loop: ranking one member
+// against one advertising head, memoized.
+func BenchmarkLinkRSS(b *testing.B) {
+	cfg := DefaultConfig()
+	k := sim.New()
+	ch := NewChannel(cfg, k, rng.New(1))
+	head, members := benchTopology(64)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += ch.LinkRSS(members[i%len(members)], head)
+	}
+	_ = sink
+}
+
+// BenchmarkRSSUncached is the baseline the memoization is measured
+// against: the raw distance + log10 per call.
+func BenchmarkRSSUncached(b *testing.B) {
+	cfg := DefaultConfig()
+	k := sim.New()
+	ch := NewChannel(cfg, k, rng.New(1))
+	head, members := benchTopology(64)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += ch.RSS(members[i%len(members)].Dist(head))
+	}
+	_ = sink
+}

@@ -111,12 +111,56 @@ type Perturber interface {
 	Perturb(from, to geo.Point) Perturbation
 }
 
+// linkKey identifies a directed position pair for the link-cost cache.
+type linkKey struct {
+	from, to geo.Point
+}
+
+// linkCost caches the pure geometry-derived quantities for one link. Nodes
+// are static for the lifetime of a round, so the same member→CH pair is
+// priced thousands of times per campaign; caching turns the repeated
+// hypot/multiply (and, for affiliation, log10) into a table hit. rss is
+// filled lazily — most links are only ever sent over, never RSS-ranked.
+type linkCost struct {
+	dist   float64
+	delay  sim.Duration
+	hasRSS bool
+	rss    float64
+}
+
+// linkEntry is one slot of the direct-mapped link cache. A plain Go map
+// would work but its generic memhash of the 32-byte key costs more than
+// the float math it saves; a direct-mapped table with a four-word FNV mix
+// keeps a hit cheaper than one math.Hypot.
+type linkEntry struct {
+	used bool
+	key  linkKey
+	cost linkCost
+}
+
+// linkCacheSize is the slot count (power of two for mask indexing). The
+// experiments' live pair populations — members × advertising heads — are
+// a few thousand at most; colliding pairs just alternate recomputing.
+const linkCacheSize = 4096
+
+// linkHash mixes the four coordinate words FNV-style into a slot index.
+func linkHash(a, b geo.Point) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ math.Float64bits(a.X)) * prime
+	h = (h ^ math.Float64bits(a.Y)) * prime
+	h = (h ^ math.Float64bits(b.X)) * prime
+	h = (h ^ math.Float64bits(b.Y)) * prime
+	return h ^ (h >> 32)
+}
+
 // Channel is a stochastic wireless channel bound to a simulation kernel.
 type Channel struct {
 	cfg       Config
 	kernel    *sim.Kernel
 	src       *rng.Source
 	perturber Perturber
+	links     []linkEntry
 
 	sent       int
 	delivered  int
@@ -128,7 +172,31 @@ type Channel struct {
 
 // NewChannel returns a channel using the given kernel and random stream.
 func NewChannel(cfg Config, kernel *sim.Kernel, src *rng.Source) *Channel {
-	return &Channel{cfg: cfg, kernel: kernel, src: src}
+	return &Channel{cfg: cfg, kernel: kernel, src: src, links: make([]linkEntry, linkCacheSize)}
+}
+
+// link returns the cached geometry costs for the pair, computing and
+// memoizing them on first use. The returned pointer stays valid until the
+// slot is evicted by a colliding pair, so callers use it immediately.
+// Lookup is a deterministic pure function of the coordinates — no map
+// iteration, no randomized hashing — so it cannot perturb run order.
+func (c *Channel) link(a, b geo.Point) *linkCost {
+	if c.links == nil {
+		c.links = make([]linkEntry, linkCacheSize)
+	}
+	e := &c.links[linkHash(a, b)&(linkCacheSize-1)]
+	//lint:allow floateq cache key identity: same bits means same point
+	if e.used && e.key.from == a && e.key.to == b {
+		return &e.cost
+	}
+	d := a.Dist(b)
+	e.used = true
+	e.key = linkKey{from: a, to: b}
+	e.cost = linkCost{
+		dist:  d,
+		delay: c.cfg.BaseDelay + sim.Duration(d)*c.cfg.DelayPerUnit,
+	}
+	return &e.cost
 }
 
 // Config returns the channel configuration.
@@ -141,12 +209,12 @@ func (c *Channel) SetPerturber(p Perturber) { c.perturber = p }
 
 // InRange reports whether two positions can communicate directly.
 func (c *Channel) InRange(a, b geo.Point) bool {
-	return c.cfg.Range <= 0 || a.Dist(b) <= c.cfg.Range
+	return c.cfg.Range <= 0 || c.link(a, b).dist <= c.cfg.Range
 }
 
 // Delay returns the propagation delay between two positions.
 func (c *Channel) Delay(a, b geo.Point) sim.Duration {
-	return c.cfg.BaseDelay + sim.Duration(a.Dist(b))*c.cfg.DelayPerUnit
+	return c.link(a, b).delay
 }
 
 // RSS returns the received signal strength in dBm at distance d using the
@@ -160,12 +228,28 @@ func (c *Channel) RSS(d float64) float64 {
 	return c.cfg.TxPower - 10*c.cfg.PathLossExp*math.Log10(d)
 }
 
+// LinkRSS returns the received signal strength at b for a transmission
+// from a — RSS(a.Dist(b)) with the distance and logarithm memoized.
+// LEACH affiliation ranks every member against every advertising CH each
+// round, so this is the hot path for the log10.
+func (c *Channel) LinkRSS(a, b geo.Point) float64 {
+	lc := c.link(a, b)
+	if !lc.hasRSS {
+		lc.rss = c.RSS(lc.dist)
+		lc.hasRSS = true
+	}
+	return lc.rss
+}
+
 // Send transmits a packet from src to dst positions and schedules deliver
 // at the receive time if the packet survives. It returns the outcome
 // immediately (the simulator is omniscient; the model is not).
 func (c *Channel) Send(from, to geo.Point, deliver sim.Handler) Outcome {
 	c.sent++
-	if !c.InRange(from, to) {
+	// One cache probe prices the whole transmission: the range check and
+	// the delay share the same memoized distance.
+	lc := c.link(from, to)
+	if c.cfg.Range > 0 && lc.dist > c.cfg.Range {
 		c.outOfRange++
 		return DroppedRange
 	}
@@ -182,7 +266,7 @@ func (c *Channel) Send(from, to geo.Point, deliver sim.Handler) Outcome {
 		return DroppedLoss
 	}
 	c.delivered++
-	d := c.Delay(from, to) + pert.ExtraDelay
+	d := lc.delay + pert.ExtraDelay
 	c.kernel.After(d, deliver)
 	if pert.Duplicate {
 		c.duplicated++

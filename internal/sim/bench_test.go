@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkScheduleAndRun measures raw kernel throughput: schedule-then-
 // dispatch cost per event with a queue that stays around 1000 entries.
@@ -25,5 +28,39 @@ func BenchmarkTimerStop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tm := k.After(1e9, func() {})
 		tm.Stop()
+	}
+}
+
+// BenchmarkSchedulerChurn is the in-package edition of the tibfit-bench
+// scale-up matrix (kernel/timer-churn/<pop>/<scheduler>): near-term
+// ACK/backoff churn over a standing long-horizon population. Run it to
+// see the heap's O(log n) grow with population while the calendar stays
+// flat:
+//
+//	go test -bench BenchmarkSchedulerChurn -benchtime 200ms ./internal/sim/
+func BenchmarkSchedulerChurn(b *testing.B) {
+	for _, name := range Schedulers() {
+		for _, pop := range []int{1_000, 16_000, 128_000} {
+			b.Run(fmt.Sprintf("%s/pop=%d", name, pop), func(b *testing.B) {
+				k := New(WithScheduler(name))
+				for i := 0; i < pop; i++ {
+					k.After(Duration(1e12+float64(i)), func() {})
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				timers := make([]*Timer, 64)
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < 64; j++ {
+						timers[j] = k.After(Duration(1+j), func() {})
+					}
+					for j := 0; j < 48; j++ {
+						timers[j].Stop()
+					}
+					for j := 0; j < 16; j++ {
+						k.Step()
+					}
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestAtRejectsNonFiniteTimes pins the NaN/Inf guard: NaN compares false
+// against everything, so before the guard existed a NaN time passed the
+// past-time check and poisoned the queue ordering; +Inf would similarly
+// wedge ahead of the End sentinel. Both now fail fast with the wrapped
+// sentinel, under either scheduler.
+func TestAtRejectsNonFiniteTimes(t *testing.T) {
+	for _, name := range Schedulers() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			k := New(WithScheduler(name))
+			for _, at := range []Time{Time(math.NaN()), Time(math.Inf(1)), Time(math.Inf(-1))} {
+				tm, err := k.At(at, func() { t.Fatal("non-finite event fired") })
+				if !errors.Is(err, ErrNonFiniteTime) {
+					t.Fatalf("At(%v) err = %v, want ErrNonFiniteTime", float64(at), err)
+				}
+				if tm != nil {
+					t.Fatalf("At(%v) returned a live timer alongside the error", float64(at))
+				}
+			}
+			if k.Pending() != 0 {
+				t.Fatalf("rejected schedules left %d events queued", k.Pending())
+			}
+			// The kernel stays fully usable after a rejected schedule.
+			fired := false
+			k.After(1, func() { fired = true })
+			k.RunAll()
+			if !fired {
+				t.Fatal("kernel wedged after rejecting a non-finite time")
+			}
+		})
+	}
+}
+
+// TestAfterPanicsOnNonFiniteDelay pins After's contract: it has no error
+// return, and a NaN duration slips past the d < 0 clamp (NaN < 0 is
+// false), so the only safe behaviour is a panic carrying the sentinel.
+func TestAfterPanicsOnNonFiniteDelay(t *testing.T) {
+	for _, d := range []Duration{Duration(math.NaN()), Duration(math.Inf(1))} {
+		d := d
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("After(%v) did not panic", float64(d))
+				}
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, ErrNonFiniteTime) {
+					t.Fatalf("After(%v) panicked with %v, want ErrNonFiniteTime", float64(d), r)
+				}
+			}()
+			k := New()
+			k.After(d, func() {})
+		}()
+	}
+}
+
+// TestAtEndSentinelStillSchedulable: End is MaxFloat64, deliberately
+// finite, so "schedule at the end of time" keeps working.
+func TestAtEndSentinelStillSchedulable(t *testing.T) {
+	k := New()
+	if _, err := k.At(End, func() {}); err != nil {
+		t.Fatalf("At(End) err = %v, want nil", err)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+}

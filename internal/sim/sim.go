@@ -2,10 +2,18 @@
 // ns-2 as the substrate for the TIBFIT reproduction.
 //
 // The kernel is deliberately minimal and deterministic: a virtual clock, a
-// binary-heap event queue with stable FIFO ordering among simultaneous
+// pluggable event queue with stable FIFO ordering among simultaneous
 // events, and cancellable timers. All model randomness lives in the rng
 // package; the kernel itself is fully deterministic, so a simulation run is
 // a pure function of its configuration and seed.
+//
+// Two event-queue implementations sit behind the scheduler interface: a
+// binary heap (O(log n) per operation) and an ns-2-style calendar queue
+// (O(1) amortized, the default — see calqueue.go). Both honor the exact
+// (time, sequence) total order, so a run is byte-identical under either;
+// selection is per kernel (WithScheduler), per process
+// (SetDefaultScheduler, the cmd tools' -scheduler flag), or per
+// environment (TIBFIT_SCHEDULER, the CI matrix).
 //
 // The kernel is single-threaded. Wireless sensor network simulations at the
 // paper's scale (hundreds of nodes, thousands of events) run in milliseconds
@@ -16,12 +24,11 @@
 // Event records are recycled through a kernel-local free list (backed by
 // block allocation) rather than garbage-collected per event: a campaign
 // dispatches millions of timer events, and the steady-state cost of one is
-// a heap push/pop, not an allocation. Generation counters keep stale Timer
+// a queue push/pop, not an allocation. Generation counters keep stale Timer
 // handles safe after their event record is reused.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -52,6 +59,12 @@ const End Time = Time(math.MaxFloat64)
 // virtual time.
 var ErrPastTime = errors.New("sim: cannot schedule event in the past")
 
+// ErrNonFiniteTime is returned when an event is scheduled at NaN or ±Inf.
+// NaN in particular is poison: it compares false against everything, so it
+// slips past range guards and silently corrupts any ordering structure it
+// enters. The kernel rejects it at the door instead.
+var ErrNonFiniteTime = errors.New("sim: cannot schedule event at non-finite time")
+
 // Handler is a callback invoked when a scheduled event fires.
 type Handler func()
 
@@ -68,12 +81,20 @@ const initialQueueCap = 64
 // same instant fire in scheduling order (FIFO), which keeps runs stable.
 // Records are reused via the kernel free list; gen increments on every
 // recycle so Timer handles from a previous life cannot touch the new one.
+//
+// index, vb, prev, and next are scheduler-owned: the heap keeps its slot
+// in index; the calendar queue keeps the bucket index there and threads
+// its per-bucket chains through prev/next with the virtual day in vb.
+// index >= 0 iff the event is queued, whichever scheduler holds it.
 type event struct {
 	at    Time
 	seq   uint64
 	fn    Handler
 	gen   uint64
-	index int // heap index, maintained by the heap interface; -1 off-heap
+	index int // scheduler slot; -1 off-queue
+	vb    int64
+	prev  *event
+	next  *event
 }
 
 // Timer is a handle to a scheduled event that can be cancelled or queried.
@@ -92,16 +113,16 @@ func (t *Timer) pending() bool {
 	return t != nil && t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
 }
 
-// Stop cancels the timer, removing its event from the queue immediately
-// (heap.Remove by index), so heavy timer churn cannot bloat the queue with
-// dead entries. It reports whether the cancellation prevented the event
-// from firing (false if it already fired or was already stopped).
+// Stop cancels the timer, removing its event from the queue immediately,
+// so heavy timer churn cannot bloat the queue with dead entries. It
+// reports whether the cancellation prevented the event from firing (false
+// if it already fired or was already stopped).
 func (t *Timer) Stop() bool {
 	if !t.pending() {
 		return false
 	}
 	ev := t.ev
-	heap.Remove(&t.k.queue, ev.index)
+	t.k.sched.remove(ev)
 	t.k.recycle(ev)
 	return true
 }
@@ -118,49 +139,16 @@ func (t *Timer) When() Time {
 	return t.ev.at
 }
 
-// eventQueue implements heap.Interface ordered by (time, sequence).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	//lint:allow floateq total-order tie-break comparator; exact comparison is the point
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
-// Kernel is the discrete-event scheduler. The zero value is ready to use;
-// New additionally pre-sizes the queue.
+// Kernel is the discrete-event scheduler. The zero value is ready to use
+// (it adopts the process-default event queue on first schedule); New
+// additionally applies options and pre-sizes the queue.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	stopped bool
-	fired   uint64
+	now       Time
+	seq       uint64
+	sched     scheduler
+	schedName string
+	stopped   bool
+	fired     uint64
 
 	// free holds recycled event records; arena is the tail of the current
 	// backing block, consumed one record at a time. Records never move, so
@@ -169,19 +157,49 @@ type Kernel struct {
 	arena []event
 }
 
-// New returns a kernel with the clock at zero.
-func New() *Kernel {
-	return &Kernel{queue: make(eventQueue, 0, initialQueueCap)}
+// New returns a kernel with the clock at zero. Options select the event
+// queue (WithScheduler); without one the process default applies.
+func New(opts ...Option) *Kernel {
+	k := &Kernel{}
+	for _, opt := range opts {
+		opt(k)
+	}
+	k.initScheduler()
+	return k
+}
+
+// initScheduler resolves the kernel's scheduler name (falling back to the
+// process default) and builds the queue. Unknown names panic: they are
+// programmer errors — the CLI layer validates user input first.
+func (k *Kernel) initScheduler() {
+	if k.schedName == "" {
+		k.schedName = DefaultScheduler()
+	}
+	if _, err := ResolveScheduler(k.schedName); err != nil {
+		panic(err)
+	}
+	k.sched = newSchedulerImpl(k.schedName)
+}
+
+// Scheduler returns the name of the event-queue implementation in use.
+func (k *Kernel) Scheduler() string {
+	if k.sched == nil {
+		return DefaultScheduler()
+	}
+	return k.schedName
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Pending returns the number of events still queued. Stopped timers are
-// removed from the queue eagerly, so cancelled events never count (they
-// used to linger until drained; since the heap.Remove-based Stop they do
-// not).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// removed from the queue eagerly, so cancelled events never count.
+func (k *Kernel) Pending() int {
+	if k.sched == nil {
+		return 0
+	}
+	return k.sched.len()
+}
 
 // Fired returns the number of events that have been dispatched so far. It
 // is useful for instrumentation and for sanity bounds in tests.
@@ -220,26 +238,36 @@ func (k *Kernel) recycle(ev *event) {
 
 // At schedules fn to run at absolute virtual time at. Scheduling at the
 // current time is allowed; the event fires after all events already queued
-// for that instant. It returns a Timer handle and ErrPastTime if at is
-// before the current time.
+// for that instant. It returns a Timer handle, ErrPastTime if at is before
+// the current time, and ErrNonFiniteTime if at is NaN or infinite.
 func (k *Kernel) At(at Time, fn Handler) (*Timer, error) {
+	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		return nil, fmt.Errorf("%w: requested=%v", ErrNonFiniteTime, float64(at))
+	}
 	if at < k.now {
 		return nil, fmt.Errorf("%w: now=%v requested=%v", ErrPastTime, k.now, at)
 	}
+	if k.sched == nil {
+		k.initScheduler()
+	}
 	ev := k.alloc(at, fn)
-	heap.Push(&k.queue, ev)
+	k.sched.push(ev)
 	return &Timer{k: k, ev: ev, gen: ev.gen}, nil
 }
 
 // After schedules fn to run d time units from now. A non-positive delay
-// schedules for the current instant (after already-queued events).
+// schedules for the current instant (after already-queued events). A
+// non-finite delay panics with an error wrapping ErrNonFiniteTime: After
+// has no error return, and silently dropping or deferring a NaN timer
+// would corrupt the run it came from.
 func (k *Kernel) After(d Duration, fn Handler) *Timer {
 	if d < 0 {
 		d = 0
 	}
 	t, err := k.At(k.now.Add(d), fn)
 	if err != nil {
-		// Unreachable: now+nonnegative is never in the past.
+		// Non-finite d is the only reachable case: now+nonnegative-finite
+		// is never in the past.
 		panic(err)
 	}
 	return t
@@ -255,20 +283,21 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Run(until Time) uint64 {
 	k.stopped = false
 	var dispatched uint64
-	for len(k.queue) > 0 && !k.stopped {
-		next := k.queue[0]
-		if next.at > until {
-			break
+	if k.sched != nil {
+		for !k.stopped {
+			next := k.sched.popUntil(until)
+			if next == nil {
+				break
+			}
+			k.now = next.at
+			fn := next.fn
+			// Recycle before dispatch: the record may be reused by events the
+			// handler schedules, and the gen bump already shields the handle.
+			k.recycle(next)
+			fn()
+			k.fired++
+			dispatched++
 		}
-		heap.Pop(&k.queue)
-		k.now = next.at
-		fn := next.fn
-		// Recycle before dispatch: the record may be reused by events the
-		// handler schedules, and the gen bump already shields the handle.
-		k.recycle(next)
-		fn()
-		k.fired++
-		dispatched++
 	}
 	//lint:allow floateq comparison against the exact End sentinel constant
 	if k.now < until && until != End {
@@ -287,10 +316,13 @@ func (k *Kernel) RunAll() uint64 { return k.Run(End) }
 // (Stopped timers leave the queue immediately, so every queued event is
 // dispatchable.)
 func (k *Kernel) Step() bool {
-	if len(k.queue) == 0 {
+	if k.sched == nil {
 		return false
 	}
-	next := heap.Pop(&k.queue).(*event)
+	next := k.sched.popUntil(End)
+	if next == nil {
+		return false
+	}
 	k.now = next.at
 	fn := next.fn
 	k.recycle(next)
