@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-schedulers conformance vet lint bench bench-report bench-check bench-kernel profile figures validate examples fuzz soak clean
+.PHONY: all build test test-race test-schedulers conformance vet lint lint-fix bench bench-report bench-check bench-kernel profile figures validate examples fuzz soak clean
 
 all: build lint test
 
@@ -12,9 +12,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Determinism lint suite (see docs/DETERMINISM.md) on top of go vet.
+# Static-analysis suite (see docs/LINTING.md) on top of go vet.
 lint: vet
 	$(GO) run ./cmd/tibfit-lint ./...
+
+# Apply the suite's suggested fixes in place (currently errwrap's
+# sentinel-comparison rewrite); findings without a machine fix still fail.
+lint-fix:
+	$(GO) run ./cmd/tibfit-lint -fix ./...
 
 test:
 	$(GO) test ./...

@@ -1,21 +1,27 @@
-// Command tibfit-lint runs the TIBFIT determinism lint suite — a
-// multichecker over the four analyzers in internal/lint — and exits
+// Command tibfit-lint runs the TIBFIT static-analysis suite — a
+// multichecker over the eight analyzers in internal/lint — and exits
 // non-zero if any finding survives //lint:allow filtering. It is wired
-// into `make lint` and CI as a hard gate; see docs/DETERMINISM.md for
-// the rules and the allowlist policy.
+// into `make lint` and CI as a hard gate; see docs/LINTING.md for the
+// rules and the allowlist policy.
 //
 // Usage:
 //
-//	tibfit-lint [-list] [packages]
+//	tibfit-lint [-list] [-fix] [-sarif file] [packages]
 //
 // Packages default to ./... and accept the usual "./dir/..." forms,
-// resolved against the module root.
+// resolved against the module root. -fix applies suggested fixes in
+// place (findings with a fix count as resolved; the rest still fail
+// the gate). -sarif writes the findings as a SARIF 2.1.0 log ("-" for
+// stdout) for CI code-scanning upload; it is written even when there
+// are no findings, so the upload step never races the gate's exit
+// status.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/tibfit/tibfit/internal/lint"
 	"github.com/tibfit/tibfit/internal/lint/loader"
@@ -28,9 +34,11 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("tibfit-lint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and their documentation, then exit")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place; fixed findings pass the gate")
+	sarif := fs.String("sarif", "", "write findings as SARIF 2.1.0 to `file` (\"-\" for stdout)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: tibfit-lint [-list] [packages]\n\n")
-		fmt.Fprintf(fs.Output(), "Runs the determinism lint suite (%d analyzers) over the module.\n", len(lint.Analyzers))
+		fmt.Fprintf(fs.Output(), "usage: tibfit-lint [-list] [-fix] [-sarif file] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the static-analysis suite (%d analyzers) over the module.\n", len(lint.Analyzers))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +62,50 @@ func run(args []string) int {
 		return 2
 	}
 	findings := lint.RunSuite(pkgs, ld.Fset, lint.Analyzers)
+
+	if *fix {
+		fixed, err := lint.ApplyFixes(findings, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tibfit-lint: %v\n", err)
+			return 2
+		}
+		files := make([]string, 0, len(fixed))
+		for file := range fixed {
+			files = append(files, file)
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			if err := os.WriteFile(file, fixed[file], 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "tibfit-lint: writing %s: %v\n", file, err)
+				return 2
+			}
+			fmt.Printf("tibfit-lint: fixed %s\n", file)
+		}
+		// Fixed findings are resolved; only fixless ones still gate.
+		rest := findings[:0]
+		for _, f := range findings {
+			if len(f.Fixes) == 0 {
+				rest = append(rest, f)
+			}
+		}
+		findings = rest
+	}
+
+	if *sarif != "" {
+		data, err := lint.SARIF(findings, lint.Analyzers, ld.ModuleRoot())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tibfit-lint: encoding SARIF: %v\n", err)
+			return 2
+		}
+		data = append(data, '\n')
+		if *sarif == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*sarif, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tibfit-lint: writing %s: %v\n", *sarif, err)
+			return 2
+		}
+	}
+
 	for _, f := range findings {
 		fmt.Println(f)
 	}

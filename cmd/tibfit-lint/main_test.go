@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestListExitsZero(t *testing.T) {
 	if code := run([]string{"-list"}); code != 0 {
@@ -28,5 +34,110 @@ func TestViolatingPackageExitsNonZero(t *testing.T) {
 func TestUnknownPatternExitsTwo(t *testing.T) {
 	if code := run([]string{"./nosuchdir/..."}); code != 2 {
 		t.Fatalf("run(unknown pattern) = %d, want 2", code)
+	}
+}
+
+// scratchModule builds a throwaway module that shadows the real module
+// path, so scope-gated analyzers treat its internal/ tree as simulation
+// code, and chdirs into it. Files maps module-relative paths to sources.
+func scratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module github.com/tibfit/tibfit\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(root)
+	return root
+}
+
+func TestSARIFFlagWritesLogEvenWhenClean(t *testing.T) {
+	scratchModule(t, map[string]string{
+		"internal/clean/clean.go": "package clean\n\nfunc Ping() int { return 1 }\n",
+	})
+	out := filepath.Join(t.TempDir(), "lint.sarif")
+	if code := run([]string{"-sarif", out, "./internal/clean"}); code != 0 {
+		t.Fatalf("run(-sarif, clean pkg) = %d, want 0", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("SARIF log not written: %v", err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("SARIF log is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) != 0 {
+		t.Errorf("clean run must still emit one run with zero results, got %+v", doc.Runs)
+	}
+}
+
+func TestFixFlagRewritesAndPassesGate(t *testing.T) {
+	root := scratchModule(t, map[string]string{
+		"internal/fixme/fixme.go": `package fixme
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func Check(err error) bool {
+	return err == ErrGone
+}
+`,
+	})
+	target := filepath.Join(root, "internal", "fixme", "fixme.go")
+
+	// Without -fix the errwrap finding fails the gate.
+	if code := run([]string{"./internal/fixme"}); code != 1 {
+		t.Fatalf("run(fixme) = %d, want 1", code)
+	}
+
+	// With -fix the sentinel comparison is rewritten in place and the
+	// finding counts as resolved, so the gate passes.
+	if code := run([]string{"-fix", "./internal/fixme"}); code != 0 {
+		t.Fatalf("run(-fix fixme) = %d, want 0", code)
+	}
+	fixed, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "errors.Is(err, ErrGone)") {
+		t.Errorf("fixme.go not rewritten to errors.Is:\n%s", fixed)
+	}
+
+	// Idempotent: the fixed file lints clean.
+	if code := run([]string{"./internal/fixme"}); code != 0 {
+		t.Fatalf("run(fixme after fix) = %d, want 0", code)
+	}
+}
+
+func TestFixFlagLeavesUnfixableFindingsFailing(t *testing.T) {
+	// fmt.Errorf-without-%w has no machine fix, so -fix must still exit 1.
+	scratchModule(t, map[string]string{
+		"internal/sever/sever.go": `package sever
+
+import "fmt"
+
+func Wrap(err error) error {
+	return fmt.Errorf("settle failed: %v", err)
+}
+`,
+	})
+	if code := run([]string{"-fix", "./internal/sever"}); code != 1 {
+		t.Fatalf("run(-fix sever) = %d, want 1", code)
 	}
 }

@@ -48,6 +48,8 @@ func (p *pipeline) openWindow(tout sim.Duration, expire func()) {
 
 // judge commits one verdict to the scheme and relays it to the feedback
 // sink — the decision broadcast every one-hop member overhears.
+//
+//hot:path
 func (p *pipeline) judge(node int, correct bool) {
 	p.scheme.Judge(node, correct)
 	if p.feedback != nil {
@@ -57,6 +59,8 @@ func (p *pipeline) judge(node int, correct bool) {
 
 // settle commits a decision's implied verdicts: reporters were correct iff
 // the event occurred, silent event neighbors iff it did not.
+//
+//hot:path
 func (p *pipeline) settle(d core.BinaryDecision) {
 	for _, id := range d.Reporters {
 		p.judge(id, d.Occurred)

@@ -1,12 +1,14 @@
 package cli
 
 import (
+	"errors"
 	"flag"
 	"io"
 	"strings"
 	"testing"
 
 	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
 )
 
 func parse(t *testing.T, defaultScheme string, argv ...string) *SchemeFlags {
@@ -56,6 +58,37 @@ func TestResolveTypoSuggests(t *testing.T) {
 	if _, err := sf.Resolve(); err == nil ||
 		!strings.Contains(err.Error(), `did you mean "fuzzy"`) {
 		t.Fatalf("Resolve(fuzy) err = %v", err)
+	}
+}
+
+// TestResolveTypoExactMessage pins the complete did-you-mean error a user
+// sees for a -scheme typo: sentinel prefix, quoted input, suggestion, and
+// the full registry listing in sorted order.
+func TestResolveTypoExactMessage(t *testing.T) {
+	sf := parse(t, "tibfit", "-scheme", "fuzy")
+	_, err := sf.Resolve()
+	if err == nil {
+		t.Fatal("Resolve(fuzy) succeeded")
+	}
+	if !errors.Is(err, decision.ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
+	}
+	const want = `decision: unknown scheme "fuzy" (did you mean "fuzzy"?); registered: baseline, dynamic-trust, fuzzy, linear, majority, tibfit`
+	if err.Error() != want {
+		t.Fatalf("Resolve(fuzy) error = %q, want %q", err, want)
+	}
+}
+
+// An implausible name gets the listing but no far-fetched suggestion.
+func TestResolveImplausibleExactMessage(t *testing.T) {
+	sf := parse(t, "tibfit", "-scheme", "zzzzzzzzzzz")
+	_, err := sf.Resolve()
+	if err == nil {
+		t.Fatal("Resolve(zzzzzzzzzzz) succeeded")
+	}
+	const want = `decision: unknown scheme "zzzzzzzzzzz"; registered: baseline, dynamic-trust, fuzzy, linear, majority, tibfit`
+	if err.Error() != want {
+		t.Fatalf("Resolve(zzzzzzzzzzz) error = %q, want %q", err, want)
 	}
 }
 

@@ -74,3 +74,22 @@ func TestSchedulerFlagRejectsUnknown(t *testing.T) {
 		}
 	}
 }
+
+// TestSchedulerFlagUnknownExactMessage pins the full user-facing error: a
+// typo on -scheduler must name the flag, quote the bad value, and list
+// every valid queue. The help scripts grep for this shape.
+func TestSchedulerFlagUnknownExactMessage(t *testing.T) {
+	restoreDefaultScheduler(t)
+	sched := parseScheduler(t, "-scheduler", "fibheap")
+	err := sched.Apply()
+	if err == nil {
+		t.Fatal("Apply(fibheap) succeeded")
+	}
+	const want = `-scheduler: sim: unknown scheduler "fibheap" (valid: calendar, heap)`
+	if err.Error() != want {
+		t.Fatalf("Apply(fibheap) error = %q, want %q", err, want)
+	}
+	if got := sim.DefaultScheduler(); got != sim.SchedulerCalendar && got != sim.SchedulerHeap {
+		t.Fatalf("rejected flag corrupted process default: %q", got)
+	}
+}

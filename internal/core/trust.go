@@ -157,6 +157,8 @@ func NewTable(params Params) (*Table, error) {
 // whole campaign revisits the same few hundred v values millions of times;
 // keying a map on the exact float collapses those math.Exp calls into
 // lookups. Linear mode is a multiply and skips the cache.
+//
+//hot:path
 func (t *Table) trustOf(v float64) float64 {
 	if t.params.Linear {
 		return t.params.trustOf(v)
@@ -169,6 +171,7 @@ func (t *Table) trustOf(v float64) float64 {
 	}
 	ti := t.params.trustOf(v)
 	if t.tiCache == nil {
+		//lint:allow hotalloc lazy cache built once per table, then pure hits
 		t.tiCache = make(map[float64]float64)
 	}
 	if len(t.tiCache) < tiCacheLimit {
@@ -194,9 +197,12 @@ func (t *Table) Name() string { return "tibfit" }
 
 // rec returns the node's record, creating a pristine one on first sight.
 // New nodes start with v=0, i.e. full trust (§3).
+//
+//hot:path
 func (t *Table) rec(node int) *Record {
 	r, ok := t.recs[node]
 	if !ok {
+		//lint:allow hotalloc one record per node for the campaign, not per event
 		r = &Record{}
 		t.recs[node] = r
 	}
@@ -204,6 +210,8 @@ func (t *Table) rec(node int) *Record {
 }
 
 // TI returns the node's current trust index. Unknown nodes have TI 1.
+//
+//hot:path
 func (t *Table) TI(node int) float64 {
 	if r, ok := t.recs[node]; ok {
 		return t.trustOf(r.V)
@@ -213,6 +221,8 @@ func (t *Table) TI(node int) float64 {
 
 // Weight implements Weigher: an isolated node weighs nothing, otherwise
 // the weight is the trust index.
+//
+//hot:path
 func (t *Table) Weight(node int) float64 {
 	if r, ok := t.recs[node]; ok {
 		if r.Isolated {
@@ -242,6 +252,8 @@ func (t *Table) Record(node int) (Record, bool) {
 // Judge implements Weigher by applying the §3 update rule, then isolating
 // the node if its TI crossed the removal threshold. Judgments against an
 // already-isolated node are ignored: the sink no longer listens to it.
+//
+//hot:path
 func (t *Table) Judge(node int, correct bool) {
 	r := t.rec(node)
 	if r.Isolated {
@@ -300,6 +312,8 @@ func (t *Table) Nodes() []int {
 
 // CTI returns the cumulative trust index of a set of nodes — the sum of
 // their vote weights (§3.1). Isolated nodes contribute zero.
+//
+//hot:path
 func (t *Table) CTI(nodes []int) float64 {
 	return CTI(t, nodes)
 }
@@ -327,6 +341,8 @@ func (t *Table) Restore(snap map[int]Record) {
 }
 
 // CTI sums the vote weights of nodes under any weighing policy.
+//
+//hot:path
 func CTI(w Weigher, nodes []int) float64 {
 	var sum float64
 	for _, id := range nodes {

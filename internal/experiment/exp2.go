@@ -556,6 +556,7 @@ func fireLocationEventJittered(ev workload.Event, nodes []*node.Node, senseRadiu
 		tr.Emit(ev.Time, trace.KindReportSent, id, "event=%d", ev.ID)
 		kernel.After(sim.Duration(jitter.Uniform(0, spread)), func() {
 			if out := channel.Send(n.Pos(), chPos, func() { (*agg).Deliver(id, off) }); out != radio.Delivered {
+				//lint:allow hotalloc drop-path trace fires only on lost reports, not per event
 				tr.Emit(ev.Time, trace.KindReportDropped, id, "%v", out)
 			}
 		})

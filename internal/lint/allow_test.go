@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The //lint:allow escape hatch is itself contract-tested: placement
+// matters (same line or the line directly above — nothing else), the
+// rule name must match the diagnostic being excused, and a directive
+// that excuses nothing is reported stale.
+
+func TestAllowOnLineAbove(t *testing.T) {
+	src := `package p
+
+func f(x float64) bool {
+	//lint:allow floateq exact sentinel comparison is intended
+	return x == 0
+}
+`
+	if findings := checkSource(t, ModulePath+"/internal/fake", src); len(findings) != 0 {
+		t.Fatalf("allow on the line above did not suppress: %v", findings)
+	}
+}
+
+func TestAllowOnSameLine(t *testing.T) {
+	src := `package p
+
+func f(x float64) bool {
+	return x == 0 //lint:allow floateq exact sentinel comparison is intended
+}
+`
+	if findings := checkSource(t, ModulePath+"/internal/fake", src); len(findings) != 0 {
+		t.Fatalf("allow on the same line did not suppress: %v", findings)
+	}
+}
+
+func TestAllowTwoLinesAboveDoesNotSuppress(t *testing.T) {
+	src := `package p
+
+func f(x float64) bool {
+	//lint:allow floateq too far away to apply
+
+	return x == 0
+}
+`
+	findings := checkSource(t, ModulePath+"/internal/fake", src)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (live floateq + stale allow): %v", len(findings), findings)
+	}
+	if findings[0].Rule != "lintdirective" || !strings.Contains(findings[0].Message, "stale //lint:allow floateq") {
+		t.Errorf("finding 0 = %v, want stale-allow report", findings[0])
+	}
+	if findings[1].Rule != "floateq" {
+		t.Errorf("finding 1 = %v, want the unsuppressed floateq diagnostic", findings[1])
+	}
+}
+
+func TestAllowWrongRuleDoesNotSuppress(t *testing.T) {
+	src := `package p
+
+func f(x float64) bool {
+	//lint:allow maprange wrong rule for this diagnostic
+	return x == 0
+}
+`
+	findings := checkSource(t, ModulePath+"/internal/fake", src)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (live floateq + stale maprange allow): %v", len(findings), findings)
+	}
+	if findings[0].Rule != "lintdirective" || !strings.Contains(findings[0].Message, "stale //lint:allow maprange") {
+		t.Errorf("finding 0 = %v, want stale-allow report for the mismatched rule", findings[0])
+	}
+	if findings[1].Rule != "floateq" {
+		t.Errorf("finding 1 = %v, want the unsuppressed floateq diagnostic", findings[1])
+	}
+}
+
+func TestStaleAllowReported(t *testing.T) {
+	src := `package p
+
+func f(x float64) float64 {
+	//lint:allow floateq nothing here triggers floateq anymore
+	return x + 1
+}
+`
+	findings := checkSource(t, ModulePath+"/internal/fake", src)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 stale-allow report: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Rule != RuleLintDirective {
+		t.Errorf("rule = %q, want %q", f.Rule, RuleLintDirective)
+	}
+	want := "stale //lint:allow floateq: no floateq diagnostic on this line or the one below; delete the directive"
+	if f.Message != want {
+		t.Errorf("message = %q, want %q", f.Message, want)
+	}
+	if f.Pos.Line != 4 {
+		t.Errorf("reported at line %d, want 4 (the directive's own line)", f.Pos.Line)
+	}
+}
+
+// TestStaleAllowOnlyForRulesThatRan guards single-analyzer runs (the
+// linttest harness): an allow for a rule whose analyzer did not run in
+// this suite invocation must not be called stale.
+func TestStaleAllowOnlyForRulesThatRan(t *testing.T) {
+	src := `package p
+
+func f(x float64) float64 {
+	//lint:allow floateq would be stale under the full suite
+	return x + 1
+}
+`
+	// Run only maprange: the floateq allow cannot be judged, so no
+	// findings at all.
+	fsetFindings := checkSourceWith(t, ModulePath+"/internal/fake", src, MapRange)
+	if len(fsetFindings) != 0 {
+		t.Fatalf("single-analyzer run judged a foreign allow: %v", fsetFindings)
+	}
+}

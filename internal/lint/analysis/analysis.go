@@ -2,13 +2,18 @@
 // golang.org/x/tools/go/analysis. The repository's build environment is
 // hermetic (no module proxy), so the real x/tools dependency cannot be
 // vendored; this package mirrors its API shape — Analyzer, Pass,
-// Diagnostic, Reportf — closely enough that swapping the import path to
-// golang.org/x/tools/go/analysis later is mechanical.
+// Diagnostic, Fact, SuggestedFix, Reportf — closely enough that swapping
+// the import path to golang.org/x/tools/go/analysis later is mechanical.
 //
-// Only the pieces the TIBFIT lint suite needs are present: there is no
-// Fact machinery, no Requires graph, and no ResultOf plumbing, because
-// the four determinism analyzers are all single-pass syntactic/type
-// checks over one package at a time.
+// The mirror grew with the suite. The original four determinism
+// analyzers were single-pass syntactic/type checks over one package at
+// a time; the cross-package analyzers (seedflow's interprocedural
+// taint, hotalloc's callgraph reachability) additionally need facts —
+// serializable observations attached to objects or packages that flow
+// along the import graph, dependency-first — and the autofix pipeline
+// needs diagnostics to carry suggested textual edits. Both are modeled
+// on the x/tools originals; because the whole module is analyzed in one
+// process, facts are held in memory instead of being gob-encoded.
 package analysis
 
 import (
@@ -29,10 +34,24 @@ type Analyzer struct {
 	// multichecker's -help output.
 	Doc string
 
+	// FactTypes lists the fact types the analyzer exports and imports.
+	// Like x/tools, declaring them is what opts the analyzer into the
+	// dependency-ordered fact flow; each entry is a pointer to a zero
+	// value of the type.
+	FactTypes []Fact
+
 	// Run applies the check to a single package. Diagnostics are
 	// delivered via pass.Report; the interface{} result exists only
 	// for API compatibility with x/tools and is ignored.
 	Run func(*Pass) (interface{}, error)
+}
+
+// Fact is an observation an analyzer attaches to a types.Object or a
+// package while analyzing one package, to be imported when analyzing a
+// package that depends on it. The AFact marker method mirrors x/tools;
+// fact types are pointers to structs.
+type Fact interface {
+	AFact()
 }
 
 // Pass provides one analyzer invocation with a fully type-checked
@@ -56,12 +75,52 @@ type Pass struct {
 	// Report delivers one diagnostic. The multichecker installs a
 	// collector here; tests install their own.
 	Report func(Diagnostic)
+
+	// ExportObjectFact associates fact with obj for importing passes.
+	// The runner installs the fact store; obj must belong to this
+	// package. Nil outside a suite run.
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportObjectFact copies the fact of this analyzer previously
+	// exported for obj into the pointer fact, reporting whether one
+	// existed. obj may belong to this package or any dependency
+	// analyzed earlier. Nil outside a suite run.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// ExportPackageFact associates fact with the current package.
+	ExportPackageFact func(fact Fact)
+
+	// ImportPackageFact copies the fact previously exported for pkg
+	// into fact, reporting whether one existed.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
 }
 
-// Diagnostic is one reported problem.
+// Diagnostic is one reported problem, optionally carrying machine-
+// applicable fixes.
 type Diagnostic struct {
 	Pos     token.Pos
+	End     token.Pos // optional: token.NoPos means unknown
 	Message string
+
+	// SuggestedFixes are alternative edits that resolve the problem;
+	// the multichecker's -fix mode applies the first one.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one machine-applicable resolution of a diagnostic: a
+// message and a set of non-overlapping edits within the diagnosed
+// package's files.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. Pos == End
+// inserts; empty NewText deletes.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
 }
 
 // Reportf reports a formatted diagnostic at pos.

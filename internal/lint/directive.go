@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+)
+
+// RuleLintDirective is the rule ID covering //lint:allow hygiene. The
+// analyzer below reports malformed directives and unknown rule names;
+// the suite runner reports stale directives under the same rule (a
+// directive is stale when no analyzer in the run produced a diagnostic
+// it suppressed — staleness is a whole-run property, so it cannot live
+// in a per-package pass).
+const RuleLintDirective = "lintdirective"
+
+// LintDirective validates the //lint:allow escape hatch itself: a typo
+// in the directive or the rule name must be an error, never a silent
+// non-suppression that lets the underlying finding be missed — or,
+// worse, a silent suppression of nothing that rots in the tree.
+var LintDirective = &analysis.Analyzer{
+	Name: RuleLintDirective,
+	Doc: "validate //lint:allow directives: well-formed, known rule, not stale\n\n" +
+		"The escape hatch is `//lint:allow <rule> <reason>` on the offending\n" +
+		"line or the line above. The reason is mandatory; the rule must name an\n" +
+		"analyzer of the suite; and (checked by the suite runner) the directive\n" +
+		"must actually suppress a diagnostic — stale allows are reported so\n" +
+		"suppressions cannot outlive the code they excused.",
+}
+
+// Run is wired in init: runLintDirective consults the Analyzers slice
+// (which contains LintDirective itself), so a literal initializer would
+// be an initialization cycle.
+func init() { LintDirective.Run = runLintDirective }
+
+func runLintDirective(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rule, ok := parseAllowDirective(c)
+				switch {
+				case !ok:
+					continue
+				case rule == "":
+					pass.Reportf(c.Pos(),
+						"malformed //lint:allow directive: want `//lint:allow <rule> <reason>` (the reason is mandatory)")
+				case !knownRule(rule):
+					pass.Reportf(c.Pos(), "//lint:allow names unknown rule %q", rule)
+				}
+			}
+		}
+	}
+	return nil, nil
+}

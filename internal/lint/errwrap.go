@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+)
+
+// ErrWrap enforces the sentinel-error contract: sentinels are wrapped
+// with %w and tested with errors.Is/As, never compared with ==.
+var ErrWrap = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "sentinel errors must be wrapped with %w and matched with errors.Is, never ==\n\n" +
+		"The kernel and scheme registry return wrapped sentinels\n" +
+		"(ErrNonFiniteTime, ErrPastTime, ErrUnknownScheme, ...) so callers can\n" +
+		"attach context with fmt.Errorf(\"...: %w\", err) without breaking\n" +
+		"matching. That contract has two sides: comparing a received error to\n" +
+		"a sentinel with == silently fails on any wrapped value (use\n" +
+		"errors.Is), and formatting an error into a new one with %v or %s\n" +
+		"strips the chain errors.Is needs (use %w). == against a sentinel\n" +
+		"carries a suggested fix applied by tibfit-lint -fix when the file\n" +
+		"already imports errors.",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *analysis.Pass) (interface{}, error) {
+	if !inSimulationScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		hasErrorsImport := fileImports(file, "errors")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				sentinel, other := sentinelOperand(pass.TypesInfo, v)
+				if sentinel == nil {
+					return true
+				}
+				d := analysis.Diagnostic{
+					Pos: v.Pos(),
+					End: v.End(),
+					Message: "comparing an error to sentinel " + sentinel.Name() +
+						" with " + v.Op.String() + " fails on wrapped errors; use errors.Is",
+				}
+				if hasErrorsImport {
+					// Rewriting is only safe when the file already imports
+					// errors; otherwise the fix would not compile.
+					neg := ""
+					if v.Op == token.NEQ {
+						neg = "!"
+					}
+					d.SuggestedFixes = []analysis.SuggestedFix{{
+						Message: "replace with errors.Is",
+						TextEdits: []analysis.TextEdit{{
+							Pos: v.Pos(),
+							End: v.End(),
+							NewText: []byte(neg + "errors.Is(" + exprString(pass.Fset, other) +
+								", " + exprString(pass.Fset, sentinelExpr(v, other)) + ")"),
+						}},
+					}}
+				}
+				pass.Report(d)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, v)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sentinelOperand returns the sentinel-error object of a == / !=
+// comparison and the opposing operand, or nil if neither side is a
+// sentinel (a package-level error variable named Err...).
+func sentinelOperand(info *types.Info, cmp *ast.BinaryExpr) (*types.Var, ast.Expr) {
+	if isSentinelError(info, cmp.X) {
+		if isNilExpr(info, cmp.Y) {
+			return nil, nil
+		}
+		return sentinelVar(info, cmp.X), cmp.Y
+	}
+	if isSentinelError(info, cmp.Y) {
+		if isNilExpr(info, cmp.X) {
+			return nil, nil
+		}
+		return sentinelVar(info, cmp.Y), cmp.X
+	}
+	return nil, nil
+}
+
+func sentinelExpr(cmp *ast.BinaryExpr, other ast.Expr) ast.Expr {
+	if other == cmp.Y {
+		return cmp.X
+	}
+	return cmp.Y
+}
+
+// isSentinelError reports whether expr denotes a package-level error
+// variable following the ErrXxx naming convention.
+func isSentinelError(info *types.Info, expr ast.Expr) bool {
+	return sentinelVar(info, expr) != nil
+}
+
+func sentinelVar(info *types.Info, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch v := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || obj.Name() == "Err" {
+		return nil
+	}
+	if !types.AssignableTo(obj.Type(), errorType) {
+		return nil
+	}
+	return obj
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isNilExpr(info *types.Info, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error value
+// without %w, which strips the unwrap chain.
+func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" || pkgQualifier(pass.TypesInfo, sel) != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil || !types.AssignableTo(t, errorType) {
+			continue
+		}
+		// A bare nil assignable to error is not an error value.
+		if isNilExpr(pass.TypesInfo, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"fmt.Errorf formats error %s without %%w, severing the errors.Is/As chain; wrap it with %%w",
+			exprString(pass.Fset, arg))
+	}
+}
+
+// fileImports reports whether file imports the given path.
+func fileImports(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders an expression as source text for diagnostics and
+// suggested fixes.
+func exprString(fset *token.FileSet, expr ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, expr); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}

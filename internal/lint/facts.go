@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+)
+
+// factStore holds the per-run fact graph: observations each analyzer
+// attached to objects and packages, visible to later passes over
+// packages that import the exporting one. The suite analyzes the whole
+// module in one process (see the loader), so facts live in memory;
+// x/tools would gob-encode them between compilations, which is why the
+// API still copies facts through pointers instead of returning them.
+type factStore struct {
+	object map[objectFactKey]analysis.Fact
+	pkg    map[pkgFactKey]analysis.Fact
+}
+
+type objectFactKey struct {
+	analyzer *analysis.Analyzer
+	object   types.Object
+	factType reflect.Type
+}
+
+type pkgFactKey struct {
+	analyzer *analysis.Analyzer
+	pkg      *types.Package
+	factType reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		object: map[objectFactKey]analysis.Fact{},
+		pkg:    map[pkgFactKey]analysis.Fact{},
+	}
+}
+
+// install wires the store into a pass, scoping exports to the pass's
+// analyzer and package.
+func (s *factStore) install(pass *analysis.Pass) {
+	a := pass.Analyzer
+	pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
+		if obj == nil {
+			panic("lint: ExportObjectFact(nil)")
+		}
+		if obj.Pkg() != pass.Pkg {
+			panic(fmt.Sprintf("lint: analyzer %s exporting fact for object %v of foreign package %v",
+				a.Name, obj, obj.Pkg()))
+		}
+		s.object[objectFactKey{a, obj, factType(a, fact)}] = fact
+	}
+	pass.ImportObjectFact = func(obj types.Object, fact analysis.Fact) bool {
+		stored, ok := s.object[objectFactKey{a, obj, factType(a, fact)}]
+		if !ok {
+			return false
+		}
+		copyFact(stored, fact)
+		return true
+	}
+	pass.ExportPackageFact = func(fact analysis.Fact) {
+		s.pkg[pkgFactKey{a, pass.Pkg, factType(a, fact)}] = fact
+	}
+	pass.ImportPackageFact = func(pkg *types.Package, fact analysis.Fact) bool {
+		stored, ok := s.pkg[pkgFactKey{a, pkg, factType(a, fact)}]
+		if !ok {
+			return false
+		}
+		copyFact(stored, fact)
+		return true
+	}
+}
+
+// factType validates that the analyzer declared the fact's type in
+// FactTypes (the x/tools contract that keeps fact flow auditable) and
+// returns its reflect key.
+func factType(a *analysis.Analyzer, fact analysis.Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("lint: analyzer %s fact %T is not a pointer", a.Name, fact))
+	}
+	for _, declared := range a.FactTypes {
+		if reflect.TypeOf(declared) == t {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("lint: analyzer %s did not declare fact type %T in FactTypes", a.Name, fact))
+}
+
+// copyFact copies the stored fact's value into the caller's pointer.
+func copyFact(stored, dst analysis.Fact) {
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(stored)
+	if dv.Type() != sv.Type() {
+		panic(fmt.Sprintf("lint: fact type mismatch: have %T, want %T", stored, dst))
+	}
+	dv.Elem().Set(sv.Elem())
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the first suggested fix of every finding that has
+// one, returning the rewritten contents keyed by filename. Sources are
+// read through the given reader (nil means os.ReadFile), so tests can
+// fix in-memory fixtures. Overlapping edits are an error rather than a
+// silent misapplication: two analyzers proposing conflicting rewrites
+// of the same bytes need a human.
+func ApplyFixes(findings []Finding, read func(string) ([]byte, error)) (map[string][]byte, error) {
+	if read == nil {
+		read = os.ReadFile
+	}
+	edits := map[string][]Edit{}
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		for _, e := range f.Fixes[0].Edits {
+			if e.Filename == "" || e.Start < 0 || e.End < e.Start {
+				return nil, fmt.Errorf("lint: malformed edit %+v for %s finding at %s", e, f.Rule, f.Pos)
+			}
+			edits[e.Filename] = append(edits[e.Filename], e)
+		}
+	}
+	out := map[string][]byte{}
+	for file, list := range edits {
+		src, err := read(file)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading %s for -fix: %w", file, err)
+		}
+		fixed, err := applyEdits(src, list)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", file, err)
+		}
+		out[file] = fixed
+	}
+	return out, nil
+}
+
+// applyEdits splices the edits into src, back to front so earlier
+// offsets stay valid.
+func applyEdits(src []byte, edits []Edit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		return edits[i].End < edits[j].End
+	})
+	for i := 1; i < len(edits); i++ {
+		prev, cur := edits[i-1], edits[i]
+		if cur.Start == prev.Start && cur.End == prev.End && cur.NewText == prev.NewText {
+			// Identical duplicate edits (two findings proposing the same
+			// rewrite) collapse into one.
+			edits = append(edits[:i], edits[i+1:]...)
+			i--
+			continue
+		}
+		if cur.Start < prev.End {
+			return nil, fmt.Errorf("overlapping fixes at byte %d (%q) and byte %d (%q)",
+				prev.Start, prev.NewText, cur.Start, cur.NewText)
+		}
+	}
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		if e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) beyond file length %d", e.Start, e.End, len(src))
+		}
+		var buf []byte
+		buf = append(buf, src[:e.Start]...)
+		buf = append(buf, e.NewText...)
+		buf = append(buf, src[e.End:]...)
+		src = buf
+	}
+	return src, nil
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// memReader serves fixture sources to ApplyFixes without touching disk.
+func memReader(files map[string]string) func(string) ([]byte, error) {
+	return func(name string) ([]byte, error) {
+		src, ok := files[name]
+		if !ok {
+			return nil, &fileNotFound{name}
+		}
+		return []byte(src), nil
+	}
+}
+
+type fileNotFound struct{ name string }
+
+func (e *fileNotFound) Error() string { return "no fixture file " + e.name }
+
+func fixFinding(file string, start, end int, newText string) Finding {
+	return Finding{
+		Rule:    "errwrap",
+		Message: "test finding",
+		Fixes: []Fix{{
+			Message: "rewrite",
+			Edits:   []Edit{{Filename: file, Start: start, End: end, NewText: newText}},
+		}},
+	}
+}
+
+func TestApplyFixesRewrites(t *testing.T) {
+	src := "aaa bbb ccc\n"
+	out, err := ApplyFixes([]Finding{
+		fixFinding("f.go", 4, 7, "BBB"),
+		fixFinding("f.go", 0, 3, "AA"),
+	}, memReader(map[string]string{"f.go": src}))
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if got, want := string(out["f.go"]), "AA BBB ccc\n"; got != want {
+		t.Errorf("fixed = %q, want %q", got, want)
+	}
+}
+
+func TestApplyFixesCollapsesDuplicates(t *testing.T) {
+	// Two findings proposing the identical rewrite (same bytes, same
+	// replacement) must collapse, not collide.
+	out, err := ApplyFixes([]Finding{
+		fixFinding("f.go", 0, 3, "xyz"),
+		fixFinding("f.go", 0, 3, "xyz"),
+	}, memReader(map[string]string{"f.go": "abc def\n"}))
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if got, want := string(out["f.go"]), "xyz def\n"; got != want {
+		t.Errorf("fixed = %q, want %q", got, want)
+	}
+}
+
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	_, err := ApplyFixes([]Finding{
+		fixFinding("f.go", 0, 5, "x"),
+		fixFinding("f.go", 3, 8, "y"),
+	}, memReader(map[string]string{"f.go": "abcdefghij\n"}))
+	if err == nil || !strings.Contains(err.Error(), "overlapping fixes") {
+		t.Fatalf("err = %v, want overlapping-fixes error", err)
+	}
+}
+
+func TestApplyFixesSkipsFindingsWithoutFixes(t *testing.T) {
+	out, err := ApplyFixes([]Finding{
+		{Rule: "floateq", Message: "no machine fix"},
+	}, memReader(map[string]string{}))
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("rewrote %d files, want 0", len(out))
+	}
+}

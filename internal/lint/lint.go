@@ -1,17 +1,29 @@
-// Package lint is the TIBFIT determinism lint suite: four analyzers
-// that enforce the reproducibility discipline the simulation's
-// validation claims rest on. Trust-index trajectories and CTI votes
-// must be bit-identical across runs; a single wall-clock read, a draw
-// from the global math/rand source, an unsorted map iteration feeding
-// output, or a raw float equality in a vote path silently breaks that.
+// Package lint is the TIBFIT static-analysis suite: eight analyzers
+// that enforce the reproducibility and fault-tolerance discipline the
+// simulation's validation claims rest on. Trust-index trajectories and
+// CTI votes must be bit-identical across runs; a single wall-clock
+// read, a draw from the global math/rand source, an unsorted map
+// iteration feeding output, or a raw float equality in a vote path
+// silently breaks that. Beyond determinism, the suite proves snapshot
+// completeness for stateful schemes (statecomplete), polices per-event
+// allocation on the dispatch hot path (hotalloc), and enforces the
+// sentinel-error wrapping contract (errwrap).
 //
-// The suite runs via cmd/tibfit-lint (wired into `make lint` and CI).
-// Deliberate exceptions are annotated in the source with
+// Analyzers run over all packages in dependency order and exchange
+// facts along the import graph (see the analysis subpackage), so
+// cross-package properties — a helper two imports away constructing a
+// raw generator, a handler registered with the kernel dispatcher —
+// are visible where they matter.
+//
+// The suite runs via cmd/tibfit-lint (wired into `make lint` and CI;
+// -fix applies suggested fixes, -sarif emits SARIF 2.1.0 for code
+// scanning). Deliberate exceptions are annotated in the source with
 //
 //	//lint:allow <rule> <reason>
 //
-// on the offending line or the line above it. docs/DETERMINISM.md
-// documents the invariants and the allowlist policy.
+// on the offending line or the line above it; the lintdirective rule
+// keeps the escape hatch itself honest. docs/LINTING.md catalogues the
+// rules; docs/DETERMINISM.md documents the underlying invariants.
 package lint
 
 import (
@@ -26,13 +38,16 @@ import (
 // use it to recognize simulation packages and intra-module imports.
 const ModulePath = "github.com/tibfit/tibfit"
 
-// Analyzers is the determinism suite, in the order the multichecker
-// runs it.
+// Analyzers is the full suite, in the order the multichecker runs it.
 var Analyzers = []*analysis.Analyzer{
 	Nondeterminism,
 	MapRange,
 	FloatEq,
 	SeedFlow,
+	StateComplete,
+	HotAlloc,
+	ErrWrap,
+	LintDirective,
 }
 
 // inSimulationScope reports whether a package is part of the simulation

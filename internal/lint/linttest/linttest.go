@@ -12,11 +12,19 @@
 // message. Lines without a want comment must produce no diagnostics.
 // //lint:allow filtering is applied before matching, so fixtures can
 // also exercise the allowlist policy.
+//
+// Dep fixtures (RunDeps) exercise fact propagation: dependency packages
+// load first under their own fake import paths, so facts exported while
+// analyzing them are visible to the package under test, exactly as in a
+// real multi-package run. RunFix checks suggested fixes against
+// <file>.golden siblings, mirroring analysistest's -fix golden flow.
 package linttest
 
 import (
 	"fmt"
 	"go/token"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -26,6 +34,14 @@ import (
 	"github.com/tibfit/tibfit/internal/lint/loader"
 )
 
+// Dep names one dependency fixture: the directory to load and the fake
+// import path to load it under (which must match what the package under
+// test imports).
+type Dep struct {
+	Dir     string
+	PkgPath string
+}
+
 // Run loads the package in dir under the fake import path pkgPath,
 // applies the analyzer (with //lint:allow filtering), and diffs the
 // findings against the fixture's want comments. pkgPath controls the
@@ -33,9 +49,84 @@ import (
 // under <module>/internal/.
 func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
 	t.Helper()
+	RunDeps(t, a, dir, pkgPath)
+}
+
+// RunDeps is Run with dependency fixtures: each dep loads first under
+// its fake import path, the suite analyzes deps and the main package in
+// dependency order (propagating facts), and want comments are honored
+// across every fixture file, dep files included.
+func RunDeps(t *testing.T, a *analysis.Analyzer, dir, pkgPath string, deps ...Dep) {
+	t.Helper()
+	pkgs, fset := loadFixture(t, dir, pkgPath, deps)
+
+	wants := map[string][]*want{}
+	for _, pkg := range pkgs {
+		collectWants(t, fset, pkg, wants)
+	}
+	findings := lint.RunSuite(pkgs, fset, []*analysis.Analyzer{a})
+	diffWants(t, wants, findings)
+}
+
+// RunFix runs the analyzer over the fixture, applies every suggested
+// fix, and compares each rewritten file against its <file>.golden
+// sibling. Files without a golden sibling must come through unchanged.
+func RunFix(t *testing.T, a *analysis.Analyzer, dir, pkgPath string, deps ...Dep) {
+	t.Helper()
+	pkgs, fset := loadFixture(t, dir, pkgPath, deps)
+	findings := lint.RunSuite(pkgs, fset, []*analysis.Analyzer{a})
+
+	fixed, err := lint.ApplyFixes(findings, nil)
+	if err != nil {
+		t.Fatalf("linttest: applying fixes: %v", err)
+	}
+	for file, got := range fixed {
+		golden := file + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("fix rewrote %s but no golden exists: %v", filepath.Base(file), err)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("fixed %s does not match %s:\n--- got ---\n%s\n--- want ---\n%s",
+				filepath.Base(file), filepath.Base(golden), got, want)
+		}
+	}
+	// Every golden must correspond to a rewritten file, or the fixture
+	// has rotted.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: reading %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".golden") {
+			continue
+		}
+		src := filepath.Join(dir, strings.TrimSuffix(e.Name(), ".golden"))
+		if _, ok := fixed[src]; !ok {
+			t.Errorf("golden %s exists but no fix rewrote %s", e.Name(), filepath.Base(src))
+		}
+	}
+}
+
+// loadFixture loads dep fixtures then the package under test, returning
+// the packages in dependency order.
+func loadFixture(t *testing.T, dir, pkgPath string, deps []Dep) ([]*loader.Package, *token.FileSet) {
+	t.Helper()
 	ld, err := loader.New(".")
 	if err != nil {
 		t.Fatalf("linttest: creating loader: %v", err)
+	}
+	var pkgs []*loader.Package
+	for _, dep := range deps {
+		p, err := ld.LoadDir(dep.Dir, dep.PkgPath)
+		if err != nil {
+			t.Fatalf("linttest: loading dep %s: %v", dep.Dir, err)
+		}
+		if p == nil {
+			t.Fatalf("linttest: no Go files in dep %s", dep.Dir)
+		}
+		pkgs = append(pkgs, p)
 	}
 	pkg, err := ld.LoadDir(dir, pkgPath)
 	if err != nil {
@@ -44,10 +135,13 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
 	if pkg == nil {
 		t.Fatalf("linttest: no Go files in %s", dir)
 	}
+	return append(pkgs, pkg), ld.Fset
+}
 
-	wants := collectWants(t, ld.Fset, pkg)
-	findings := lint.RunSuite([]*loader.Package{pkg}, ld.Fset, []*analysis.Analyzer{a})
-
+// diffWants reports findings without expectations and expectations
+// without findings.
+func diffWants(t *testing.T, wants map[string][]*want, findings []lint.Finding) {
+	t.Helper()
 	for _, f := range findings {
 		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
 		if !consumeWant(wants[key], f.Message) {
@@ -80,10 +174,9 @@ func consumeWant(ws []*want, msg string) bool {
 }
 
 // collectWants extracts the `// want` expectations of every fixture
-// file, keyed by "filename:line".
-func collectWants(t *testing.T, fset *token.FileSet, pkg *loader.Package) map[string][]*want {
+// file into wants, keyed by "filename:line".
+func collectWants(t *testing.T, fset *token.FileSet, pkg *loader.Package, wants map[string][]*want) {
 	t.Helper()
-	wants := map[string][]*want{}
 	for _, file := range pkg.Syntax {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -103,7 +196,6 @@ func collectWants(t *testing.T, fset *token.FileSet, pkg *loader.Package) map[st
 			}
 		}
 	}
-	return wants
 }
 
 // splitPatterns splits `want` payloads into their quoted regexes,

@@ -76,6 +76,10 @@ func New(dir string) (*Loader, error) {
 // ModulePath returns the module's declared path.
 func (l *Loader) ModulePath() string { return l.modPath }
 
+// ModuleRoot returns the absolute directory of the module's go.mod;
+// SARIF output relativizes file paths against it.
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
 // Load resolves the given patterns against the module and returns the
 // matched packages, type-checked, in import-path order. Supported
 // pattern forms are "./...", "./dir/...", and "./dir" (all relative to

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 
@@ -17,6 +18,24 @@ type Finding struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+
+	// Fixes carries the diagnostic's machine-applicable resolutions
+	// with positions resolved to file offsets, ready for ApplyFixes.
+	Fixes []Fix
+}
+
+// Fix is one resolved suggested fix.
+type Fix struct {
+	Message string
+	Edits   []Edit
+}
+
+// Edit replaces bytes [Start, End) of Filename with NewText.
+type Edit struct {
+	Filename string
+	Start    int
+	End      int
+	NewText  string
 }
 
 func (f Finding) String() string {
@@ -29,19 +48,38 @@ type allowKey struct {
 	line int
 }
 
-// RunSuite runs every analyzer over every package, applies
-// //lint:allow suppressions, and returns the surviving findings sorted
-// by position. Malformed allow directives are themselves findings
-// (rule "lintdirective"), so a typo cannot silently disable a rule.
+// allowEntry is one well-formed //lint:allow directive, tracked so
+// directives that suppress nothing are themselves reported as stale.
+type allowEntry struct {
+	pos  token.Position
+	used bool
+}
+
+// allowTable maps directive lines to the rules they allow.
+type allowTable map[allowKey]map[string]*allowEntry
+
+// RunSuite runs every analyzer over every package in dependency order
+// (so facts exported while analyzing a package are visible to packages
+// that import it), applies //lint:allow suppressions, and returns the
+// surviving findings sorted by position. Directive hygiene is enforced
+// on two sides: malformed or unknown-rule directives are findings of
+// the LintDirective analyzer, and a well-formed directive that
+// suppressed no diagnostic of any analyzer in this run is reported
+// stale — an allow must always be justified by a live finding.
 func RunSuite(pkgs []*loader.Package, fset *token.FileSet, analyzers []*analysis.Analyzer) []Finding {
 	var findings []Finding
-	allows := map[allowKey]map[string]bool{}
+	allows := allowTable{}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Syntax {
-			findings = append(findings, collectAllows(fset, file, allows)...)
+			collectAllows(fset, file, allows)
 		}
 	}
-	for _, pkg := range pkgs {
+	facts := newFactStore()
+	ranRules := map[string]bool{}
+	for _, a := range analyzers {
+		ranRules[a.Name] = true
+	}
+	for _, pkg := range topoOrder(pkgs) {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -50,12 +88,18 @@ func RunSuite(pkgs []*loader.Package, fset *token.FileSet, analyzers []*analysis
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 			}
+			facts.install(pass)
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := fset.Position(d.Pos)
-				if allowed(allows, pos, a.Name) {
+				if allows.suppress(pos, a.Name) {
 					return
 				}
-				findings = append(findings, Finding{Pos: pos, Rule: a.Name, Message: d.Message})
+				findings = append(findings, Finding{
+					Pos:     pos,
+					Rule:    a.Name,
+					Message: d.Message,
+					Fixes:   resolveFixes(fset, d.SuggestedFixes),
+				})
 			}
 			if _, err := a.Run(pass); err != nil {
 				findings = append(findings, Finding{
@@ -65,6 +109,70 @@ func RunSuite(pkgs []*loader.Package, fset *token.FileSet, analyzers []*analysis
 			}
 		}
 	}
+	keys := make([]allowKey, 0, len(allows))
+	for key := range allows {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, key := range keys {
+		rules := make([]string, 0, len(allows[key]))
+		for rule := range allows[key] {
+			rules = append(rules, rule)
+		}
+		sort.Strings(rules)
+		for _, rule := range rules {
+			entry := allows[key][rule]
+			if ranRules[rule] && !entry.used {
+				findings = append(findings, Finding{
+					Pos:  entry.pos,
+					Rule: RuleLintDirective,
+					Message: fmt.Sprintf(
+						"stale //lint:allow %s: no %s diagnostic on this line or the one below; delete the directive",
+						rule, rule),
+				})
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// topoOrder returns pkgs sorted dependency-first: a package appears
+// after every package it imports that is also in pkgs, so fact flow
+// along the import graph sees exporter before importer. The traversal
+// is deterministic (input order, then import order).
+func topoOrder(pkgs []*loader.Package) []*loader.Package {
+	byTypes := make(map[*types.Package]*loader.Package, len(pkgs))
+	for _, p := range pkgs {
+		byTypes[p.Types] = p
+	}
+	ordered := make([]*loader.Package, 0, len(pkgs))
+	visited := map[*loader.Package]bool{}
+	var visit func(p *loader.Package)
+	visit = func(p *loader.Package) {
+		if visited[p] {
+			return
+		}
+		visited[p] = true
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byTypes[imp]; ok {
+				visit(dep)
+			}
+		}
+		ordered = append(ordered, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return ordered
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -76,66 +184,98 @@ func RunSuite(pkgs []*loader.Package, fset *token.FileSet, analyzers []*analysis
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return findings
 }
 
-// allowed reports whether a finding at pos is suppressed by an allow
-// directive on the same line or the line immediately above.
-func allowed(allows map[allowKey]map[string]bool, pos token.Position, rule string) bool {
+// resolveFixes converts pos-based suggested fixes to offset-based ones
+// that survive without the FileSet.
+func resolveFixes(fset *token.FileSet, fixes []analysis.SuggestedFix) []Fix {
+	if len(fixes) == 0 {
+		return nil
+	}
+	out := make([]Fix, 0, len(fixes))
+	for _, sf := range fixes {
+		fix := Fix{Message: sf.Message}
+		for _, te := range sf.TextEdits {
+			start := fset.Position(te.Pos)
+			end := start
+			if te.End.IsValid() {
+				end = fset.Position(te.End)
+			}
+			fix.Edits = append(fix.Edits, Edit{
+				Filename: start.Filename,
+				Start:    start.Offset,
+				End:      end.Offset,
+				NewText:  string(te.NewText),
+			})
+		}
+		out = append(out, fix)
+	}
+	return out
+}
+
+// suppress reports whether a finding at pos is suppressed by an allow
+// directive on the same line or the line immediately above, marking the
+// directive used.
+func (t allowTable) suppress(pos token.Position, rule string) bool {
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if rules := allows[allowKey{pos.Filename, line}]; rules[rule] {
+		if entry := t[allowKey{pos.Filename, line}][rule]; entry != nil {
+			entry.used = true
 			return true
 		}
 	}
 	return false
 }
 
+// parseAllowDirective splits one comment into its //lint:allow payload.
+// ok is false for comments that are not directives at all; rule is ""
+// for a malformed directive (missing rule or mandatory reason).
+func parseAllowDirective(c *ast.Comment) (rule string, ok bool) {
+	rest, isDirective := strings.CutPrefix(c.Text, "//lint:allow")
+	if !isDirective {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return "", true
+	}
+	return fields[0], true
+}
+
 // collectAllows records every well-formed
 //
 //	//lint:allow <rule> <reason>
 //
-// directive in file into allows (keyed by the directive's own line) and
-// returns a finding for each malformed one. The reason is mandatory:
-// an allow without a justification is treated as an error, not a
-// suppression.
-func collectAllows(fset *token.FileSet, file *ast.File, allows map[allowKey]map[string]bool) []Finding {
-	knownRules := map[string]bool{}
-	for _, a := range Analyzers {
-		knownRules[a.Name] = true
-	}
-	var findings []Finding
+// directive in file into allows, keyed by the directive's own line.
+// Malformed directives and unknown rule names are skipped here; the
+// LintDirective analyzer reports them.
+func collectAllows(fset *token.FileSet, file *ast.File, allows allowTable) {
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, "//lint:allow")
-			if !ok {
+			rule, ok := parseAllowDirective(c)
+			if !ok || rule == "" || !knownRule(rule) {
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			fields := strings.Fields(rest)
-			switch {
-			case len(fields) < 2:
-				findings = append(findings, Finding{
-					Pos:  pos,
-					Rule: "lintdirective",
-					Message: "malformed //lint:allow directive: want `//lint:allow <rule> <reason>` " +
-						"(the reason is mandatory)",
-				})
-			case !knownRules[fields[0]]:
-				findings = append(findings, Finding{
-					Pos:     pos,
-					Rule:    "lintdirective",
-					Message: fmt.Sprintf("//lint:allow names unknown rule %q", fields[0]),
-				})
-			default:
-				key := allowKey{pos.Filename, pos.Line}
-				if allows[key] == nil {
-					allows[key] = map[string]bool{}
-				}
-				allows[key][fields[0]] = true
+			key := allowKey{pos.Filename, pos.Line}
+			if allows[key] == nil {
+				allows[key] = map[string]*allowEntry{}
 			}
+			allows[key][rule] = &allowEntry{pos: pos}
 		}
 	}
-	return findings
+}
+
+// knownRule reports whether name is a rule of the full suite.
+func knownRule(name string) bool {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
 }

@@ -9,12 +9,19 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/tibfit/tibfit/internal/lint/analysis"
 	"github.com/tibfit/tibfit/internal/lint/loader"
 )
 
 // checkSource type-checks one source string under the given import path
 // and runs the full suite over it, returning the surviving findings.
 func checkSource(t *testing.T, pkgPath, src string) []Finding {
+	t.Helper()
+	return checkSourceWith(t, pkgPath, src, Analyzers...)
+}
+
+// checkSourceWith is checkSource restricted to the given analyzers.
+func checkSourceWith(t *testing.T, pkgPath, src string, analyzers ...*analysis.Analyzer) []Finding {
 	t.Helper()
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
@@ -33,7 +40,7 @@ func checkSource(t *testing.T, pkgPath, src string) []Finding {
 		t.Fatalf("type-checking fixture: %v", err)
 	}
 	pkg := &loader.Package{PkgPath: pkgPath, Syntax: []*ast.File{file}, Types: tpkg, TypesInfo: info}
-	return RunSuite([]*loader.Package{pkg}, fset, Analyzers)
+	return RunSuite([]*loader.Package{pkg}, fset, analyzers)
 }
 
 func TestAllowDirectiveValidation(t *testing.T) {

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+)
+
+// SARIF renders findings as a SARIF 2.1.0 log — the static-analysis
+// interchange format CI code-scanning uploads consume, so lint findings
+// annotate the offending lines of a pull request instead of living only
+// in a job log. root is the module root; file paths are emitted
+// relative to it (with the SRCROOT uriBaseId convention) so the log is
+// machine-independent. Output is deterministic: rules sorted by ID,
+// results in the findings' already-sorted order.
+func SARIF(findings []Finding, analyzers []*analysis.Analyzer, root string) ([]byte, error) {
+	driver := sarifDriver{
+		Name:           "tibfit-lint",
+		InformationURI: "https://github.com/tibfit/tibfit/blob/main/docs/LINTING.md",
+	}
+	ruleIndex := map[string]int{}
+	for _, a := range analyzers {
+		short, full, _ := strings.Cut(a.Doc, "\n\n")
+		ruleIndex[a.Name] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: short},
+			FullDescription:  sarifText{Text: strings.TrimSpace(full)},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		res := sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+		}
+		if idx, ok := ruleIndex[f.Rule]; ok {
+			res.RuleIndex = &idx
+		}
+		if f.Pos.Filename != "" {
+			res.Locations = []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(root, f.Pos.Filename),
+						URIBaseID: "SRCROOT",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Pos.Line,
+						StartColumn: f.Pos.Column,
+					},
+				},
+			}}
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: driver},
+			OriginalURIBaseIDs: map[string]sarifArtifactLocation{
+				"SRCROOT": {URI: "file://" + filepath.ToSlash(root) + "/"},
+			},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// sarifURI renders a finding path relative to the module root, slashed.
+func sarifURI(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// The SARIF 2.1.0 subset the suite emits. Field order here is emission
+// order, pinned by the golden test.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool                        `json:"tool"`
+	OriginalURIBaseIDs map[string]sarifArtifactLocation `json:"originalUriBaseIds,omitempty"`
+	Results            []sarifResult                    `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+	FullDescription  sarifText `json:"fullDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex *int            `json:"ruleIndex,omitempty"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"go/token"
+	"os"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite SARIF golden file")
+
+func sarifFixtureFindings() []Finding {
+	return []Finding{
+		{
+			Pos:     token.Position{Filename: "/repo/internal/core/trust.go", Line: 12, Column: 7},
+			Rule:    "floateq",
+			Message: "raw float equality in a vote path",
+		},
+		{
+			Pos:     token.Position{Filename: "/repo/internal/sim/sim.go", Line: 40, Column: 2},
+			Rule:    "hotalloc",
+			Message: "map literal allocates in hot path dispatch (annotated //hot:path); preallocate outside the dispatch loop",
+		},
+		{
+			// A finding outside the module root keeps its absolute path.
+			Pos:     token.Position{Filename: "/elsewhere/x.go", Line: 3, Column: 1},
+			Rule:    "errwrap",
+			Message: "comparing an error to sentinel ErrX with == fails on wrapped errors; use errors.Is",
+		},
+	}
+}
+
+// TestSARIFGolden pins the exact SARIF 2.1.0 document the CI gate
+// uploads: schema/version header, one rule per analyzer with its doc
+// split into short/full descriptions, SRCROOT-relative URIs, and the
+// findings in suite order. Regenerate with go test -run SARIF -update.
+func TestSARIFGolden(t *testing.T) {
+	got, err := SARIF(sarifFixtureFindings(), Analyzers, "/repo")
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	const golden = "testdata/sarif.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("SARIF output drifted from %s (regenerate with -update):\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestSARIFShape spot-checks structural invariants independent of the
+// golden bytes, so a legitimate golden refresh cannot hide a regression.
+func TestSARIFShape(t *testing.T) {
+	data, err := SARIF(sarifFixtureFindings(), Analyzers, "/repo")
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "tibfit-lint" {
+		t.Errorf("driver = %q, want tibfit-lint", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(Analyzers); got != want {
+		t.Errorf("rules = %d, want one per analyzer (%d)", got, want)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+	first := run.Results[0].Locations[0].PhysicalLocation
+	if first.ArtifactLocation.URI != "internal/core/trust.go" {
+		t.Errorf("uri = %q, want module-relative internal/core/trust.go", first.ArtifactLocation.URI)
+	}
+	if first.ArtifactLocation.URIBaseID != "SRCROOT" {
+		t.Errorf("uriBaseId = %q, want SRCROOT", first.ArtifactLocation.URIBaseID)
+	}
+	if first.Region.StartLine != 12 {
+		t.Errorf("startLine = %d, want 12", first.Region.StartLine)
+	}
+	outside := run.Results[2].Locations[0].PhysicalLocation.ArtifactLocation
+	if outside.URI != "/elsewhere/x.go" {
+		t.Errorf("out-of-root uri = %q, want absolute /elsewhere/x.go", outside.URI)
+	}
+	for _, res := range run.Results {
+		if res.Level != "error" {
+			t.Errorf("result %s level = %q, want error", res.RuleID, res.Level)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 
 	"github.com/tibfit/tibfit/internal/lint/analysis"
@@ -21,51 +23,206 @@ var randConstructors = map[string]bool{
 }
 
 // seedFlowExempt lists the packages allowed to construct raw
-// generators: internal/rng is the single designated wrapper.
+// generators: internal/rng is the single designated wrapper. Exempt
+// packages also export no taint facts — calling into internal/rng is
+// the approved path, not a leak.
 var seedFlowExempt = map[string]bool{
 	ModulePath + "/internal/rng": true,
 }
 
+// constructsRandFact marks a function whose body constructs a raw
+// math/rand generator, directly or through any chain of static calls.
+// The fact flows along the import graph, so a simulation package
+// calling an innocuous-looking helper in another package is caught even
+// though the construction site itself is elsewhere (possibly outside
+// the simulation scope, where direct-construction reporting does not
+// apply).
+type constructsRandFact struct {
+	// Via names the construction, e.g. "math/rand.NewSource" or the
+	// intermediate callee for indirect taint.
+	Via string
+}
+
+func (*constructsRandFact) AFact() {}
+
 // SeedFlow flags simulation components that construct randomness
-// outside the internal/rng seed-derivation tree.
+// outside the internal/rng seed-derivation tree — directly, or by
+// calling (possibly across packages) a function that does.
 var SeedFlow = &analysis.Analyzer{
 	Name: "seedflow",
-	Doc: "forbid raw math/rand generator construction outside internal/rng\n\n" +
+	Doc: "forbid raw math/rand generator construction outside internal/rng, interprocedurally\n\n" +
 		"Every stochastic component must draw from a named internal/rng.Source\n" +
 		"split from the campaign seed, so that one seed determines the whole\n" +
 		"run. Constructing rand.New/rand.NewSource (or reading crypto/rand)\n" +
-		"inside a simulation package smuggles in an unmanaged stream.",
-	Run: runSeedFlow,
+		"inside a simulation package smuggles in an unmanaged stream; so does\n" +
+		"calling a helper — in this package or any imported one — whose call\n" +
+		"chain constructs one. Taint is propagated as object facts along the\n" +
+		"import graph (exempt: internal/rng, the designated wrapper).",
+	FactTypes: []analysis.Fact{(*constructsRandFact)(nil)},
+	Run:       runSeedFlow,
 }
 
 func runSeedFlow(pass *analysis.Pass) (interface{}, error) {
 	pkg := pass.Pkg.Path()
-	if !inSimulationScope(pkg) || seedFlowExempt[pkg] {
+	if seedFlowExempt[pkg] {
 		return nil, nil
 	}
+	report := inSimulationScope(pkg)
+
+	// Phase 1: per-function direct taint, reported at the construction
+	// site when the package is in scope. Facts are computed for every
+	// module package so helpers outside the simulation scope still
+	// carry their taint to in-scope callers.
+	taint := map[*types.Func]string{} // tainted function -> via
+	type callSite struct {
+		caller *types.Func
+		callee *types.Func
+		pos    token.Pos
+	}
+	var calls []callSite
 	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch v := n.(type) {
-			case *ast.SelectorExpr:
-				switch q := pkgQualifier(pass.TypesInfo, v); {
-				case strings.HasPrefix(q, "math/rand") && randConstructors[v.Sel.Name]:
-					pass.Reportf(v.Pos(),
-						"%s.%s constructs a generator outside the internal/rng seed tree; derive a stream with rng.New or Source.Split instead",
-						q, v.Sel.Name)
-				case q == "crypto/rand":
-					pass.Reportf(v.Pos(),
-						"crypto/rand is inherently nonreproducible; simulation code must draw from internal/rng")
-				}
-			case *ast.CompositeLit:
-				if t := pass.TypesInfo.TypeOf(v); t != nil && isMathRandType(t) {
-					pass.Reportf(v.Pos(),
-						"composite literal of a math/rand type bypasses internal/rng seed derivation")
-				}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
-			return true
-		})
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.SelectorExpr:
+					switch q := pkgQualifier(pass.TypesInfo, v); {
+					case strings.HasPrefix(q, "math/rand") && randConstructors[v.Sel.Name]:
+						if fn != nil {
+							taint[fn] = q + "." + v.Sel.Name
+						}
+						if report {
+							pass.Reportf(v.Pos(),
+								"%s.%s constructs a generator outside the internal/rng seed tree; derive a stream with rng.New or Source.Split instead",
+								q, v.Sel.Name)
+						}
+					case q == "crypto/rand":
+						if fn != nil {
+							taint[fn] = "crypto/rand"
+						}
+						if report {
+							pass.Reportf(v.Pos(),
+								"crypto/rand is inherently nonreproducible; simulation code must draw from internal/rng")
+						}
+					}
+				case *ast.CompositeLit:
+					if t := pass.TypesInfo.TypeOf(v); t != nil && isMathRandType(t) {
+						if fn != nil {
+							taint[fn] = "composite literal of " + t.String()
+						}
+						if report {
+							pass.Reportf(v.Pos(),
+								"composite literal of a math/rand type bypasses internal/rng seed derivation")
+						}
+					}
+				case *ast.CallExpr:
+					if callee := staticCallee(pass.TypesInfo, v); callee != nil && fn != nil {
+						calls = append(calls, callSite{caller: fn, callee: callee, pos: v.Pos()})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: pull in cross-package taint, then iterate same-package
+	// call chains to a fixpoint so helper->helper->construction chains
+	// taint the outermost entry point too.
+	calleeTaint := func(callee *types.Func) (string, bool) {
+		if via, ok := taint[callee]; ok {
+			return via, true
+		}
+		if callee.Pkg() != nil && callee.Pkg() != pass.Pkg && !seedFlowExempt[callee.Pkg().Path()] {
+			var fact constructsRandFact
+			if pass.ImportObjectFact(callee, &fact) {
+				return fact.Via, true
+			}
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, cs := range calls {
+			if _, done := taint[cs.caller]; done {
+				continue
+			}
+			if _, ok := calleeTaint(cs.callee); ok {
+				taint[cs.caller] = funcDisplayName(cs.callee)
+				changed = true
+			}
+		}
+	}
+
+	// Phase 3: in-scope call sites of tainted callees in *other*
+	// packages are findings — the construction site itself is either
+	// out of scope or already reported in its own package's pass.
+	if report {
+		for _, cs := range calls {
+			if cs.callee.Pkg() == pass.Pkg {
+				continue
+			}
+			if via, ok := calleeTaint(cs.callee); ok {
+				pass.Reportf(cs.pos,
+					"call to %s constructs a math/rand generator outside the internal/rng seed tree (via %s); derive a stream with rng.New or Source.Split instead",
+					funcDisplayName(cs.callee), via)
+			}
+		}
+	}
+
+	// Phase 4: export this package's taint for downstream importers.
+	exported := make([]*types.Func, 0, len(taint))
+	for fn := range taint {
+		exported = append(exported, fn)
+	}
+	sort.Slice(exported, func(i, j int) bool { return exported[i].Pos() < exported[j].Pos() })
+	for _, fn := range exported {
+		pass.ExportObjectFact(fn, &constructsRandFact{Via: taint[fn]})
 	}
 	return nil, nil
+}
+
+// staticCallee resolves a call expression to the package-level function
+// or method it statically invokes, or nil for builtins, function
+// values, and interface calls.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	// Interface methods have no body to taint; only concrete functions
+	// and methods carry facts.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
+			return nil
+		}
+	}
+	return fn
+}
+
+// funcDisplayName renders a function for diagnostics: pkgpath.Func or
+// (pkgpath.Recv).Method.
+func funcDisplayName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	name := fn.Pkg().Path() + "." + fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		name = "(" + types.TypeString(recv.Type(), nil) + ")." + fn.Name()
+	}
+	return name
 }
 
 // isMathRandType reports whether t is a named type defined in math/rand

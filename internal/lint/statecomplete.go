@@ -1,0 +1,322 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/tibfit/tibfit/internal/lint/analysis"
+)
+
+// StateComplete proves snapshot completeness for stateful decision
+// schemes: every mutable field a scheme writes while judging must be
+// serialized by Snapshot and rebuilt by Restore, or a cluster-head
+// failover silently resets part of the trust state.
+var StateComplete = &analysis.Analyzer{
+	Name: "statecomplete",
+	Doc: "stateful schemes must snapshot and restore every field their decision methods mutate\n\n" +
+		"A type with both Snapshot and Restore methods participates in\n" +
+		"cluster-head failover: the outgoing head serializes its trust state\n" +
+		"and the successor rebuilds it. Any struct field written inside\n" +
+		"Weight, Judge, or Arbitrate — on the scheme itself or on any\n" +
+		"same-package struct reachable from its fields — must therefore be\n" +
+		"mentioned in both Snapshot and Restore (directly, as a composite\n" +
+		"literal key, or via a whole-struct copy). A field that is mutated\n" +
+		"but never carried across the handoff is a silent state reset.",
+	Run: runStateComplete,
+}
+
+// mutatorMethods are the decision-path methods whose writes constitute
+// trust state that must survive a failover.
+var mutatorMethods = map[string]bool{
+	"Weight":    true,
+	"Judge":     true,
+	"Arbitrate": true,
+}
+
+// schemeMethods gathers the per-type method declarations StateComplete
+// cares about.
+type schemeMethods struct {
+	named     *types.Named
+	snapshot  *ast.FuncDecl
+	restore   *ast.FuncDecl
+	mutators  []*ast.FuncDecl
+	declOrder int
+}
+
+func runStateComplete(pass *analysis.Pass) (interface{}, error) {
+	byType := map[*types.Named]*schemeMethods{}
+	var order []*types.Named
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			named := receiverNamed(pass.TypesInfo, fd)
+			if named == nil {
+				continue
+			}
+			sm := byType[named]
+			if sm == nil {
+				sm = &schemeMethods{named: named, declOrder: len(order)}
+				byType[named] = sm
+				order = append(order, named)
+			}
+			switch {
+			case fd.Name.Name == "Snapshot":
+				sm.snapshot = fd
+			case fd.Name.Name == "Restore":
+				sm.restore = fd
+			case mutatorMethods[fd.Name.Name]:
+				sm.mutators = append(sm.mutators, fd)
+			}
+		}
+	}
+
+	for _, named := range order {
+		sm := byType[named]
+		if sm.snapshot == nil || sm.restore == nil || len(sm.mutators) == 0 {
+			continue
+		}
+		owners := reachableStructs(named, pass.Pkg)
+		fieldOwner := map[*types.Var]*types.Named{}
+		for _, o := range owners {
+			st, ok := o.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				fieldOwner[st.Field(i)] = o
+			}
+		}
+
+		written := map[*types.Var]string{} // field -> mutator method name
+		var writtenOrder []*types.Var
+		for _, m := range sm.mutators {
+			for _, fv := range writtenFields(pass.TypesInfo, m.Body, fieldOwner) {
+				if _, seen := written[fv]; !seen {
+					written[fv] = m.Name.Name
+					writtenOrder = append(writtenOrder, fv)
+				}
+			}
+		}
+		if len(written) == 0 {
+			continue
+		}
+
+		snapCov := coveredFields(pass.TypesInfo, sm.snapshot.Body, fieldOwner)
+		restCov := coveredFields(pass.TypesInfo, sm.restore.Body, fieldOwner)
+		for _, fv := range writtenOrder {
+			owner := fieldOwner[fv]
+			if !snapCov[fv] {
+				pass.Reportf(fv.Pos(),
+					"%s.%s is written in %s but never serialized in %s.Snapshot; the field resets on cluster-head failover",
+					owner.Obj().Name(), fv.Name(), written[fv], named.Obj().Name())
+			}
+			if !restCov[fv] {
+				pass.Reportf(fv.Pos(),
+					"%s.%s is written in %s but never rebuilt in %s.Restore; the field resets on cluster-head failover",
+					owner.Obj().Name(), fv.Name(), written[fv], named.Obj().Name())
+			}
+		}
+	}
+	return nil, nil
+}
+
+// receiverNamed resolves a method declaration to its receiver's named
+// type, unwrapping a pointer receiver.
+func receiverNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// reachableStructs returns the named struct types in pkg reachable from
+// root through its field types (pointers, slices, arrays, and maps are
+// walked through), root included. These are the structs whose fields
+// count as the scheme's own state.
+func reachableStructs(root *types.Named, pkg *types.Package) []*types.Named {
+	var out []*types.Named
+	seen := map[*types.Named]bool{}
+	var visitType func(t types.Type)
+	visitNamed := func(n *types.Named) {
+		if seen[n] || n.Obj().Pkg() != pkg {
+			return
+		}
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+		for i := 0; i < st.NumFields(); i++ {
+			visitType(st.Field(i).Type())
+		}
+	}
+	visitType = func(t types.Type) {
+		switch v := t.(type) {
+		case *types.Named:
+			visitNamed(v)
+		case *types.Pointer:
+			visitType(v.Elem())
+		case *types.Slice:
+			visitType(v.Elem())
+		case *types.Array:
+			visitType(v.Elem())
+		case *types.Map:
+			visitType(v.Key())
+			visitType(v.Elem())
+		}
+	}
+	visitNamed(root)
+	return out
+}
+
+// writtenFields collects the state-struct fields assigned in body, in
+// source order. A write is an assignment or inc/dec whose left-hand
+// side is rooted in a field selector: s.trust = x, r.correct++,
+// s.recs[id] = r (a write through the recs field).
+func writtenFields(info *types.Info, body *ast.BlockStmt, fieldOwner map[*types.Var]*types.Named) []*types.Var {
+	var out []*types.Var
+	record := func(expr ast.Expr) {
+		if fv := lvalueField(info, expr, fieldOwner); fv != nil {
+			out = append(out, fv)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(v.X)
+		}
+		return true
+	})
+	return out
+}
+
+// lvalueField unwraps an assignment target down to the state-struct
+// field it writes through, or nil.
+func lvalueField(info *types.Info, expr ast.Expr, fieldOwner map[*types.Var]*types.Named) *types.Var {
+	for {
+		switch v := expr.(type) {
+		case *ast.ParenExpr:
+			expr = v.X
+		case *ast.StarExpr:
+			expr = v.X
+		case *ast.IndexExpr:
+			expr = v.X
+		case *ast.SelectorExpr:
+			if fv, ok := info.Uses[v.Sel].(*types.Var); ok && fv.IsField() {
+				if _, owned := fieldOwner[fv]; owned {
+					return fv
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// coveredFields collects the state-struct fields body mentions. A field
+// is covered by a direct selector (snap.trust), a composite-literal key
+// (&rec{trust: v}), or a whole-struct value copy: any expression whose
+// type is one of the state structs (out[id] = *r, rc := r) carries
+// every field of that struct at once.
+func coveredFields(info *types.Info, body *ast.BlockStmt, fieldOwner map[*types.Var]*types.Named) map[*types.Var]bool {
+	covered := map[*types.Var]bool{}
+	coverWhole := func(named *types.Named) {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			covered[st.Field(i)] = true
+		}
+	}
+	structSet := map[*types.Named]bool{}
+	for _, owner := range fieldOwner {
+		structSet[owner] = true
+	}
+	// A selector base (the r in r.trust) is a value of the struct type
+	// but only touches one field, and an assignment target (out[id] = ...)
+	// receives whatever the right-hand side carries; neither is itself a
+	// whole-value copy.
+	selBase := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			selBase[ast.Unparen(v.X)] = true
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				selBase[ast.Unparen(lhs)] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			// Uses covers both selector fields and composite-literal keys.
+			if fv, ok := info.Uses[id].(*types.Var); ok && fv.IsField() {
+				if _, owned := fieldOwner[fv]; owned {
+					covered[fv] = true
+				}
+			}
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok || selBase[expr] {
+			return true
+		}
+		named, ok := info.TypeOf(expr).(*types.Named)
+		if !ok || !structSet[named] {
+			return true
+		}
+		if lit, isLit := expr.(*ast.CompositeLit); isLit {
+			// A keyed composite literal covers only the fields it names
+			// (already collected via Uses); an unkeyed one must list every
+			// field to compile, so it covers the whole struct.
+			if len(lit.Elts) > 0 && !hasKeyedElts(lit) {
+				coverWhole(named)
+			}
+			return true
+		}
+		// Whole-value copies (out[id] = *r, rc := r) carry every field.
+		// Only value expressions count: a mention of the type itself
+		// (make(map[int]rec)) types identically but copies nothing.
+		// Identifiers live in Uses rather than Types, so check there.
+		if id, isIdent := expr.(*ast.Ident); isIdent {
+			if _, isVar := info.Uses[id].(*types.Var); isVar {
+				coverWhole(named)
+			}
+			return true
+		}
+		if tv, recorded := info.Types[expr]; recorded && tv.IsValue() {
+			coverWhole(named)
+		}
+		return true
+	})
+	return covered
+}
+
+func hasKeyedElts(lit *ast.CompositeLit) bool {
+	for _, el := range lit.Elts {
+		if _, ok := el.(*ast.KeyValueExpr); ok {
+			return true
+		}
+	}
+	return false
+}

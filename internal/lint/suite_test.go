@@ -31,3 +31,46 @@ func TestSeedFlow(t *testing.T) {
 	linttest.Run(t, lint.SeedFlow, "testdata/src/seedflow",
 		lint.ModulePath+"/internal/linttestdata/seedflow")
 }
+
+// TestSeedFlowInterprocedural exercises fact propagation: the raw
+// construction lives in a dep fixture loaded OUTSIDE the simulation
+// scope (no direct diagnostics there), and the in-scope consumer is
+// flagged at its cross-package call sites via imported facts.
+func TestSeedFlowInterprocedural(t *testing.T) {
+	linttest.RunDeps(t, lint.SeedFlow, "testdata/src/seedflowinterproc",
+		lint.ModulePath+"/internal/linttestdata/seedflowinterproc",
+		linttest.Dep{
+			Dir:     "testdata/src/seedflowdep",
+			PkgPath: lint.ModulePath + "/examples/linttestdata/seedflowdep",
+		})
+}
+
+func TestStateComplete(t *testing.T) {
+	linttest.Run(t, lint.StateComplete, "testdata/src/statecomplete",
+		lint.ModulePath+"/internal/linttestdata/statecomplete")
+}
+
+// TestHotAlloc covers the annotation roots, intra-package propagation,
+// the //hot:init stop, and handler literals made hot by the
+// registersHandler fact imported from the dep fixture.
+func TestHotAlloc(t *testing.T) {
+	linttest.RunDeps(t, lint.HotAlloc, "testdata/src/hotalloc",
+		lint.ModulePath+"/internal/linttestdata/hotalloc",
+		linttest.Dep{
+			Dir:     "testdata/src/hotallocdep",
+			PkgPath: lint.ModulePath + "/internal/linttestdata/hotallocdep",
+		})
+}
+
+func TestErrWrap(t *testing.T) {
+	linttest.Run(t, lint.ErrWrap, "testdata/src/errwrap",
+		lint.ModulePath+"/internal/linttestdata/errwrap")
+}
+
+// TestErrWrapFix applies the suggested fixes and compares against the
+// golden: == / != sentinel comparisons rewrite to errors.Is, everything
+// else (including the //lint:allow'd comparison) is left alone.
+func TestErrWrapFix(t *testing.T) {
+	linttest.RunFix(t, lint.ErrWrap, "testdata/src/errwrap",
+		lint.ModulePath+"/internal/linttestdata/errwrap")
+}

@@ -1,0 +1,58 @@
+// Package errwrap is a lint fixture for the errwrap analyzer: sentinel
+// comparisons with ==/!= (carrying suggested fixes) and fmt.Errorf
+// calls that format errors without %w.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTimeout is a sentinel in the repo's convention: package-level,
+// error-typed, Err-prefixed.
+var ErrTimeout = errors.New("errwrap: window timed out")
+
+// errInternal is lowercase, so it does not match the sentinel
+// convention and draws no comparison findings.
+var errInternal = errors.New("errwrap: internal")
+
+func compare(err error) bool {
+	return err == ErrTimeout // want `comparing an error to sentinel ErrTimeout with == fails on wrapped errors; use errors\.Is`
+}
+
+func compareFlipped(err error) bool {
+	return ErrTimeout == err // want `comparing an error to sentinel ErrTimeout with == fails on wrapped errors`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrTimeout // want `comparing an error to sentinel ErrTimeout with != fails on wrapped errors`
+}
+
+func nilChecks(err error) bool {
+	return err == nil || err != nil
+}
+
+func notSentinel(err error) bool {
+	return err == errInternal
+}
+
+func approved(err error) bool {
+	return errors.Is(err, ErrTimeout)
+}
+
+func severs(err error) error {
+	return fmt.Errorf("settle failed: %v", err) // want `fmt\.Errorf formats error err without %w, severing the errors\.Is/As chain`
+}
+
+func wraps(err error) error {
+	return fmt.Errorf("settle failed: %w", err)
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad count: %d", n)
+}
+
+func allowed(err error) bool {
+	//lint:allow errwrap identity check against the exact instance is intended here
+	return err == ErrTimeout
+}

@@ -1,0 +1,20 @@
+// Package hotallocdep is a dependency fixture for the hotalloc
+// analyzer: it declares the named Handler type and a dispatch
+// registrar, so analyzing it exports a registersHandler fact that the
+// consumer fixture (loaded afterwards) imports.
+package hotallocdep
+
+// Handler mirrors sim.Handler: the named function type whose parameters
+// mark dispatch registration.
+type Handler func()
+
+// Kernel mirrors the simulation kernel's registration surface.
+type Kernel struct {
+	queue []Handler
+}
+
+// After registers fn for dispatch; its Handler parameter is what makes
+// it a registrar.
+func (k *Kernel) After(d float64, fn Handler) {
+	k.queue = append(k.queue, fn)
+}

@@ -1,0 +1,23 @@
+// Package seedflowdep is a dependency fixture for seedflow's
+// interprocedural mode. It is loaded under a fake path OUTSIDE the
+// simulation scope, so its raw generator construction draws no direct
+// diagnostic — but analyzing it exports constructsRand facts, and the
+// in-scope consumer fixture is flagged at its call sites.
+package seedflowdep
+
+import "math/rand"
+
+// NewNoise builds a private generator: tainted directly.
+func NewNoise(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Indirect taints transitively through the same-package call chain.
+func Indirect(seed int64) *rand.Rand {
+	return NewNoise(seed + 1)
+}
+
+// Clean is an innocent helper; callers are not flagged.
+func Clean(x float64) float64 {
+	return x * 2
+}

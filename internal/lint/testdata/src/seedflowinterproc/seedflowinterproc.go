@@ -1,0 +1,37 @@
+// Package seedflowinterproc is the in-scope consumer fixture for
+// seedflow's fact propagation: the raw construction happens two hops
+// away in an out-of-scope helper package, and the diagnostics land on
+// this package's call sites.
+package seedflowinterproc
+
+import (
+	dep "github.com/tibfit/tibfit/examples/linttestdata/seedflowdep"
+)
+
+func useHelper() float64 {
+	g := dep.NewNoise(42) // want `call to .*seedflowdep\.NewNoise constructs a math/rand generator outside the internal/rng seed tree \(via math/rand\.NewSource\)`
+	return g.Float64()
+}
+
+func useIndirect() float64 {
+	g := dep.Indirect(7) // want `call to .*seedflowdep\.Indirect constructs a math/rand generator outside the internal/rng seed tree`
+	return g.Float64()
+}
+
+// localWrapper is tainted transitively inside this package; the finding
+// stays on the cross-package call site, not on the wrapper's callers —
+// the wrapper itself would be caught in any package that imports this
+// one.
+func localWrapper() float64 {
+	return useHelper()
+}
+
+func cleanCall(x float64) float64 {
+	return dep.Clean(x)
+}
+
+func allowedHelper() float64 {
+	//lint:allow seedflow fixture exercises the escape hatch across packages
+	g := dep.NewNoise(99)
+	return g.Float64()
+}

@@ -1,0 +1,117 @@
+// Package statecomplete is a lint fixture for the statecomplete
+// analyzer: a stateful scheme whose Snapshot/Restore pair silently
+// drops two of the fields its Judge method mutates.
+package statecomplete
+
+// rec is per-node trust state reachable from the scheme's fields.
+type rec struct {
+	trust   float64
+	correct int
+	faulty  int // want `rec\.faulty is written in Judge but never serialized in leaky\.Snapshot` `rec\.faulty is written in Judge but never rebuilt in leaky\.Restore`
+}
+
+// leaky is the seeded defect: rounds and rec.faulty are mutated while
+// judging but dropped by the snapshot/restore pair.
+type leaky struct {
+	recs   map[int]*rec
+	rounds int // want `leaky\.rounds is written in Judge but never serialized in leaky\.Snapshot` `leaky\.rounds is written in Judge but never rebuilt in leaky\.Restore`
+}
+
+func (s *leaky) Judge(node int, correct bool) {
+	r := s.recs[node]
+	if r == nil {
+		r = &rec{trust: 1}
+		s.recs[node] = r
+	}
+	if correct {
+		r.trust += 0.1
+		r.correct++
+	} else {
+		r.trust -= 0.5
+		r.faulty++
+	}
+	s.rounds++
+}
+
+func (s *leaky) Snapshot() map[int]rec {
+	out := make(map[int]rec, len(s.recs))
+	for id, r := range s.recs {
+		out[id] = rec{trust: r.trust, correct: r.correct}
+	}
+	return out
+}
+
+func (s *leaky) Restore(snap map[int]rec) {
+	s.recs = make(map[int]*rec, len(snap))
+	for id, r := range snap {
+		s.recs[id] = &rec{trust: r.trust, correct: r.correct}
+	}
+}
+
+// complete mirrors the real schemes: every mutated field round-trips,
+// via a whole-value copy in Snapshot and an assignment in Restore.
+type completeRec struct {
+	v       float64
+	correct int
+}
+
+type complete struct {
+	recs map[int]*completeRec
+}
+
+func (s *complete) Judge(node int, correct bool) {
+	r := s.recs[node]
+	if correct {
+		r.correct++
+		r.v--
+	} else {
+		r.v++
+	}
+}
+
+func (s *complete) Snapshot() map[int]completeRec {
+	out := make(map[int]completeRec, len(s.recs))
+	for id, r := range s.recs {
+		out[id] = *r
+	}
+	return out
+}
+
+func (s *complete) Restore(snap map[int]completeRec) {
+	s.recs = make(map[int]*completeRec, len(snap))
+	for id, r := range snap {
+		rc := r
+		s.recs[id] = &rc
+	}
+}
+
+// stateless has decision methods but no snapshot/restore pair, so it is
+// out of the analyzer's jurisdiction entirely.
+type stateless struct {
+	hits int
+}
+
+func (s *stateless) Judge(node int, correct bool) {
+	s.hits++
+}
+
+// allowed demonstrates the escape hatch on a deliberately ephemeral
+// field (a memo cache that is cheap to rebuild from scratch).
+type allowed struct {
+	v float64
+	//lint:allow statecomplete memo cache, rebuilt lazily after failover
+	memo float64
+}
+
+func (s *allowed) Judge(node int, correct bool) {
+	s.v++
+	s.memo = s.v * 2
+}
+
+func (s *allowed) Snapshot() map[int]float64 {
+	return map[int]float64{0: s.v}
+}
+
+func (s *allowed) Restore(snap map[int]float64) {
+	s.v = snap[0]
+}

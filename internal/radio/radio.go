@@ -185,7 +185,6 @@ func (c *Channel) link(a, b geo.Point) *linkCost {
 		c.links = make([]linkEntry, linkCacheSize)
 	}
 	e := &c.links[linkHash(a, b)&(linkCacheSize-1)]
-	//lint:allow floateq cache key identity: same bits means same point
 	if e.used && e.key.from == a && e.key.to == b {
 		return &e.cost
 	}
@@ -232,6 +231,8 @@ func (c *Channel) RSS(d float64) float64 {
 // from a — RSS(a.Dist(b)) with the distance and logarithm memoized.
 // LEACH affiliation ranks every member against every advertising CH each
 // round, so this is the hot path for the log10.
+//
+//hot:path
 func (c *Channel) LinkRSS(a, b geo.Point) float64 {
 	lc := c.link(a, b)
 	if !lc.hasRSS {
@@ -244,6 +245,8 @@ func (c *Channel) LinkRSS(a, b geo.Point) float64 {
 // Send transmits a packet from src to dst positions and schedules deliver
 // at the receive time if the packet survives. It returns the outcome
 // immediately (the simulator is omniscient; the model is not).
+//
+//hot:path
 func (c *Channel) Send(from, to geo.Point, deliver sim.Handler) Outcome {
 	c.sent++
 	// One cache probe prices the whole transmission: the range check and

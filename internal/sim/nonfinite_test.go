@@ -40,10 +40,12 @@ func TestAtRejectsNonFiniteTimes(t *testing.T) {
 }
 
 // TestAfterPanicsOnNonFiniteDelay pins After's contract: it has no error
-// return, and a NaN duration slips past the d < 0 clamp (NaN < 0 is
-// false), so the only safe behaviour is a panic carrying the sentinel.
+// return, so every non-finite delay must panic carrying the sentinel.
+// -Inf is the regression case: it satisfies the d < 0 clamp, so before
+// the finiteness check moved ahead of the clamp, After(-Inf) silently
+// scheduled at the current instant instead of failing fast.
 func TestAfterPanicsOnNonFiniteDelay(t *testing.T) {
-	for _, d := range []Duration{Duration(math.NaN()), Duration(math.Inf(1))} {
+	for _, d := range []Duration{Duration(math.NaN()), Duration(math.Inf(1)), Duration(math.Inf(-1))} {
 		d := d
 		func() {
 			defer func() {

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// resetDefaultScheduler clears the lazily-resolved process default so a
+// test can exercise the environment-variable path, restoring the prior
+// value on cleanup.
+func resetDefaultScheduler(t *testing.T) {
+	t.Helper()
+	defaultSched.Lock()
+	prev := defaultSched.name
+	defaultSched.name = ""
+	defaultSched.Unlock()
+	t.Cleanup(func() {
+		defaultSched.Lock()
+		defaultSched.name = prev
+		defaultSched.Unlock()
+	})
+}
+
+// TestDefaultSchedulerEnvValid pins that a valid TIBFIT_SCHEDULER value
+// is adopted as the process default.
+func TestDefaultSchedulerEnvValid(t *testing.T) {
+	for _, name := range Schedulers() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			resetDefaultScheduler(t)
+			t.Setenv(EnvScheduler, name)
+			if got := DefaultScheduler(); got != name {
+				t.Fatalf("DefaultScheduler() = %q with %s=%q, want %q", got, EnvScheduler, name, name)
+			}
+		})
+	}
+}
+
+// TestDefaultSchedulerEnvInvalidPanics pins the contract and the exact
+// message for a typo'd environment value: a CI matrix leg that silently
+// fell back to the default scheduler would defeat the point of the
+// matrix, so the kernel refuses to start.
+func TestDefaultSchedulerEnvInvalidPanics(t *testing.T) {
+	resetDefaultScheduler(t)
+	t.Setenv(EnvScheduler, "bogus")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("DefaultScheduler() did not panic with %s=bogus", EnvScheduler)
+		}
+		want := fmt.Sprintf("sim: bad %s=%q: %v", EnvScheduler, "bogus",
+			`sim: unknown scheduler "bogus" (valid: calendar, heap)`)
+		if got, ok := r.(string); !ok || got != want {
+			t.Fatalf("panic message = %v, want %q", r, want)
+		}
+	}()
+	DefaultScheduler()
+}

@@ -171,6 +171,8 @@ func New(opts ...Option) *Kernel {
 // initScheduler resolves the kernel's scheduler name (falling back to the
 // process default) and builds the queue. Unknown names panic: they are
 // programmer errors — the CLI layer validates user input first.
+//
+//hot:init
 func (k *Kernel) initScheduler() {
 	if k.schedName == "" {
 		k.schedName = DefaultScheduler()
@@ -207,6 +209,8 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 
 // alloc returns an event record from the free list (or carves one from the
 // current arena block), initialized for scheduling at the given time.
+//
+//hot:path
 func (k *Kernel) alloc(at Time, fn Handler) *event {
 	var ev *event
 	if n := len(k.free); n > 0 {
@@ -230,6 +234,8 @@ func (k *Kernel) alloc(at Time, fn Handler) *event {
 // recycle retires a record that left the queue (fired or stopped). Bumping
 // gen invalidates every outstanding Timer handle to this life of the
 // record; dropping fn releases the captured closure to the GC.
+//
+//hot:path
 func (k *Kernel) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
@@ -240,11 +246,15 @@ func (k *Kernel) recycle(ev *event) {
 // current time is allowed; the event fires after all events already queued
 // for that instant. It returns a Timer handle, ErrPastTime if at is before
 // the current time, and ErrNonFiniteTime if at is NaN or infinite.
+//
+//hot:path
 func (k *Kernel) At(at Time, fn Handler) (*Timer, error) {
 	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		//lint:allow hotalloc error construction on the rejection path, not per event
 		return nil, fmt.Errorf("%w: requested=%v", ErrNonFiniteTime, float64(at))
 	}
 	if at < k.now {
+		//lint:allow hotalloc error construction on the rejection path, not per event
 		return nil, fmt.Errorf("%w: now=%v requested=%v", ErrPastTime, k.now, at)
 	}
 	if k.sched == nil {
@@ -252,6 +262,7 @@ func (k *Kernel) At(at Time, fn Handler) (*Timer, error) {
 	}
 	ev := k.alloc(at, fn)
 	k.sched.push(ev)
+	//lint:allow hotalloc the Timer handle is the API's per-schedule contract
 	return &Timer{k: k, ev: ev, gen: ev.gen}, nil
 }
 
@@ -260,14 +271,23 @@ func (k *Kernel) At(at Time, fn Handler) (*Timer, error) {
 // non-finite delay panics with an error wrapping ErrNonFiniteTime: After
 // has no error return, and silently dropping or deferring a NaN timer
 // would corrupt the run it came from.
+//
+//hot:path
 func (k *Kernel) After(d Duration, fn Handler) *Timer {
+	// Reject non-finite delays before the negative clamp: -Inf satisfies
+	// d < 0, and clamping it to zero would silently schedule a "broken"
+	// timer at the current instant instead of failing fast like NaN/+Inf.
+	if math.IsNaN(float64(d)) || math.IsInf(float64(d), 0) {
+		//lint:allow hotalloc panic construction on the rejection path, not per event
+		panic(fmt.Errorf("%w: delay=%v", ErrNonFiniteTime, float64(d)))
+	}
 	if d < 0 {
 		d = 0
 	}
 	t, err := k.At(k.now.Add(d), fn)
 	if err != nil {
-		// Non-finite d is the only reachable case: now+nonnegative-finite
-		// is never in the past.
+		// Unreachable: now+nonnegative-finite is never in the past and
+		// never non-finite (now is finite by induction).
 		panic(err)
 	}
 	return t
@@ -280,6 +300,8 @@ func (k *Kernel) Stop() { k.stopped = true }
 // called, or the next event lies beyond until. The clock is left at the
 // time of the last dispatched event (or until, whichever the loop reached).
 // It returns the number of events dispatched during this call.
+//
+//hot:path
 func (k *Kernel) Run(until Time) uint64 {
 	k.stopped = false
 	var dispatched uint64
@@ -315,6 +337,8 @@ func (k *Kernel) RunAll() uint64 { return k.Run(End) }
 // one was dispatched. Tests use it to single-step protocol state machines.
 // (Stopped timers leave the queue immediately, so every queued event is
 // dispatchable.)
+//
+//hot:path
 func (k *Kernel) Step() bool {
 	if k.sched == nil {
 		return false
