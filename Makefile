@@ -85,11 +85,14 @@ examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
 
 # Randomized-seed chaos soak under the race detector (see
-# docs/RESILIENCE.md). Override SOAK_SEED to replay a failure; a plain
+# docs/RESILIENCE.md). Override SOAK_SEED to replay a failure and
+# SOAK_MODE (crash | byzantine | mixed) to pick the fault mix; a plain
 # `go test` run of TestChaosSoak keeps the fixed default seed.
 SOAK_SEED ?= $(shell date +%s)
+SOAK_MODE ?= mixed
 soak:
-	TIBFIT_SOAK_SEED=$(SOAK_SEED) $(GO) test -race -count=1 -run TestChaosSoak -v ./internal/network/
+	TIBFIT_SOAK_SEED=$(SOAK_SEED) TIBFIT_SOAK_MODE=$(SOAK_MODE) \
+		$(GO) test -race -count=1 -run TestChaosSoak -v ./internal/network/
 
 # Brief continuous fuzzing of the fuzz targets (5s each).
 fuzz:
@@ -98,6 +101,7 @@ fuzz:
 	$(GO) test -fuzz FuzzMajorityForms -fuzztime 5s ./internal/analysis/
 	$(GO) test -fuzz FuzzBinomialPMF -fuzztime 5s ./internal/analysis/
 	$(GO) test -fuzz FuzzLoadStation -fuzztime 5s ./internal/leach/
+	$(GO) test -fuzz FuzzOpenSnapshot -fuzztime 5s ./internal/core/
 
 clean:
 	rm -rf figures

@@ -50,13 +50,24 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// Campaign reports the parallel-campaign speedup measurement.
+// CampaignPoint is one worker count of the campaign speedup sweep,
+// with speedup relative to the 1-worker run of the same sweep.
+type CampaignPoint struct {
+	Workers int     `json:"workers"`
+	Ns      int64   `json:"ns"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Campaign reports the parallel-campaign speedup sweep. The flat
+// Workers/ParallelNs/Speedup fields mirror the sweep's widest point so
+// reports stay comparable with pre-sweep baselines.
 type Campaign struct {
-	Figure       string  `json:"figure"`
-	Workers      int     `json:"workers"`
-	SequentialNs int64   `json:"sequential_ns"`
-	ParallelNs   int64   `json:"parallel_ns"`
-	Speedup      float64 `json:"speedup"`
+	Figure       string          `json:"figure"`
+	Workers      int             `json:"workers"`
+	SequentialNs int64           `json:"sequential_ns"`
+	ParallelNs   int64           `json:"parallel_ns"`
+	Speedup      float64         `json:"speedup"`
+	Points       []CampaignPoint `json:"points"`
 }
 
 // Report is the BENCH_<date>.json schema.
@@ -170,8 +181,10 @@ func run(args []string) error {
 			return err
 		}
 		rep.Campaign = &c
-		fmt.Printf("campaign %s: sequential %.2fs, %d workers %.2fs, speedup %.2fx\n",
-			c.Figure, float64(c.SequentialNs)/1e9, c.Workers, float64(c.ParallelNs)/1e9, c.Speedup)
+		for _, p := range c.Points {
+			fmt.Printf("campaign %s: %2d workers %6.2fs  speedup %.2fx\n",
+				c.Figure, p.Workers, float64(p.Ns)/1e9, p.Speedup)
+		}
 	}
 
 	if *memprofile != "" {
@@ -345,40 +358,45 @@ func suite(scheme string, sf cli.SchemeFlags) []benchmark {
 	return bms
 }
 
-// measureCampaign times one multi-cell figure sequentially and on the
-// full-width pool. Output is byte-identical either way (asserted by the
-// experiment package's regression tests); this measures wall clock only.
+// measureCampaign times one multi-cell figure across the worker-count
+// sweep {1, 2, GOMAXPROCS}, deduplicated ascending — the 2-worker
+// point runs even on a single-core host, where it prices the pool's
+// coordination overhead. Output is byte-identical at every width
+// (asserted by the experiment package's regression tests); this
+// measures wall clock only.
 func measureCampaign(quick bool) (Campaign, error) {
 	const figure = "figure4"
 	events := 200
 	if quick {
 		events = 60
 	}
-	workers := runtime.GOMAXPROCS(0)
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for _, w := range []int{2, max} {
+		if w > counts[len(counts)-1] {
+			counts = append(counts, w)
+		}
+	}
 	opts := experiment.FigureOptions{Runs: 2, Events: events, Seed: 1}
 
-	opts.Parallel = 1
-	t0 := time.Now()
-	if _, err := experiment.Generate(figure, opts); err != nil {
-		return Campaign{}, err
-	}
-	seq := time.Since(t0)
-
-	opts.Parallel = workers
-	t0 = time.Now()
-	if _, err := experiment.Generate(figure, opts); err != nil {
-		return Campaign{}, err
-	}
-	par := time.Since(t0)
-
-	c := Campaign{
-		Figure:       figure,
-		Workers:      workers,
-		SequentialNs: seq.Nanoseconds(),
-		ParallelNs:   par.Nanoseconds(),
-	}
-	if par > 0 {
-		c.Speedup = float64(seq.Nanoseconds()) / float64(par.Nanoseconds())
+	c := Campaign{Figure: figure}
+	for _, w := range counts {
+		opts.Parallel = w
+		t0 := time.Now()
+		if _, err := experiment.Generate(figure, opts); err != nil {
+			return Campaign{}, err
+		}
+		ns := time.Since(t0).Nanoseconds()
+		p := CampaignPoint{Workers: w, Ns: ns}
+		if w == 1 {
+			c.SequentialNs = ns
+		}
+		if ns > 0 {
+			p.Speedup = float64(c.SequentialNs) / float64(ns)
+		}
+		c.Points = append(c.Points, p)
+		// The widest point doubles as the flat summary.
+		c.Workers, c.ParallelNs, c.Speedup = w, ns, p.Speedup
 	}
 	return c, nil
 }

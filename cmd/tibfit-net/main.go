@@ -10,6 +10,7 @@
 //	           [-multihop] [-range 16] [-scheme tibfit] [-seed 7]
 //	           [-save trust.json] [-load trust.json]
 //	           [-chaos] [-crash 0.2] [-headcrashes 2] [-failover]
+//	           [-byzheads 2] [-chquarantine] [-retries 3] [-backoff 0.02]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -60,6 +61,10 @@ func run(args []string, out *os.File) error {
 		crashFrac = fs.Float64("crash", 0.2, "chaos: fraction of nodes given a crash interval")
 		headCr    = fs.Int("headcrashes", 1, "chaos: serving-head crash injections")
 		failover  = fs.Bool("failover", false, "enable heartbeat CH failover and ACK/backoff report retries")
+		byzHeads  = fs.Int("byzheads", 0, "chaos: serving heads turned Byzantine (inversion, suppression, handoff poisoning/replay)")
+		chQuar    = fs.Bool("chquarantine", false, "score heads at the base station; quarantine and re-elect compromised ones")
+		retries   = fs.Int("retries", 0, "report retransmissions with ACK (overrides the -failover default when set)")
+		backoff   = fs.Float64("backoff", 0, "first report retransmission delay (overrides the -failover default when set)")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile after the run to this file")
@@ -121,6 +126,19 @@ func run(args []string, out *os.File) error {
 		netCfg.ReportRetries = 3
 		netCfg.ReportBackoff = netCfg.Tout / 50
 	}
+	netCfg.CHQuarantine = *chQuar
+	// Explicit -retries/-backoff win over the -failover presets. The
+	// values go to network.New unclamped so a negative or NaN argument
+	// is rejected with the config's own message instead of being
+	// silently repaired.
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "retries":
+			netCfg.ReportRetries = *retries
+		case "backoff":
+			netCfg.ReportBackoff = sim.Duration(*backoff)
+		}
+	})
 
 	chCfg := radio.DefaultConfig()
 	chCfg.DropProb = 0.02
@@ -196,10 +214,17 @@ func run(args []string, out *os.File) error {
 	period := 10.0
 
 	var engine *chaos.Engine
-	if *chaosOn {
-		chaosCfg := chaos.DefaultConfig(float64(*events) * period)
-		chaosCfg.CrashFraction = *crashFrac
-		chaosCfg.HeadCrashes = *headCr
+	if *chaosOn || *byzHeads != 0 {
+		// -byzheads alone gets a compromise-only campaign: no crashes,
+		// blackouts or packet perturbation, so a run differs from the
+		// fault-free one exactly by the adversarial heads.
+		chaosCfg := chaos.Config{Horizon: float64(*events) * period}
+		if *chaosOn {
+			chaosCfg = chaos.DefaultConfig(float64(*events) * period)
+			chaosCfg.CrashFraction = *crashFrac
+			chaosCfg.HeadCrashes = *headCr
+		}
+		chaosCfg.ByzHeads = *byzHeads
 		csrc := root.Split("chaos")
 		engine, err = chaos.New(chaosCfg, kernel, csrc, tr)
 		if err != nil {
@@ -208,9 +233,15 @@ func run(args []string, out *os.File) error {
 		if err := engine.Arm(net, csrc); err != nil {
 			return err
 		}
-		channel.SetPerturber(engine)
-		fmt.Fprintf(out, "chaos: %d planned faults (crash=%.0f%% headcrashes=%d), failover=%t\n",
-			len(engine.Plan()), *crashFrac*100, *headCr, *failover)
+		if *chaosOn {
+			channel.SetPerturber(engine)
+			fmt.Fprintf(out, "chaos: %d planned faults (crash=%.0f%% headcrashes=%d), failover=%t\n",
+				len(engine.Plan()), *crashFrac*100, *headCr, *failover)
+		}
+		if *byzHeads > 0 {
+			fmt.Fprintf(out, "byzantine: %d head compromises planned, quarantine=%t\n",
+				*byzHeads, *chQuar)
+		}
 	}
 	rotateEvery := *events / *rounds
 	if rotateEvery < 1 {
@@ -260,7 +291,7 @@ func run(args []string, out *os.File) error {
 
 	fmt.Fprintf(out, "detected %d/%d events (%.1f%%) over %d leadership rounds\n",
 		detected, total, 100*float64(detected)/float64(total), net.Rounds())
-	if engine != nil {
+	if engine != nil && *chaosOn {
 		st := engine.Stats()
 		outage, duplicated := channel.ChaosStats()
 		fmt.Fprintf(out, "chaos: crashes=%d (heads=%d) recoveries=%d blackouts=%d outage-drops=%d dup-packets=%d\n",
@@ -268,6 +299,11 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "resilience: failovers=%d orphaned=%d retries=%d depleted=%d\n",
 			tr.Count(trace.KindCHFailover), tr.Count(trace.KindClusterOrphaned),
 			tr.Count(trace.KindReportRetry), tr.Count(trace.KindNodeDepleted))
+	}
+	if *byzHeads > 0 || *chQuar {
+		fmt.Fprintf(out, "byzantine: compromised=%d escalations=%d quarantined=%d snapshot-rejections=%d\n",
+			tr.Count(trace.KindCHByzantine), tr.Count(trace.KindShadowDisagree),
+			tr.Count(trace.KindCHQuarantined), tr.Count(trace.KindSnapshotRejected))
 	}
 	if m := net.Mesh(); m != nil {
 		deliv, failed, retries, hops := m.Stats()

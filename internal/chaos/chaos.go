@@ -15,6 +15,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/tibfit/tibfit/internal/geo"
@@ -38,6 +39,59 @@ type Target interface {
 	// RecoverNode brings a crashed node back. Recovering an alive node is
 	// a no-op.
 	RecoverNode(id int)
+}
+
+// Behavior is one adversarial cluster-head behavior — the Byzantine
+// counterpart of the fail-stop fault classes. Unlike a crash, a
+// compromised head keeps running the protocol; it just runs it wrong.
+type Behavior int
+
+// The adversarial behaviors a compromised head exhibits.
+const (
+	// BehaviorInvert makes the head broadcast the inverse of its honest
+	// arbitration — the lying-CH attack §3.4's shadow panel exists for —
+	// and settle member trust against the lie.
+	BehaviorInvert Behavior = iota + 1
+	// BehaviorSuppress makes the head silently drop a deterministic
+	// subset (even node IDs) of member reports before aggregation,
+	// starving the vote it then decides with a clear conscience.
+	BehaviorSuppress
+	// BehaviorPoison makes the head upload a tampered trust snapshot at
+	// handoff, slandering its members so the next head inherits poisoned
+	// state.
+	BehaviorPoison
+	// BehaviorReplay makes the head re-upload the stale snapshot it was
+	// issued at election, erasing every verdict of its term.
+	BehaviorReplay
+)
+
+// allBehaviors is the default compromise pool when Config.Behaviors is
+// empty.
+var allBehaviors = []Behavior{BehaviorInvert, BehaviorSuppress, BehaviorPoison, BehaviorReplay}
+
+// String returns the stable lowercase name of the behavior.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorInvert:
+		return "invert"
+	case BehaviorSuppress:
+		return "suppress"
+	case BehaviorPoison:
+		return "poison"
+	case BehaviorReplay:
+		return "replay"
+	}
+	return fmt.Sprintf("behavior(%d)", int(b))
+}
+
+// ByzantineTarget is the optional Target extension for adversarial head
+// compromise. Arm requires it when Config.ByzHeads is positive.
+type ByzantineTarget interface {
+	Target
+	// CompromiseHead turns the node into a Byzantine head exhibiting the
+	// behavior from the compromise onward (a crash clears it — the
+	// adversary loses the mote along with everyone else).
+	CompromiseHead(id int, b Behavior)
 }
 
 // Config describes one chaos campaign. The zero value injects nothing.
@@ -79,16 +133,45 @@ type Config struct {
 	// congestion model coarse enough to reorder packets without starving
 	// them.
 	DelayJitter float64
+
+	// ByzHeads is the number of Byzantine head compromises: at each
+	// drawn time, one currently serving head (chosen uniformly at fire
+	// time) turns adversarial. Requires the target to implement
+	// ByzantineTarget.
+	ByzHeads int
+
+	// Behaviors is the pool compromises draw from; empty means all
+	// registered behaviors.
+	Behaviors []Behavior
 }
 
 // enabled reports whether any fault class is configured.
 func (c Config) enabled() bool {
 	return c.CrashFraction > 0 || c.HeadCrashes > 0 || c.Blackouts > 0 ||
-		c.DupProb > 0 || c.DelayJitter > 0
+		c.DupProb > 0 || c.DelayJitter > 0 || c.ByzHeads > 0
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. NaN and ±Inf
+// are rejected explicitly: a NaN fraction slips through plain range
+// comparisons (NaN < 0 and NaN > 1 are both false) and would otherwise
+// poison every draw made from it.
 func (c Config) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"Horizon", c.Horizon},
+		{"CrashFraction", c.CrashFraction},
+		{"MeanDowntime", c.MeanDowntime},
+		{"HeadCrashDowntime", c.HeadCrashDowntime},
+		{"BlackoutLen", c.BlackoutLen},
+		{"DupProb", c.DupProb},
+		{"DelayJitter", c.DelayJitter},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("chaos: %s must be finite, got %v", f.name, f.v)
+		}
+	}
 	switch {
 	case c.CrashFraction < 0 || c.CrashFraction > 1:
 		return fmt.Errorf("chaos: CrashFraction must be in [0,1], got %v", c.CrashFraction)
@@ -96,12 +179,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("chaos: DupProb must be in [0,1], got %v", c.DupProb)
 	case c.HeadCrashes < 0 || c.Blackouts < 0:
 		return fmt.Errorf("chaos: HeadCrashes and Blackouts must be non-negative")
+	case c.ByzHeads < 0:
+		return fmt.Errorf("chaos: ByzHeads must be non-negative, got %d", c.ByzHeads)
 	case c.Blackouts > 0 && c.BlackoutLen <= 0:
 		return fmt.Errorf("chaos: Blackouts need a positive BlackoutLen")
 	case c.DelayJitter < 0:
 		return fmt.Errorf("chaos: DelayJitter must be non-negative")
 	case c.enabled() && c.Horizon <= 0:
 		return fmt.Errorf("chaos: enabled fault classes need a positive Horizon")
+	}
+	for _, b := range c.Behaviors {
+		if b < BehaviorInvert || b > BehaviorReplay {
+			return fmt.Errorf("chaos: unknown behavior %d in Behaviors", int(b))
+		}
 	}
 	return nil
 }
@@ -128,8 +218,9 @@ func DefaultConfig(horizon float64) Config {
 type Fault struct {
 	// At is the injection time.
 	At sim.Time
-	// Kind is "crash", "recover", "head-crash", "blackout-start", or
-	// "blackout-end".
+	// Kind is "crash", "recover", "head-crash", "byz-head",
+	// "blackout-start", or "blackout-end". Byzantine entries suffix the
+	// drawn behavior, e.g. "byz-head/invert".
 	Kind string
 	// Node is the victim node, or -1 when resolved at fire time (head
 	// crashes) or not applicable (blackouts).
@@ -145,6 +236,7 @@ type Stats struct {
 	Recoveries  int // recoveries injected
 	HeadCrashes int // head crashes resolved against a serving head
 	Blackouts   int // blackout windows entered
+	Byzantine   int // head compromises resolved against a serving head
 }
 
 // Engine schedules the faults of one campaign on a kernel and perturbs
@@ -156,6 +248,7 @@ type Engine struct {
 
 	headSrc *rng.Source // fire-time head picks
 	pktSrc  *rng.Source // per-packet duplication and jitter draws
+	byzSrc  *rng.Source // fire-time Byzantine victim picks (nil unless armed)
 
 	plan      []Fault
 	blackouts []window
@@ -267,6 +360,37 @@ func (e *Engine) Arm(target Target, src *rng.Source) error {
 		e.addFault(Fault{At: sim.Time(w.end), Kind: "blackout-end", Node: -1}, func() {
 			e.tr.Emit(float64(e.kernel.Now()), trace.KindBlackout, -1, "radio restored")
 		})
+	}
+
+	// Byzantine head compromises: behavior drawn now, victim resolved at
+	// fire time against the then-serving head set (like head crashes).
+	// Both the "byz-pick" split and every byz draw happen only when
+	// ByzHeads is configured, and strictly after all legacy draw
+	// classes, so adding compromises to an existing campaign leaves its
+	// crash/blackout schedule byte-identical.
+	if e.cfg.ByzHeads > 0 {
+		bt, ok := target.(ByzantineTarget)
+		if !ok {
+			return fmt.Errorf("chaos: ByzHeads configured but target %T does not implement ByzantineTarget", target)
+		}
+		e.byzSrc = src.Split("byz-pick")
+		pool := e.cfg.Behaviors
+		if len(pool) == 0 {
+			pool = allBehaviors
+		}
+		for i := 0; i < e.cfg.ByzHeads; i++ {
+			at := sim.Time(sched.Uniform(0, e.cfg.Horizon))
+			b := pool[sched.Intn(len(pool))]
+			e.addFault(Fault{At: at, Kind: "byz-head/" + b.String(), Node: -1}, func() {
+				heads := bt.Heads()
+				if len(heads) == 0 {
+					return
+				}
+				id := heads[e.byzSrc.Intn(len(heads))]
+				e.stats.Byzantine++
+				bt.CompromiseHead(id, b)
+			})
+		}
 	}
 	sort.Slice(e.blackouts, func(i, j int) bool { return e.blackouts[i].start < e.blackouts[j].start })
 	sort.SliceStable(e.plan, func(i, j int) bool { return e.plan[i].At < e.plan[j].At })

@@ -1,8 +1,10 @@
 package chaos
 
 import (
+	"math"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"github.com/tibfit/tibfit/internal/geo"
@@ -67,11 +69,17 @@ func TestConfigValidate(t *testing.T) {
 	bad := []Config{
 		{CrashFraction: -0.1},
 		{CrashFraction: 1.1},
+		{CrashFraction: math.NaN()},
+		{Horizon: math.Inf(1), CrashFraction: 0.5},
 		{Horizon: 10, DupProb: 2},
 		{Horizon: 10, HeadCrashes: -1},
 		{Horizon: 10, Blackouts: 1}, // missing BlackoutLen
 		{Horizon: 10, DelayJitter: -1},
-		{CrashFraction: 0.5}, // enabled but no horizon
+		{CrashFraction: 0.5},        // enabled but no horizon
+		{Horizon: 10, ByzHeads: -1}, // negative compromise count
+		{Behaviors: []Behavior{99}}, // out-of-range behavior
+		{Behaviors: []Behavior{0}},  // zero is not a behavior either
+		{ByzHeads: 1},               // enabled but no horizon
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -249,5 +257,107 @@ func TestDuplicationAndJitter(t *testing.T) {
 	}
 	if p.ExtraDelay < 0 || float64(p.ExtraDelay) > 0.5 {
 		t.Errorf("ExtraDelay = %v outside [0, 0.5]", p.ExtraDelay)
+	}
+}
+
+// toyByzTarget extends the toy target with compromise recording.
+type toyByzTarget struct {
+	*toyTarget
+	compromised map[int]Behavior
+}
+
+func newToyByzTarget(n int, heads ...int) *toyByzTarget {
+	return &toyByzTarget{toyTarget: newToyTarget(n, heads...), compromised: make(map[int]Behavior)}
+}
+
+func (t *toyByzTarget) CompromiseHead(id int, b Behavior) { t.compromised[id] = b }
+
+// TestArmRequiresByzantineTarget pins the configuration error: ByzHeads
+// against a target without CompromiseHead must fail at Arm, not at fire
+// time.
+func TestArmRequiresByzantineTarget(t *testing.T) {
+	kernel := sim.New()
+	src := rng.New(3).Split("chaos")
+	e, err := New(Config{Horizon: 100, ByzHeads: 1}, kernel, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Arm(newToyTarget(8, 2), src)
+	if err == nil {
+		t.Fatal("Arm accepted a plain Target with ByzHeads configured")
+	}
+	if !strings.Contains(err.Error(), "ByzantineTarget") {
+		t.Fatalf("err = %v, want a ByzantineTarget complaint", err)
+	}
+}
+
+// TestByzantineCompromiseFires runs a compromise-only campaign against
+// the toy target: every planned compromise lands on a serving head with
+// a behavior from the configured pool, and the engine counts it.
+func TestByzantineCompromiseFires(t *testing.T) {
+	kernel := sim.New()
+	src := rng.New(9).Split("chaos")
+	cfg := Config{Horizon: 100, ByzHeads: 2, Behaviors: []Behavior{BehaviorInvert, BehaviorPoison}}
+	e, err := New(cfg, kernel, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newToyByzTarget(8, 2, 5)
+	if err := e.Arm(target, src); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range e.Plan() {
+		if !strings.HasPrefix(f.Kind, "byz-head/") {
+			t.Fatalf("compromise-only campaign planned %q", f.Kind)
+		}
+	}
+	kernel.RunAll()
+	if e.Stats().Byzantine != 2 {
+		t.Fatalf("byzantine count = %d, want 2", e.Stats().Byzantine)
+	}
+	if len(target.compromised) == 0 {
+		t.Fatal("no head compromised")
+	}
+	for id, b := range target.compromised {
+		if id != 2 && id != 5 {
+			t.Errorf("compromised non-head %d", id)
+		}
+		if b != BehaviorInvert && b != BehaviorPoison {
+			t.Errorf("behavior %v outside the configured pool", b)
+		}
+	}
+}
+
+// TestByzHeadsLeaveLegacySchedule pins the draw-order contract: adding
+// compromises to an existing campaign must leave its crash and blackout
+// schedule byte-identical, because every byz draw happens strictly
+// after the legacy classes.
+func TestByzHeadsLeaveLegacySchedule(t *testing.T) {
+	build := func(byz int) []Fault {
+		kernel := sim.New()
+		src := rng.New(11).Split("chaos")
+		cfg := DefaultConfig(400)
+		cfg.ByzHeads = byz
+		e, err := New(cfg, kernel, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Arm(newToyByzTarget(16, 1, 6), src); err != nil {
+			t.Fatal(err)
+		}
+		var legacy []Fault
+		for _, f := range e.Plan() {
+			if !strings.HasPrefix(f.Kind, "byz-head/") {
+				legacy = append(legacy, f)
+			}
+		}
+		return legacy
+	}
+	plain, withByz := build(0), build(3)
+	if len(plain) == 0 {
+		t.Fatal("default config planned no legacy faults")
+	}
+	if !reflect.DeepEqual(plain, withByz) {
+		t.Fatalf("enabling ByzHeads shifted the legacy schedule:\n%v\n%v", plain, withByz)
 	}
 }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sealed trust-state snapshots. §2's CH handoff moves the trust table
+// through the base station as an opaque blob; a Byzantine head that can
+// tamper with, or replay, that blob launders arbitrary trust state into
+// the next head's table. SealSnapshot/OpenSnapshot make the blob
+// self-authenticating: a fixed magic, a role byte separating
+// station-issued state from head-uploaded state, a monotonically
+// increasing version stamp the station checks against the version it
+// issued, and a keyed checksum over everything. OpenSnapshot rejects
+// anything malformed with a wrapped error — never a panic — so a
+// hostile blob costs the station one decode, not the process.
+//
+// Wire format (all integers little-endian):
+//
+//	magic   [4]byte  "TIBS"
+//	role    byte     RoleIssue | RoleUpload
+//	version uint64   station-assigned handoff sequence number
+//	count   uint32   number of records
+//	records count × { id int64, v float64 bits, correct int64,
+//	                  faulty int64, isolated byte }
+//	sum     uint64   FNV-64a over key bytes ++ all preceding bytes
+const snapshotMagic = "TIBS"
+
+// Snapshot roles: the direction the blob is travelling. A head that
+// replays the blob the station issued to it as its own upload fails the
+// role check even though the checksum is intact.
+const (
+	RoleIssue  byte = 1 // station → newly appointed head
+	RoleUpload byte = 2 // retiring head → station
+)
+
+// ErrSnapshotCorrupt is wrapped by every OpenSnapshot rejection:
+// truncation, bad magic, absurd counts, non-finite accumulators,
+// checksum mismatch. errors.Is(err, ErrSnapshotCorrupt) identifies them
+// all.
+var ErrSnapshotCorrupt = errors.New("core: snapshot corrupt")
+
+const (
+	snapshotHeaderLen = 4 + 1 + 8 + 4 // magic + role + version + count
+	snapshotRecLen    = 8 + 8 + 8 + 8 + 1
+	snapshotSumLen    = 8
+)
+
+// SealSnapshot encodes trust records as a sealed blob keyed on key.
+// Records are emitted in ascending node-ID order so equal state seals to
+// equal bytes.
+func SealSnapshot(key, version uint64, role byte, recs map[int]Record) []byte {
+	ids := make([]int, 0, len(recs))
+	for id := range recs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	buf := make([]byte, 0, snapshotHeaderLen+len(ids)*snapshotRecLen+snapshotSumLen)
+	buf = append(buf, snapshotMagic...)
+	buf = append(buf, role)
+	buf = binary.LittleEndian.AppendUint64(buf, version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		r := recs[id]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(id)))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.V))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(r.Correct)))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(r.Faulty)))
+		if r.Isolated {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return binary.LittleEndian.AppendUint64(buf, snapshotSum(key, buf))
+}
+
+// OpenSnapshot decodes and authenticates a sealed blob. Any deviation
+// from the format — wrong magic or role, truncated or trailing bytes,
+// non-finite or negative accumulators, duplicate node IDs, checksum
+// mismatch — returns an error wrapping ErrSnapshotCorrupt.
+func OpenSnapshot(key uint64, blob []byte) (version uint64, role byte, recs map[int]Record, err error) {
+	if len(blob) < snapshotHeaderLen+snapshotSumLen {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes is shorter than any valid snapshot", ErrSnapshotCorrupt, len(blob))
+	}
+	if string(blob[:4]) != snapshotMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, blob[:4])
+	}
+	role = blob[4]
+	if role != RoleIssue && role != RoleUpload {
+		return 0, 0, nil, fmt.Errorf("%w: unknown role %d", ErrSnapshotCorrupt, role)
+	}
+	version = binary.LittleEndian.Uint64(blob[5:])
+	count := binary.LittleEndian.Uint32(blob[13:])
+	want := snapshotHeaderLen + int64(count)*snapshotRecLen + snapshotSumLen
+	if int64(len(blob)) != want {
+		return 0, 0, nil, fmt.Errorf("%w: %d records need %d bytes, got %d",
+			ErrSnapshotCorrupt, count, want, len(blob))
+	}
+	body := blob[:len(blob)-snapshotSumLen]
+	sum := binary.LittleEndian.Uint64(blob[len(blob)-snapshotSumLen:])
+	if snapshotSum(key, body) != sum {
+		return 0, 0, nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	recs = make(map[int]Record, count)
+	off := snapshotHeaderLen
+	for i := uint32(0); i < count; i++ {
+		id := int(int64(binary.LittleEndian.Uint64(blob[off:])))
+		v := math.Float64frombits(binary.LittleEndian.Uint64(blob[off+8:]))
+		correct := int64(binary.LittleEndian.Uint64(blob[off+16:]))
+		faulty := int64(binary.LittleEndian.Uint64(blob[off+24:]))
+		iso := blob[off+32]
+		off += snapshotRecLen
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return 0, 0, nil, fmt.Errorf("%w: node %d has invalid accumulator %v", ErrSnapshotCorrupt, id, v)
+		}
+		if correct < 0 || faulty < 0 {
+			return 0, 0, nil, fmt.Errorf("%w: node %d has negative verdict counts", ErrSnapshotCorrupt, id)
+		}
+		if iso > 1 {
+			return 0, 0, nil, fmt.Errorf("%w: node %d has invalid isolation byte %d", ErrSnapshotCorrupt, id, iso)
+		}
+		if _, dup := recs[id]; dup {
+			return 0, 0, nil, fmt.Errorf("%w: duplicate record for node %d", ErrSnapshotCorrupt, id)
+		}
+		recs[id] = Record{V: v, Correct: int(correct), Faulty: int(faulty), Isolated: iso == 1}
+	}
+	return version, role, recs, nil
+}
+
+// snapshotSum is FNV-64a over the key bytes followed by the body. The
+// key models the pairwise station↔head secret a deployment would
+// provision; without it a tamperer could just recompute the sum.
+func snapshotSum(key uint64, body []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var keyb [8]byte
+	binary.LittleEndian.PutUint64(keyb[:], key)
+	sum := uint64(offset64)
+	for _, b := range keyb {
+		sum = (sum ^ uint64(b)) * prime64
+	}
+	for _, b := range body {
+		sum = (sum ^ uint64(b)) * prime64
+	}
+	return sum
+}

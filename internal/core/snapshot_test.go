@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sampleRecs() map[int]Record {
+	return map[int]Record{
+		3:  {V: 0.9, Correct: 4, Faulty: 1},
+		7:  {V: 0, Correct: 12},
+		11: {V: 4.5, Correct: 2, Faulty: 5, Isolated: true},
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	const key, version = 0xfeedbeef, 42
+	blob := SealSnapshot(key, version, RoleUpload, sampleRecs())
+	gotVer, gotRole, recs, err := OpenSnapshot(key, blob)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	if gotVer != version || gotRole != RoleUpload {
+		t.Fatalf("got version %d role %d, want %d %d", gotVer, gotRole, version, RoleUpload)
+	}
+	want := sampleRecs()
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for id, w := range want {
+		if recs[id] != w {
+			t.Errorf("node %d: got %+v, want %+v", id, recs[id], w)
+		}
+	}
+}
+
+func TestSealSnapshotDeterministic(t *testing.T) {
+	a := SealSnapshot(1, 7, RoleIssue, sampleRecs())
+	b := SealSnapshot(1, 7, RoleIssue, sampleRecs())
+	if string(a) != string(b) {
+		t.Fatal("equal state sealed to different bytes")
+	}
+}
+
+func TestOpenSnapshotRejections(t *testing.T) {
+	const key = uint64(99)
+	valid := SealSnapshot(key, 5, RoleUpload, sampleRecs())
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+
+	badRole := append([]byte(nil), valid...)
+	badRole[4] = 9 // breaks the checksum too, but the role check fires first
+
+	nanV := SealSnapshot(key, 5, RoleUpload, map[int]Record{1: {V: math.NaN()}})
+	negV := SealSnapshot(key, 5, RoleUpload, map[int]Record{1: {V: -1}})
+	negCount := SealSnapshot(key, 5, RoleUpload, map[int]Record{1: {Correct: -2}})
+
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{"nil", nil},
+		{"empty", []byte{}},
+		{"short", valid[:10]},
+		{"truncated", valid[:len(valid)-3]},
+		{"trailing", append(append([]byte(nil), valid...), 0)},
+		{"bit-flipped", flipped},
+		{"bad-magic", badMagic},
+		{"bad-role", badRole},
+		{"wrong-key", func() []byte { return SealSnapshot(key+1, 5, RoleUpload, sampleRecs()) }()},
+		{"nan-v", nanV},
+		{"neg-v", negV},
+		{"neg-count", negCount},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := OpenSnapshot(key, tc.blob)
+			if err == nil {
+				t.Fatal("OpenSnapshot accepted a corrupt blob")
+			}
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("error %v does not wrap ErrSnapshotCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestOpenSnapshotEmpty(t *testing.T) {
+	blob := SealSnapshot(0, 1, RoleIssue, nil)
+	ver, role, recs, err := OpenSnapshot(0, blob)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	if ver != 1 || role != RoleIssue || len(recs) != 0 {
+		t.Fatalf("got version %d role %d %d records", ver, role, len(recs))
+	}
+}
+
+// FuzzOpenSnapshot pins the decoder's core contract: arbitrary bytes
+// either decode cleanly or fail with an error wrapping
+// ErrSnapshotCorrupt — never a panic — and anything that decodes must
+// re-seal to the same bytes under the same key.
+func FuzzOpenSnapshot(f *testing.F) {
+	const key = uint64(0x71bf17)
+	valid := SealSnapshot(key, 9, RoleUpload, sampleRecs())
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:snapshotHeaderLen])
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[7] ^= 0xff
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		ver, role, recs, err := OpenSnapshot(key, blob)
+		if err != nil {
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("error %v does not wrap ErrSnapshotCorrupt", err)
+			}
+			return
+		}
+		resealed := SealSnapshot(key, ver, role, recs)
+		if string(resealed) != string(blob) {
+			t.Fatalf("accepted blob does not round-trip: %x vs %x", blob, resealed)
+		}
+	})
+}

@@ -282,6 +282,13 @@ func (t *Table) Judge(node int, correct bool) {
 	}
 }
 
+// Isolate removes the node from voting immediately, regardless of its
+// accumulator — the operator-action override §3 alludes to, used by the
+// base station when it holds unforgeable evidence of misbehaviour (a
+// tampered or replayed trust snapshot) that no gradual penalty should
+// dilute.
+func (t *Table) Isolate(node int) { t.rec(node).Isolated = true }
+
 // Isolated implements Weigher.
 func (t *Table) Isolated(node int) bool {
 	r, ok := t.recs[node]

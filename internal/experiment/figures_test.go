@@ -12,6 +12,7 @@ func quickOpts() FigureOptions {
 
 func TestFigureRegistryComplete(t *testing.T) {
 	want := []string{
+		"ext-byzantine-resilience",
 		"ext-collusion-guard", "ext-reliability", "ext-resilience",
 		"ext-scheme-comparison", "ext-sweep-lambda",
 		"figure10", "figure11", "figure11-roots", "figure2", "figure3",

@@ -25,11 +25,12 @@ var figureRegistry = map[string]Generator{
 	"figure11-roots": func(FigureOptions) (metrics.Figure, error) {
 		return Figure11Roots(), nil
 	},
-	"ext-reliability":       FigureReliability,
-	"ext-collusion-guard":   FigureCollusionGuard,
-	"ext-sweep-lambda":      FigureSweepLambda,
-	"ext-resilience":        FigureResilience,
-	"ext-scheme-comparison": FigureSchemeComparison,
+	"ext-reliability":          FigureReliability,
+	"ext-collusion-guard":      FigureCollusionGuard,
+	"ext-sweep-lambda":         FigureSweepLambda,
+	"ext-resilience":           FigureResilience,
+	"ext-byzantine-resilience": FigureByzantineResilience,
+	"ext-scheme-comparison":    FigureSchemeComparison,
 }
 
 // FigureIDs returns the sorted IDs of every reproducible figure.

@@ -6,8 +6,10 @@
 // Per election round:
 //
 //  1. Every node that has not served as CH within the last 1/p rounds
-//     self-elects with probability p·(residual energy fraction) — LEACH's
-//     energy-aware rotation.
+//     self-elects with probability T·(residual energy fraction), where
+//     T = p/(1 − p·(r mod 1/p)) is LEACH's epoch-ramped threshold —
+//     the energy-aware rotation that keeps the expected head count near
+//     n·p as the cool-off shrinks the candidate pool.
 //  2. The base station vetoes any self-elected node whose persisted trust
 //     index is below the eligibility threshold (TIBFIT's addition: "the TI
 //     of the node has to be higher than a threshold value to ensure that
@@ -20,6 +22,7 @@
 package leach
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -43,6 +46,12 @@ type Config struct {
 	// afterwards the station appoints the most trusted eligible node
 	// directly. Zero means a sensible default.
 	MaxRetries int
+	// MinHeads re-initiates an election that produced fewer heads than
+	// this floor (LEACH's Bernoulli draws leave a long lower tail, and a
+	// round with too few heads builds clusters too large for their
+	// members to out-vote). Zero or one keeps the historical behaviour:
+	// any non-empty head set stands.
+	MinHeads int
 }
 
 // Validate reports whether the configuration is usable.
@@ -53,16 +62,52 @@ func (c Config) Validate() error {
 	if c.TIThreshold < 0 || c.TIThreshold >= 1 {
 		return fmt.Errorf("leach: TIThreshold must be in [0,1), got %v", c.TIThreshold)
 	}
+	if c.MinHeads < 0 {
+		return fmt.Errorf("leach: MinHeads must be non-negative, got %d", c.MinHeads)
+	}
 	return nil
 }
 
 const defaultMaxRetries = 8
 
+// DefaultHeadRemovalThreshold quarantines a cluster head once its
+// station-side trust index falls to or below this value. It applies
+// when the node-trust params leave RemovalThreshold at zero (isolation
+// disabled for sensing nodes): a head aggregates for a whole cluster,
+// so the station cannot afford to leave head misbehaviour unpunished.
+const DefaultHeadRemovalThreshold = 0.5
+
+// defaultSealKey stands in for the provisioned station↔head secret a
+// real deployment would burn into each mote; the simulation needs only
+// that issuer and verifier agree and tamperers do not know it.
+const defaultSealKey = 0x7153_b175_b45e_57a7
+
+// ErrSnapshotReplay marks a sealed snapshot that authenticated fine but
+// is the wrong blob: a re-upload of station-issued state, or state from
+// an earlier term than the one the station issued to that head.
+var ErrSnapshotReplay = errors.New("leach: snapshot replayed or stale")
+
 // Station is the base station: the durable home of trust state between
 // cluster-head terms and the authority that vetoes untrusted candidates.
+// It also keeps its own trust index per cluster *head* (scored from
+// shadow-panel escalations, heartbeat anomalies, and ground-truth
+// feedback — see internal/network) and verifies sealed trust-state
+// blobs at handoff so a Byzantine head cannot poison or replay the
+// persisted state.
 type Station struct {
 	params core.Params
 	trust  map[int]core.Record
+
+	// chTrust scores cluster heads, under the same §3 rule as sensing
+	// nodes but with isolation (= quarantine) always enabled.
+	chTrust *core.Table
+
+	// Sealed-handoff state: the shared checksum key, the monotonically
+	// increasing issue sequence, and the version each serving head was
+	// issued (consumed by its term-end upload).
+	sealKey       uint64
+	seq           uint64
+	issuedVersion map[int]uint64
 }
 
 // NewStation returns a base station persisting trust under params.
@@ -70,8 +115,88 @@ func NewStation(params core.Params) (*Station, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Station{params: params, trust: make(map[int]core.Record)}, nil
+	headParams := params
+	//lint:allow floateq zero is the exact "isolation disabled" sentinel, not a computed value
+	if headParams.RemovalThreshold == 0 {
+		headParams.RemovalThreshold = DefaultHeadRemovalThreshold
+	}
+	return &Station{
+		params:        params,
+		trust:         make(map[int]core.Record),
+		chTrust:       core.MustNewTable(headParams),
+		sealKey:       defaultSealKey,
+		issuedVersion: make(map[int]uint64),
+	}, nil
 }
+
+// JudgeHead applies one station-side verdict on a cluster head's
+// behaviour — a shadow-panel escalation, a missed-heartbeat anomaly, or
+// a decision checked against ground truth — under the same §3 update
+// rule that scores sensing nodes.
+func (s *Station) JudgeHead(id int, correct bool) { s.chTrust.Judge(id, correct) }
+
+// HeadTI returns the station's trust index for a cluster head (1 if the
+// head has never been judged).
+func (s *Station) HeadTI(id int) float64 { return s.chTrust.TI(id) }
+
+// HeadQuarantined reports whether the head's trust crossed the
+// quarantine threshold (or it was quarantined directly).
+func (s *Station) HeadQuarantined(id int) bool { return s.chTrust.Isolated(id) }
+
+// QuarantineHead isolates a head immediately — the station's response
+// to unforgeable evidence (a rejected snapshot) that should not be
+// diluted through gradual penalties.
+func (s *Station) QuarantineHead(id int) { s.chTrust.Isolate(id) }
+
+// QuarantinedHeads returns the sorted IDs of all quarantined heads.
+func (s *Station) QuarantinedHeads() []int { return s.chTrust.IsolatedNodes() }
+
+// Issue seals the current persisted trust state for a newly appointed
+// head: RoleIssue, a fresh version number the station remembers so the
+// head's eventual term-end upload must carry it back.
+func (s *Station) Issue(head int) []byte {
+	s.seq++
+	s.issuedVersion[head] = s.seq
+	return core.SealSnapshot(s.sealKey, s.seq, core.RoleIssue, s.Snapshot())
+}
+
+// StoreSealed verifies and merges a retiring head's sealed trust
+// upload. It rejects — with a wrapped error, and without touching the
+// persisted state — blobs that fail authentication (ErrSnapshotCorrupt:
+// tampered, truncated, mis-keyed) and blobs that authenticate but are
+// replays (ErrSnapshotReplay: a re-upload of the issued blob itself, a
+// stale version, or an upload from a head that was never issued one).
+// A successful upload consumes the issued version, so uploading twice
+// is itself a replay.
+func (s *Station) StoreSealed(head int, blob []byte) error {
+	version, role, recs, err := core.OpenSnapshot(s.sealKey, blob)
+	if err != nil {
+		return fmt.Errorf("leach: verifying snapshot from head %d: %w", head, err)
+	}
+	if role != core.RoleUpload {
+		return fmt.Errorf("leach: head %d re-uploaded issued state: %w", head, ErrSnapshotReplay)
+	}
+	issued, ok := s.issuedVersion[head]
+	if !ok {
+		return fmt.Errorf("leach: head %d uploaded version %d but holds no issued snapshot: %w",
+			head, version, ErrSnapshotReplay)
+	}
+	if version != issued {
+		return fmt.Errorf("leach: head %d uploaded version %d, issued %d: %w",
+			head, version, issued, ErrSnapshotReplay)
+	}
+	delete(s.issuedVersion, head)
+	s.StoreSnapshot(recs)
+	return nil
+}
+
+// SealKey returns the station's checksum key, for heads sealing their
+// term-end uploads (and for tests forging tampered blobs).
+func (s *Station) SealKey() uint64 { return s.sealKey }
+
+// IssuedVersion returns the version the station expects back from the
+// head's term-end upload (0 if none is outstanding).
+func (s *Station) IssuedVersion(head int) uint64 { return s.issuedVersion[head] }
 
 // StoreSnapshot merges an outgoing cluster head's trust table into the
 // station's persisted state (§2: the CH "sends the aggregate TI
@@ -114,8 +239,14 @@ func (s *Station) TI(nodeID int) float64 {
 }
 
 // Eligible reports whether the node's persisted trust passes the
-// threshold and it is not isolated.
+// threshold and it is not isolated — as a sensing node or, since the
+// station also scores heads, as a quarantined former head (quarantine
+// would be pointless if the next election could hand the aggregation
+// point straight back).
 func (s *Station) Eligible(nodeID int, threshold float64) bool {
+	if s.chTrust.Isolated(nodeID) {
+		return false
+	}
 	if r, ok := s.trust[nodeID]; ok && r.Isolated {
 		return false
 	}
@@ -214,13 +345,25 @@ func (e *Election) Run() Result {
 	e.round++
 	var res Result
 	cooloff := int(1 / e.cfg.HeadFraction)
+	// Classic LEACH threshold: within each epoch of 1/p rounds, the
+	// self-election probability ramps as T = p / (1 - p·(r mod 1/p)).
+	// The cool-off shrinks the eligible pool every round of the epoch;
+	// without the ramp the expected head count sags from n·p toward
+	// n·p² by the epoch's last round, leaving clusters too large for
+	// their members to out-vote. Round 1 has T = p exactly, so
+	// single-election campaigns are unaffected.
+	threshold := e.cfg.HeadFraction /
+		(1 - e.cfg.HeadFraction*float64((e.round-1)%cooloff))
+	if threshold > 1 {
+		threshold = 1
+	}
 	for attempt := 0; ; attempt++ {
 		var heads []int
 		for _, n := range e.nodes {
 			if !e.eligibleNode(n, cooloff) {
 				continue
 			}
-			p := e.cfg.HeadFraction
+			p := threshold
 			if b := n.Battery(); b != nil {
 				p *= b.Fraction()
 			}
@@ -235,7 +378,7 @@ func (e *Election) Run() Result {
 			}
 			heads = append(heads, n.ID())
 		}
-		if len(heads) > 0 {
+		if len(heads) > 0 && (len(heads) >= e.cfg.MinHeads || attempt >= e.cfg.MaxRetries) {
 			sort.Ints(heads)
 			res.Heads = heads
 			break

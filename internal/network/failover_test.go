@@ -245,11 +245,15 @@ func TestDepletedNodeStopsReporting(t *testing.T) {
 	}
 }
 
-// TestChaosSoak runs the full chaos campaign (crashes, head crashes, a
-// blackout, duplication, jitter) against a failover-enabled network and
-// asserts structural invariants. The seed comes from TIBFIT_SOAK_SEED so
-// CI's `make soak` can randomize it under -race; a plain `go test` run
-// stays fixed-seed and deterministic.
+// TestChaosSoak runs a chaos campaign against a failover-enabled
+// network and asserts structural invariants. The seed comes from
+// TIBFIT_SOAK_SEED so CI's `make soak` can randomize it under -race; a
+// plain `go test` run stays fixed-seed and deterministic. The fault mix
+// comes from TIBFIT_SOAK_MODE:
+//
+//	crash     — crashes, head crashes, a blackout, duplication, jitter
+//	byzantine — adversarial head compromises under CH quarantine, no crashes
+//	mixed     — both at once (the default)
 func TestChaosSoak(t *testing.T) {
 	seed := int64(1)
 	if s := os.Getenv("TIBFIT_SOAK_SEED"); s != "" {
@@ -259,16 +263,37 @@ func TestChaosSoak(t *testing.T) {
 		}
 		seed = v
 	}
-	t.Logf("soak seed %d", seed)
+	soakMode := os.Getenv("TIBFIT_SOAK_MODE")
+	if soakMode == "" {
+		soakMode = "mixed"
+	}
+	switch soakMode {
+	case "crash", "byzantine", "mixed":
+	default:
+		t.Fatalf("TIBFIT_SOAK_MODE = %q, want crash, byzantine or mixed", soakMode)
+	}
+	crashes := soakMode != "byzantine"
+	byz := soakMode != "crash"
+	t.Logf("soak seed %d mode %s", seed, soakMode)
 
 	for _, mode := range []string{ModeBinary, ModeLocation} {
 		tr := trace.New()
-		h := newTracedHarness(t, failoverConfig(mode), 6, seed, tr)
+		netCfg := failoverConfig(mode)
+		if byz {
+			netCfg.CHQuarantine = true
+		}
+		h := newTracedHarness(t, netCfg, 6, seed, tr)
 		root := rng.New(seed + 1000)
 		const events, period = 40, 10.0
-		ccfg := chaos.DefaultConfig(events * period)
-		ccfg.CrashFraction = 0.3
-		ccfg.HeadCrashes = 3
+		ccfg := chaos.Config{Horizon: events * period}
+		if crashes {
+			ccfg = chaos.DefaultConfig(events * period)
+			ccfg.CrashFraction = 0.3
+			ccfg.HeadCrashes = 3
+		}
+		if byz {
+			ccfg.ByzHeads = 2
+		}
 		csrc := root.Split("chaos")
 		engine, err := chaos.New(ccfg, h.kernel, csrc, tr)
 		if err != nil {
@@ -289,7 +314,7 @@ func TestChaosSoak(t *testing.T) {
 		h.kernel.RunAll()
 
 		st := engine.Stats()
-		if st.Crashes == 0 {
+		if crashes && st.Crashes == 0 {
 			t.Fatalf("%s: soak injected no crashes", mode)
 		}
 		if st.Recoveries > st.Crashes {
@@ -305,6 +330,21 @@ func TestChaosSoak(t *testing.T) {
 		for _, head := range h.net.Heads() {
 			if h.net.Down(head) && h.net.clusters[head] != nil && !h.net.clusters[head].closed() {
 				t.Fatalf("%s: down head %d serving an open cluster", mode, head)
+			}
+		}
+		if byz {
+			if got := tr.Count(trace.KindCHByzantine); got != 2 {
+				t.Fatalf("%s: byzantine compromises = %d, want 2", mode, got)
+			}
+			// A quarantined head must never be left in office.
+			for _, head := range h.net.Heads() {
+				if h.net.station.HeadQuarantined(head) {
+					t.Fatalf("%s: quarantined head %d still serving", mode, head)
+				}
+			}
+			// Every quarantine was traced, and nobody is quarantined twice.
+			if traced, isolated := tr.Count(trace.KindCHQuarantined), len(h.net.station.QuarantinedHeads()); traced != isolated {
+				t.Fatalf("%s: %d ch-quarantined records for %d quarantined heads", mode, traced, isolated)
 			}
 		}
 	}

@@ -13,9 +13,11 @@ package network
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/tibfit/tibfit/internal/aggregator"
+	"github.com/tibfit/tibfit/internal/chaos"
 	"github.com/tibfit/tibfit/internal/core"
 	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/energy"
@@ -25,6 +27,7 @@ import (
 	"github.com/tibfit/tibfit/internal/radio"
 	"github.com/tibfit/tibfit/internal/relay"
 	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/shadow"
 	"github.com/tibfit/tibfit/internal/sim"
 	"github.com/tibfit/tibfit/internal/trace"
 )
@@ -91,10 +94,40 @@ type Config struct {
 	// HeartbeatMisses is how many consecutive missed heartbeats declare a
 	// head dead (default 3).
 	HeartbeatMisses int
+
+	// CHQuarantine enables the base station's Byzantine-head defenses:
+	// every binary cluster decision runs through a §3.4 shadow panel
+	// (escalations and demotions score the head's station-side trust
+	// index), event injections schedule decision-vs-ground-truth audits,
+	// missed heartbeats count as head anomalies, trust handoffs travel
+	// as sealed snapshots whose rejection quarantines the uploader, and
+	// a head whose trust index crosses the station's threshold is
+	// quarantined with an emergency trusted re-election
+	// (leach.AppointAmong). Off, compromised heads operate undefended —
+	// the ablation arm of the ext-byzantine-resilience figure.
+	CHQuarantine bool
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. NaN and ±Inf
+// durations are rejected explicitly: NaN slips through plain range
+// comparisons (NaN < 0 is false) and would otherwise surface much later
+// as the kernel's ErrNonFiniteTime mid-run.
 func (c Config) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"SenseRadius", c.SenseRadius},
+		{"RError", c.RError},
+		{"Tout", float64(c.Tout)},
+		{"ReportBackoff", float64(c.ReportBackoff)},
+		{"HeartbeatPeriod", float64(c.HeartbeatPeriod)},
+		{"CoincidenceGuard", c.CoincidenceGuard},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("network: %s must be finite, got %v", f.name, f.v)
+		}
+	}
 	switch {
 	case c.SenseRadius <= 0 || c.RError <= 0:
 		return fmt.Errorf("network: SenseRadius and RError must be positive")
@@ -108,6 +141,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("network: ReportRetries must be non-negative, got %d", c.ReportRetries)
 	case c.ReportRetries > 0 && c.ReportBackoff <= 0:
 		return fmt.Errorf("network: ReportRetries needs a positive ReportBackoff")
+	case c.ReportBackoff < 0:
+		return fmt.Errorf("network: ReportBackoff must be non-negative, got %v", float64(c.ReportBackoff))
 	case c.HeartbeatPeriod < 0 || c.HeartbeatMisses < 0:
 		return fmt.Errorf("network: HeartbeatPeriod and HeartbeatMisses must be non-negative")
 	}
@@ -147,6 +182,18 @@ type clusterState struct {
 	scheme  decision.Scheme
 	agg     *aggregator.Location
 	binAgg  *aggregator.Binary
+
+	// panel is the §3.4 shadow panel guarding the head's binary
+	// decisions (non-nil only under CHQuarantine in binary mode).
+	panel *shadow.Panel
+	// issuedSnap is the persisted trust state the head started its term
+	// with — the stale state a BehaviorReplay head re-uploads when no
+	// snapshot verification is in force.
+	issuedSnap map[int]core.Record
+	// issuedBlob is the sealed RoleIssue snapshot the station handed the
+	// head (CHQuarantine only) — the blob a BehaviorReplay head tries to
+	// pass off as its term-end upload.
+	issuedBlob []byte
 }
 
 // close kills the cluster's aggregator: its head crashed, so buffered
@@ -197,6 +244,16 @@ type Network struct {
 	depleted   map[int]bool   // nodes whose battery death has been traced
 	lastReport map[int]report // per-member buffer for failover re-solicitation
 
+	// byz maps compromised nodes to their adversarial behavior; it is
+	// consulted only while the node serves as a head (a compromised
+	// member just reports — per-node trust already covers lying leaves).
+	byz map[int]chaos.Behavior
+
+	// injectLog holds recent event-injection times: the ground truth
+	// declarations are scored against under CHQuarantine. Pruned as
+	// declarations are judged.
+	injectLog []sim.Time
+
 	declared []Declaration
 	rounds   int
 }
@@ -241,6 +298,7 @@ func New(cfg Config, kernel *sim.Kernel, channel *radio.Channel,
 		down:       make(map[int]bool),
 		depleted:   make(map[int]bool),
 		lastReport: make(map[int]report),
+		byz:        make(map[int]chaos.Behavior),
 	}
 	for _, nd := range nodes {
 		n.byID[nd.ID()] = nd
@@ -326,7 +384,7 @@ func (n *Network) Recluster() error {
 					upload[id] = r
 				}
 			}
-			n.station.StoreSnapshot(upload)
+			n.storeHandoff(cs, upload)
 		}
 	}
 	res := n.election.Run()
@@ -365,30 +423,142 @@ func (n *Network) Recluster() error {
 	return nil
 }
 
-// buildCluster wires one cluster head's aggregator over its member
-// positions, restoring trust state from the base station.
-func (n *Network) buildCluster(head int, members []int) (*clusterState, error) {
-	w, err := decision.New(n.cfg.Scheme, decision.Params{Trust: n.cfg.Trust})
-	if err != nil {
-		return nil, err
+// slander is the trust damage a BehaviorPoison head writes into each
+// member's uploaded record when nothing verifies the upload: enough
+// accumulated "faults" to veto the member from headship and cripple its
+// vote weight for the rest of the campaign.
+const (
+	slanderV       = 8.0
+	slanderReports = 8
+)
+
+// storeHandoff persists one retiring head's member-filtered trust
+// upload. Without CHQuarantine the station takes whatever it is given —
+// including a poisoning head's slander or a replaying head's stale
+// term-start state. With CHQuarantine the upload travels sealed: the
+// head seals it with the station's key and issued version, a poisoning
+// head (whose compromise sits above the mote's sealed key store) can
+// only tamper with the sealed bytes, a replaying head re-sends the blob
+// it was issued — and the station rejects both, traces the rejection,
+// and quarantines the uploader on the spot.
+func (n *Network) storeHandoff(cs *clusterState, upload map[int]core.Record) {
+	if !n.cfg.CHQuarantine {
+		switch n.byz[cs.head] {
+		case chaos.BehaviorPoison:
+			for _, id := range cs.members {
+				if id == cs.head {
+					continue
+				}
+				if r, ok := upload[id]; ok {
+					r.V += slanderV
+					r.Faulty += slanderReports
+					upload[id] = r
+				}
+			}
+			n.station.StoreSnapshot(upload)
+		case chaos.BehaviorReplay:
+			stale := make(map[int]core.Record, len(cs.members))
+			for _, id := range cs.members {
+				if r, ok := cs.issuedSnap[id]; ok {
+					stale[id] = r
+				}
+			}
+			n.station.StoreSnapshot(stale)
+		default:
+			n.station.StoreSnapshot(upload)
+		}
+		return
 	}
-	if st, ok := w.(decision.Stateful); ok {
-		st.Restore(n.station.Snapshot())
+	blob := core.SealSnapshot(n.station.SealKey(), n.station.IssuedVersion(cs.head),
+		core.RoleUpload, upload)
+	switch n.byz[cs.head] {
+	case chaos.BehaviorPoison:
+		blob = append([]byte(nil), blob...)
+		blob[len(blob)/2] ^= 0x20
+	case chaos.BehaviorReplay:
+		blob = cs.issuedBlob
+	}
+	if err := n.station.StoreSealed(cs.head, blob); err != nil {
+		n.tr.Emit(float64(n.kernel.Now()), trace.KindSnapshotRejected, cs.head,
+			"trust upload rejected: %v", err)
+		n.station.QuarantineHead(cs.head)
+		n.tr.Emit(float64(n.kernel.Now()), trace.KindCHQuarantined, cs.head,
+			"quarantined on rejected snapshot")
+	}
+}
+
+// buildCluster wires one cluster head's aggregator over its member
+// positions, restoring trust state from the base station. Binary
+// clusters decide through a chDecider: the shadow panel under
+// CHQuarantine, otherwise a pass-through of the scheme's own
+// arbitration that a compromised head can invert.
+func (n *Network) buildCluster(head int, members []int) (*clusterState, error) {
+	snap := n.station.Snapshot()
+	cs := &clusterState{head: head, members: members, issuedSnap: snap}
+	if n.cfg.CHQuarantine {
+		cs.issuedBlob = n.station.Issue(head)
+	}
+	var w decision.Scheme
+	if n.cfg.Mode == ModeBinary && n.cfg.CHQuarantine {
+		// The head's decisions replicate across two shadow heads; a
+		// compromised primary lies in its broadcast, which the panel's
+		// 2-of-3 vote masks and escalates. An inverting head flips its
+		// conclusion outright; a suppressing head recomputes over the
+		// reports it censored — the shadows overheard the members'
+		// actual transmissions (§3.4), so a censorship that changes the
+		// outcome diverges from their replicas and escalates.
+		corrupt := func(_ int, honest core.BinaryDecision) (core.BinaryDecision, bool) {
+			switch n.byz[head] {
+			case chaos.BehaviorInvert:
+				lie := honest
+				lie.Occurred = !lie.Occurred
+				return lie, true
+			case chaos.BehaviorSuppress:
+				kept, aug, dropped := n.suppress(cs, honest.Reporters, honest.Silent)
+				if !dropped {
+					return honest, false
+				}
+				lie := cs.panel.Primary().Arbitrate(kept, aug)
+				return lie, lie.Occurred != honest.Occurred
+			}
+			return honest, false
+		}
+		panel, err := shadow.NewPanelScheme(n.cfg.Scheme, decision.Params{Trust: n.cfg.Trust},
+			head, corrupt, nil)
+		if err != nil {
+			return nil, err
+		}
+		panel.Restore(snap)
+		cs.panel = panel
+		w = panel.Primary()
+	} else {
+		var err error
+		w, err = decision.New(n.cfg.Scheme, decision.Params{Trust: n.cfg.Trust})
+		if err != nil {
+			return nil, err
+		}
+		if st, ok := w.(decision.Stateful); ok {
+			st.Restore(snap)
+		}
 	}
 	pos := make(aggregator.PosMap, len(members))
 	for _, id := range members {
 		pos[id] = n.byID[id].Pos()
 	}
-	cs := &clusterState{head: head, members: members, scheme: w}
+	cs.scheme = w
 	if n.cfg.Mode == ModeBinary {
 		bin, err := aggregator.NewBinary(
-			aggregator.BinaryConfig{Tout: n.cfg.Tout, Members: members, Alive: n.memberUp},
+			aggregator.BinaryConfig{Tout: n.cfg.Tout, Members: members, Alive: n.memberUp,
+				Decider: &chDecider{n: n, cs: cs}},
 			w, n.kernel,
 			func(o aggregator.BinaryOutcome) {
 				if o.Decision.Occurred {
 					n.declared = append(n.declared, Declaration{
 						Head: head, Loc: n.byID[head].Pos(), Time: o.DecideTime,
 					})
+					if n.cfg.CHQuarantine {
+						n.judgeDeclaration(head)
+					}
 				}
 			},
 			func(id int, correct bool) { n.byID[id].ObserveVerdict(correct) },
@@ -474,6 +644,12 @@ func (n *Network) InjectEvent(eventID int, loc geo.Point) {
 		n.lastReport[id] = rep
 		n.transmitReport(id, rep, 0)
 	}
+	if n.cfg.CHQuarantine {
+		// Ground truth for declaration scoring: the station knows an
+		// event really was injected now (the simulation's stand-in for
+		// the spot checks a deployment would run).
+		n.injectLog = append(n.injectLog, n.kernel.Now())
+	}
 }
 
 // transmitReport sends one buffered report toward the sender's current
@@ -551,6 +727,173 @@ func (n *Network) deliverReport(cs *clusterState, id int, rep report) {
 	cs.agg.Deliver(id, rep.off)
 }
 
+// chDecider is the decide step installed on every binary cluster. With
+// a shadow panel it runs the replicated 2-of-3 decision, traces
+// escalations, and scores the head's station-side trust on demotions;
+// without one it reproduces the default arbitrate-and-settle step
+// exactly — byte-identical end state — while giving a compromised head
+// the seam to broadcast the inversion of its honest conclusion.
+type chDecider struct {
+	n  *Network
+	cs *clusterState
+}
+
+var _ aggregator.BinaryDecider = (*chDecider)(nil)
+
+// DecideAndSettle implements aggregator.BinaryDecider.
+func (d *chDecider) DecideAndSettle(reporters, silent []int) core.BinaryDecision {
+	n, cs := d.n, d.cs
+	if cs.panel != nil {
+		rep := cs.panel.Decide(reporters, silent)
+		if rep.Disagreed {
+			n.tr.Emit(float64(n.kernel.Now()), trace.KindShadowDisagree, cs.head,
+				"shadow escalation; base station vote occurred=%v demoted=%v",
+				rep.Final.Occurred, rep.Demoted)
+		}
+		if rep.Demoted {
+			n.station.JudgeHead(cs.head, false)
+			n.maybeQuarantine(cs.head)
+		}
+		return rep.Final
+	}
+	reporters, silent, _ = n.suppress(cs, reporters, silent)
+	dec := cs.scheme.Arbitrate(reporters, silent)
+	if n.byz[cs.head] == chaos.BehaviorInvert {
+		dec.Occurred = !dec.Occurred
+	}
+	core.Apply(cs.scheme, dec)
+	return dec
+}
+
+// suppress applies a BehaviorSuppress head's selective censorship at
+// aggregation time: the head pretends it never heard a deterministic
+// subset of its members (even IDs), moving their reports to the silent
+// side of the vote. The members transmitted and were ACKed, so retries
+// never fire; the reports vanish inside the head. For any other head
+// the inputs pass through untouched.
+func (n *Network) suppress(cs *clusterState, reporters, silent []int) (kept, aug []int, dropped bool) {
+	if n.byz[cs.head] != chaos.BehaviorSuppress {
+		return reporters, silent, false
+	}
+	kept = make([]int, 0, len(reporters))
+	aug = append(make([]int, 0, len(silent)+len(reporters)), silent...)
+	for _, id := range reporters {
+		if id != cs.head && id%2 == 0 {
+			n.tr.Emit(float64(n.kernel.Now()), trace.KindReportDropped, id,
+				"report suppressed by byzantine head %d", cs.head)
+			aug = append(aug, id)
+			dropped = true
+			continue
+		}
+		kept = append(kept, id)
+	}
+	return kept, aug, dropped
+}
+
+// CompromiseHead implements chaos.ByzantineTarget: the node turns
+// adversarial, exhibiting the behavior whenever it serves as a head. A
+// later crash clears the compromise (the adversary loses the mote along
+// with everyone else).
+func (n *Network) CompromiseHead(id int, b chaos.Behavior) {
+	if _, ok := n.byID[id]; !ok || n.down[id] {
+		return
+	}
+	n.byz[id] = b
+	n.tr.Emit(float64(n.kernel.Now()), trace.KindCHByzantine, id,
+		"head compromised: %s", b)
+}
+
+// Byzantine returns the sorted IDs of currently compromised nodes.
+func (n *Network) Byzantine() []int {
+	out := make([]int, 0, len(n.byz))
+	for id := range n.byz {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// maybeQuarantine checks the head against the station's quarantine
+// state and, if it crossed the threshold, schedules the takedown on the
+// kernel rather than acting inline: the caller may be deep inside the
+// head's own window close, and tearing the aggregator down under it
+// would corrupt the in-flight decision. After(0) runs deterministically
+// once the current callback completes.
+func (n *Network) maybeQuarantine(head int) {
+	if !n.cfg.CHQuarantine || !n.station.HeadQuarantined(head) {
+		return
+	}
+	n.kernel.After(0, func() { n.quarantineHead(head) })
+}
+
+// quarantineHead removes a quarantined serving head and re-elects: the
+// most trusted surviving member takes over with state restored from the
+// station — the same emergency appointment as crash failover, triggered
+// by distrust instead of silence. Idempotent: a head already replaced,
+// crashed, or re-clustered away is left alone.
+func (n *Network) quarantineHead(id int) {
+	cs, ok := n.clusters[id]
+	if !ok || !n.station.HeadQuarantined(id) || cs.closed() || n.down[id] {
+		return
+	}
+	n.tr.Emit(float64(n.kernel.Now()), trace.KindCHQuarantined, id,
+		"station head-trust %.3f; cluster of %d re-electing", n.station.HeadTI(id), len(cs.members))
+	cs.close()
+	candidates := make([]int, 0, len(cs.members))
+	for _, m := range cs.members {
+		if m != id {
+			candidates = append(candidates, m)
+		}
+	}
+	newHead, ok := n.election.AppointAmong(candidates)
+	if !ok {
+		delete(n.clusters, id)
+		n.tr.Emit(float64(n.kernel.Now()), trace.KindClusterOrphaned, id,
+			"no eligible successor among %d members", len(candidates))
+		return
+	}
+	rebuilt, err := n.buildCluster(newHead, cs.members)
+	if err != nil {
+		return // unreachable: the members were already a valid cluster
+	}
+	delete(n.clusters, id)
+	n.clusters[newHead] = rebuilt
+	for _, m := range cs.members {
+		n.memberOf[m] = newHead
+	}
+	n.election.MarkLed(newHead)
+	n.tr.Emit(float64(n.kernel.Now()), trace.KindCHFailover, newHead,
+		"emergency head for cluster of %d after quarantine of %d", len(cs.members), id)
+	if n.mesh != nil {
+		_ = n.mesh.BuildRoutes(newHead)
+	}
+}
+
+// judgeDeclaration is the station's decision-vs-ground-truth feedback:
+// each declared occurrence is scored against the injection log. A
+// declaration within 2·Tout of a real injection confirms the head
+// (recovering its trust); a fabricated event — one no injection
+// explains — is judged faulty. The check penalizes only positive
+// claims, never silence: a quiet cluster may simply have been out of
+// range, and punishing it would quarantine honest heads.
+func (n *Network) judgeDeclaration(head int) {
+	now := n.kernel.Now()
+	matched := false
+	keep := n.injectLog[:0]
+	for _, at := range n.injectLog {
+		if sim.Duration(now-at) > 2*n.cfg.Tout {
+			continue // too old to explain any future declaration either
+		}
+		keep = append(keep, at)
+		matched = true
+	}
+	n.injectLog = keep
+	n.station.JudgeHead(head, matched)
+	if !matched {
+		n.maybeQuarantine(head)
+	}
+}
+
 // markDepleted traces a node's battery death exactly once.
 func (n *Network) markDepleted(id int) {
 	if n.depleted[id] {
@@ -601,6 +944,7 @@ func (n *Network) CrashNode(id int) {
 		return
 	}
 	n.down[id] = true
+	delete(n.byz, id) // the adversary loses crashed motes too
 	n.tr.Emit(float64(n.kernel.Now()), trace.KindNodeCrashed, id, "crash-stop fault")
 	cs, isHead := n.clusters[id]
 	if !isHead {
@@ -651,6 +995,13 @@ func (n *Network) failoverCheck(dead int, crashedAt sim.Time) {
 	cs, ok := n.clusters[dead]
 	if !ok || !n.down[dead] || !cs.closed() {
 		return // re-clustered, already failed over, or recovered in time
+	}
+	if n.cfg.CHQuarantine {
+		// A head that went silent mid-term is a heartbeat anomaly: mostly
+		// benign crashes, occasionally a compromised head playing dead —
+		// either way the station dents its trust, recoverable through
+		// later good service.
+		n.station.JudgeHead(dead, false)
 	}
 	candidates := make([]int, 0, len(cs.members))
 	for _, id := range cs.members {

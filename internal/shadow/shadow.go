@@ -54,9 +54,10 @@ type Report struct {
 // cluster reduces to. The replicas run any registered decision scheme;
 // NewPanel builds the paper's configuration (three TIBFIT trust tables).
 type Panel struct {
-	replicas []decision.Scheme // index 0 is the primary's scheme
-	corrupt  Corruptor
-	station  StationPenalty
+	replicas      []decision.Scheme // index 0 is the primary's scheme
+	corrupt       Corruptor
+	shadowCorrupt [2]Corruptor // optional liars among the shadows
+	station       StationPenalty
 
 	rounds       int
 	disagreement int
@@ -128,6 +129,15 @@ func (p *Panel) Primary() decision.Scheme { return p.replicas[0] }
 // demotion penalizes the right identity.
 func (p *Panel) SetPrimaryNode(nodeID int) { p.primaryNode = nodeID }
 
+// SetShadowCorruptor installs a liar among the shadows: idx 0 or 1
+// selects the first or second SCH, whose *escalated* conclusion the
+// corruptor may tamper with. The 2-of-3 vote masks a single lying
+// shadow exactly as it masks a lying primary — but without a demotion,
+// since the primary's broadcast matches the majority.
+func (p *Panel) SetShadowCorruptor(idx int, c Corruptor) {
+	p.shadowCorrupt[idx] = c
+}
+
 // Decide runs one replicated binary decision. All three replicas evaluate
 // the identical overheard inputs; the primary's (possibly corrupted)
 // conclusion is broadcast; the shadows compare and escalate. The returned
@@ -143,14 +153,25 @@ func (p *Panel) Decide(reporters, silent []int) Report {
 		broadcast, corrupted = p.corrupt(p.rounds, honest)
 	}
 
-	// Shadows replicate the computation on identical inputs and state.
+	// Shadows replicate the computation on identical inputs and state —
+	// their honest conclusions equal the primary's honest one — but a
+	// compromised shadow may lie in its escalation.
 	shadow1 := p.replicas[1].Arbitrate(reporters, silent)
 	shadow2 := p.replicas[2].Arbitrate(reporters, silent)
+	if c := p.shadowCorrupt[0]; c != nil {
+		shadow1, _ = c(p.rounds, shadow1)
+	}
+	if c := p.shadowCorrupt[1]; c != nil {
+		shadow2, _ = c(p.rounds, shadow2)
+	}
 
 	rep := Report{Final: broadcast}
 	if shadow1.Occurred != broadcast.Occurred || shadow2.Occurred != broadcast.Occurred {
 		// SCHs send their own computations to the base station, which
-		// takes the majority of the three conclusions.
+		// takes the majority of the three conclusions. The final decision
+		// is based on the honest replicated computation (identical across
+		// honest replicas), with the occurrence bit set by the vote —
+		// never on a single escalation, which could itself be the lie.
 		rep.Disagreed = true
 		p.disagreement++
 		votes := 0
@@ -159,7 +180,7 @@ func (p *Panel) Decide(reporters, silent []int) Report {
 				votes++
 			}
 		}
-		rep.Final = shadow1 // shadows agree with each other by construction
+		rep.Final = honest
 		rep.Final.Occurred = votes >= 2
 		if rep.Final.Occurred != broadcast.Occurred || corrupted {
 			rep.Demoted = true

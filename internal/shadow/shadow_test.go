@@ -62,6 +62,57 @@ func TestCorruptPrimaryIsExposedAndOutvoted(t *testing.T) {
 	}
 }
 
+func TestLyingShadowIsOutvoted(t *testing.T) {
+	// Satellite pin of the 2-of-3 semantics when a *shadow*, not the
+	// primary, is the liar: the escalation fires (Disagreed), the
+	// majority of honest primary + honest shadow prevails, and the
+	// primary — whose broadcast matched the majority — is not demoted.
+	for idx := 0; idx < 2; idx++ {
+		demoted := []int{}
+		p, err := NewPanel(params(), 42, nil, func(id int) { demoted = append(demoted, id) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetShadowCorruptor(idx, FlipCorruptor(1, func(float64) bool { return true }))
+		rep := p.Decide([]int{1, 2, 3}, []int{4})
+		if !rep.Disagreed {
+			t.Fatalf("shadow %d: lying escalation not flagged", idx)
+		}
+		if rep.Demoted {
+			t.Fatalf("shadow %d: honest primary demoted", idx)
+		}
+		if !rep.Final.Occurred {
+			t.Fatalf("shadow %d: final decision followed the lying shadow: %+v", idx, rep)
+		}
+		if len(demoted) != 0 {
+			t.Fatalf("shadow %d: penalty hook fired for honest primary: %v", idx, demoted)
+		}
+	}
+}
+
+func TestLyingShadowDoesNotPoisonTrustState(t *testing.T) {
+	// The masked lying shadow must leave the settled trust state equal
+	// to an all-honest panel's: the final decision is based on the
+	// honest replicated computation, not the tampered escalation.
+	liar, _ := NewPanel(params(), 0, nil, nil)
+	liar.SetShadowCorruptor(1, FlipCorruptor(1, func(float64) bool { return true }))
+	honest, _ := NewPanel(params(), 0, nil, nil)
+	for i := 0; i < 20; i++ {
+		liar.Decide([]int{1, 2, 3}, []int{4})
+		honest.Decide([]int{1, 2, 3}, []int{4})
+	}
+	a := liar.Snapshot()
+	b := honest.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(a), len(b))
+	}
+	for id, rec := range b {
+		if a[id] != rec {
+			t.Fatalf("node %d state diverged: %+v vs %+v", id, a[id], rec)
+		}
+	}
+}
+
 func TestCorruptionDoesNotPoisonTrustState(t *testing.T) {
 	// The single-CH-failure masking property (§3.4): trust state after a
 	// masked corruption equals the state of an all-honest panel.

@@ -36,28 +36,34 @@ const (
 	KindClusterOrphaned
 	KindBlackout
 	KindReportRetry
+	KindCHByzantine
+	KindCHQuarantined
+	KindSnapshotRejected
 )
 
 var kindNames = map[Kind]string{
-	KindEventOccurred:   "event",
-	KindReportSent:      "report-sent",
-	KindReportDropped:   "report-dropped",
-	KindReportDelivered: "report-delivered",
-	KindDecision:        "decision",
-	KindTrustUpdate:     "trust-update",
-	KindNodeIsolated:    "node-isolated",
-	KindCHElected:       "ch-elected",
-	KindCHDemoted:       "ch-demoted",
-	KindShadowDisagree:  "shadow-disagree",
-	KindCompromise:      "compromise",
-	KindNodeCrashed:     "node-crashed",
-	KindNodeRecovered:   "node-recovered",
-	KindNodeDepleted:    "node-depleted",
-	KindCHCrashed:       "ch-crashed",
-	KindCHFailover:      "ch-failover",
-	KindClusterOrphaned: "cluster-orphaned",
-	KindBlackout:        "blackout",
-	KindReportRetry:     "report-retry",
+	KindEventOccurred:    "event",
+	KindReportSent:       "report-sent",
+	KindReportDropped:    "report-dropped",
+	KindReportDelivered:  "report-delivered",
+	KindDecision:         "decision",
+	KindTrustUpdate:      "trust-update",
+	KindNodeIsolated:     "node-isolated",
+	KindCHElected:        "ch-elected",
+	KindCHDemoted:        "ch-demoted",
+	KindShadowDisagree:   "shadow-disagree",
+	KindCompromise:       "compromise",
+	KindNodeCrashed:      "node-crashed",
+	KindNodeRecovered:    "node-recovered",
+	KindNodeDepleted:     "node-depleted",
+	KindCHCrashed:        "ch-crashed",
+	KindCHFailover:       "ch-failover",
+	KindClusterOrphaned:  "cluster-orphaned",
+	KindBlackout:         "blackout",
+	KindReportRetry:      "report-retry",
+	KindCHByzantine:      "ch-byzantine",
+	KindCHQuarantined:    "ch-quarantined",
+	KindSnapshotRejected: "snapshot-rejected",
 }
 
 // String returns the stable lowercase name of the kind.

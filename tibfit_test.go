@@ -63,7 +63,7 @@ func TestAnalysisFacade(t *testing.T) {
 
 func TestFigureGenerationFacade(t *testing.T) {
 	ids := tibfit.FigureIDs()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("FigureIDs = %v", ids)
 	}
 	fig, err := tibfit.GenerateFigure("figure10", tibfit.FigureOptions{})
