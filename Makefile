@@ -102,6 +102,8 @@ fuzz:
 	$(GO) test -fuzz FuzzBinomialPMF -fuzztime 5s ./internal/analysis/
 	$(GO) test -fuzz FuzzLoadStation -fuzztime 5s ./internal/leach/
 	$(GO) test -fuzz FuzzOpenSnapshot -fuzztime 5s ./internal/core/
+	$(GO) test -fuzz FuzzGridRange -fuzztime 5s ./internal/geo/
+	$(GO) test -fuzz FuzzGridNearest -fuzztime 5s ./internal/geo/
 
 clean:
 	rm -rf figures

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -51,9 +52,14 @@ type Result struct {
 }
 
 // CampaignPoint is one worker count of the campaign speedup sweep,
-// with speedup relative to the 1-worker run of the same sweep.
+// with speedup relative to the 1-worker run of the same sweep. Procs
+// records runtime.GOMAXPROCS at the moment the point ran: a sweep
+// claiming an N-worker speedup is only meaningful when the scheduler had
+// N procs to run them on, and the report-level gomaxprocs field cannot
+// say what each point saw.
 type CampaignPoint struct {
 	Workers int     `json:"workers"`
+	Procs   int     `json:"procs"`
 	Ns      int64   `json:"ns"`
 	Speedup float64 `json:"speedup"`
 }
@@ -158,7 +164,7 @@ func run(args []string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
-	for _, bm := range suite(scheme, sf) {
+	for _, bm := range suite(scheme, sf, *quick) {
 		if filter != nil && !filter.MatchString(bm.name) {
 			continue
 		}
@@ -280,7 +286,14 @@ type benchmark struct {
 // The campaign benchmarks run under the -scheme/-lambda/-fr selection;
 // the per-scheme decision/<name>-window entries always cover every
 // registered scheme so the registry's arbitration costs stay comparable.
-func suite(scheme string, sf cli.SchemeFlags) []benchmark {
+//
+// The field/ rows are the million-node-scale matrix: nearest-head
+// resolution through the spatial grid vs the brute field scan at 10k and
+// 100k nodes, and full field campaigns (uniform population, LEACH
+// clusters, location pipeline) at 100k — plus 1M nodes/10k clusters in
+// full mode only, the one entry whose workload -quick skips rather than
+// shortens.
+func suite(scheme string, sf cli.SchemeFlags, quick bool) []benchmark {
 	const figEvents = 100
 	figOpts := experiment.FigureOptions{Runs: 1, Events: figEvents, Seed: 1, Parallel: 1}
 
@@ -328,6 +341,29 @@ func suite(scheme string, sf cli.SchemeFlags) []benchmark {
 					b.Fatal(err)
 				}
 			}
+		}})
+	}
+	fieldSizes := []int{10_000, 100_000}
+	if !quick {
+		fieldSizes = append(fieldSizes, 1_000_000)
+	}
+	for _, n := range fieldSizes {
+		n := n
+		bms = append(bms,
+			benchmark{fmt.Sprintf("field/nearest/%dk-grid", n/1000), func(b *testing.B) {
+				benchFieldNearest(b, n, true)
+			}},
+			benchmark{fmt.Sprintf("field/nearest/%dk-brute", n/1000), func(b *testing.B) {
+				benchFieldNearest(b, n, false)
+			}},
+		)
+	}
+	bms = append(bms, benchmark{"field/campaign/100k", func(b *testing.B) {
+		benchFieldCampaign(b, 100_000, 1_000, 5)
+	}})
+	if !quick {
+		bms = append(bms, benchmark{"field/campaign/1M-10k", func(b *testing.B) {
+			benchFieldCampaign(b, 1_000_000, 10_000, 3)
 		}})
 	}
 	bms = append(bms,
@@ -387,7 +423,7 @@ func measureCampaign(quick bool) (Campaign, error) {
 			return Campaign{}, err
 		}
 		ns := time.Since(t0).Nanoseconds()
-		p := CampaignPoint{Workers: w, Ns: ns}
+		p := CampaignPoint{Workers: w, Procs: runtime.GOMAXPROCS(0), Ns: ns}
 		if w == 1 {
 			c.SequentialNs = ns
 		}
@@ -570,11 +606,74 @@ func benchClusterKMeans(b *testing.B) {
 		cluster.Report{Node: 13, Loc: geo.Point{X: 10, Y: 90}},
 		cluster.Report{Node: 14, Loc: geo.Point{X: 30, Y: 70}},
 	)
+	cl := cluster.NewClusterer()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := cluster.Cluster(reports, 5); len(got) == 0 {
+		if got := cl.Cluster(reports, 5); len(got) == 0 {
 			b.Fatal("no clusters")
+		}
+	}
+}
+
+// benchFieldNearest resolves nearest-node queries over an n-point uniform
+// field, through the spatial grid or the brute linear scan the grid
+// replaced. The two produce identical answers (pinned by the geo
+// differential fuzzers); the ratio of these rows is the grid's speedup at
+// field scale.
+func benchFieldNearest(b *testing.B, n int, grid bool) {
+	src := rng.New(7)
+	side := 10 * math.Sqrt(float64(n))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: src.Uniform(0, side), Y: src.Uniform(0, side)}
+	}
+	queries := make([]geo.Point, 256)
+	for i := range queries {
+		queries[i] = geo.Point{X: src.Uniform(0, side), Y: src.Uniform(0, side)}
+	}
+	var g *geo.Grid
+	if grid {
+		g = geo.NewGrid()
+		g.Rebuild(pts, geo.AutoCell(pts))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if grid {
+			idx, _ := g.Nearest(q)
+			sink += idx
+			continue
+		}
+		best, bestD2 := 0, pts[0].Dist2(q)
+		for j := 1; j < len(pts); j++ {
+			if d2 := pts[j].Dist2(q); d2 < bestD2 {
+				best, bestD2 = j, d2
+			}
+		}
+		sink += best
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// benchFieldCampaign runs one full field-scale campaign per op: uniform
+// population, LEACH election into the cluster target, location-mode
+// events through the whole report/aggregate/decide pipeline.
+func benchFieldCampaign(b *testing.B, nodes, clusters, events int) {
+	cfg := experiment.FieldConfig{Nodes: nodes, Clusters: clusters, Events: events, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunField(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Declarations == 0 {
+			b.Fatal("campaign declared nothing")
 		}
 	}
 }

@@ -89,7 +89,14 @@ type Binary struct {
 	cfg      BinaryConfig
 	onDecide func(BinaryOutcome)
 
-	reporters map[int]bool
+	// Report bookkeeping is positional: memberPos maps a member ID to its
+	// index in cfg.Members, marks[i] records whether member i reported in
+	// the open window, and marked lists the set positions so the window
+	// reset touches O(reported) cells instead of clearing a map. Window
+	// close is then a single ordered pass over cfg.Members with no hashing.
+	memberPos map[int]int
+	marks     []bool
+	marked    []int
 
 	// scrR and scrNR are the per-window R/NR scratch slices, reused
 	// across windows: every consumer of the two sides (Arbitrate and
@@ -116,6 +123,10 @@ func NewBinary(cfg BinaryConfig, scheme decision.Scheme, kernel *sim.Kernel,
 	members := make([]int, len(cfg.Members))
 	copy(members, cfg.Members)
 	cfg.Members = members
+	memberPos := make(map[int]int, len(members))
+	for i, id := range members {
+		memberPos[id] = i
+	}
 	return &Binary{
 		pipeline: pipeline{
 			scheme:   scheme,
@@ -125,7 +136,9 @@ func NewBinary(cfg BinaryConfig, scheme decision.Scheme, kernel *sim.Kernel,
 		},
 		cfg:       cfg,
 		onDecide:  onDecide,
-		reporters: make(map[int]bool, len(cfg.Members)),
+		memberPos: memberPos,
+		marks:     make([]bool, len(members)),
+		marked:    make([]int, 0, len(members)),
 		scrR:      make([]int, 0, len(cfg.Members)),
 		scrNR:     make([]int, 0, len(cfg.Members)),
 	}, nil
@@ -144,7 +157,10 @@ func (b *Binary) Deliver(nodeID int) {
 		return // the sink no longer listens to isolated nodes
 	}
 	b.openWindow(b.cfg.Tout, b.closeWindow)
-	b.reporters[nodeID] = true
+	if pos, ok := b.memberPos[nodeID]; ok && !b.marks[pos] {
+		b.marks[pos] = true
+		b.marked = append(b.marked, pos)
+	}
 	if b.tr.Verbose() {
 		b.tr.Emit(float64(b.kernel.Now()), trace.KindReportDelivered, nodeID, "binary report")
 	} else {
@@ -159,9 +175,9 @@ func (b *Binary) closeWindow() {
 	}
 	reporters := b.scrR[:0]
 	silent := b.scrNR[:0]
-	for _, id := range b.cfg.Members {
+	for i, id := range b.cfg.Members {
 		switch {
-		case b.reporters[id]:
+		case b.marks[i]:
 			reporters = append(reporters, id)
 		case b.cfg.Alive != nil && !b.cfg.Alive(id):
 			// Crashed or depleted: silence carries no information, so the
@@ -191,7 +207,10 @@ func (b *Binary) closeWindow() {
 		b.tr.Hit(trace.KindDecision)
 	}
 	b.windowOpen = false
-	clear(b.reporters)
+	for _, pos := range b.marked {
+		b.marks[pos] = false
+	}
+	b.marked = b.marked[:0]
 	b.scrR, b.scrNR = reporters, silent
 	if b.onDecide != nil {
 		b.onDecide(out)

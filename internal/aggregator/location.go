@@ -35,6 +35,12 @@ type LocationConfig struct {
 	// dragging the declared location. The vote itself is unchanged.
 	TrustWeightedCentroid bool
 
+	// Clusterer, when non-nil, is a shared clustering engine whose scratch
+	// buffers are reused across aggregation rounds (and across aggregators,
+	// when several cluster heads run on one single-threaded kernel). Nil
+	// gives the aggregator a private one.
+	Clusterer *cluster.Clusterer
+
 	// CoincidenceGuard, when positive, is the §7 "more robust against
 	// level 2" extension: reports whose locations are mutually within
 	// this distance are implausibly coincident — honest location noise
@@ -106,9 +112,10 @@ func (o LocationOutcome) Declared() []geo.Point {
 // Location is the §3.2/§3.3 location-determination aggregator.
 type Location struct {
 	pipeline
-	cfg      LocationConfig
-	pos      Positions
-	onDecide func(LocationOutcome)
+	cfg       LocationConfig
+	pos       Positions
+	onDecide  func(LocationOutcome)
+	clusterer *cluster.Clusterer
 
 	// Single-window mode state (the window lifecycle itself lives in the
 	// shared pipeline).
@@ -184,9 +191,13 @@ func NewLocation(cfg LocationConfig, scheme decision.Scheme, kernel *sim.Kernel,
 			feedback: feedback,
 			tr:       tr,
 		},
-		cfg:      cfg,
-		pos:      pos,
-		onDecide: onDecide,
+		cfg:       cfg,
+		pos:       pos,
+		onDecide:  onDecide,
+		clusterer: cfg.Clusterer,
+	}
+	if l.clusterer == nil {
+		l.clusterer = cluster.NewClusterer()
 	}
 	if cfg.Concurrent {
 		l.circles = cluster.NewCircleSet(cfg.RError, cfg.Tout)
@@ -274,7 +285,7 @@ func (l *Location) decideGroup(reports []cluster.Report, trigger sim.Time) {
 	}
 	l.scr.seen = resetBoolSet(l.scr.seen, len(reports))
 	reports = dedupeByNode(reports, l.scr.seen)
-	clusters := cluster.Cluster(reports, l.cfg.RError)
+	clusters := l.clusterer.Cluster(reports, l.cfg.RError)
 
 	// Strongest candidates first: order by cumulative trust of members.
 	// The keys are computed once per cluster (weights do not change while

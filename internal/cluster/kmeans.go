@@ -51,6 +51,68 @@ func (c EventCluster) String() string {
 // pathological oscillation on adversarial inputs.
 const maxRounds = 64
 
+// gridMinPoints is the input size at which the heuristic's inner scans
+// switch from the exact brute loops to the spatial grid. The grid paths
+// are byte-identical to the brute ones by construction (same float
+// predicates, same tie-breaks — pinned by the geo differential fuzzers),
+// but keeping paper-scale inputs on the historical code path makes the
+// golden-figure guarantee unconditional and skips the grid's constant
+// overhead where n is tiny.
+const gridMinPoints = 48
+
+// hullMinPoints is the input size at which farthest-pair seeding switches
+// from the O(n²) scan to a convex-hull pass. Unlike the grid paths this
+// is not bit-for-bit against brute in adversarial ulp-tie cases, so the
+// threshold sits far above every golden-pinned workload.
+const hullMinPoints = 4096
+
+// Cluster groups event reports into disjoint event clusters of radius
+// rError following §3.2. It is the convenience wrapper over a throwaway
+// Clusterer; callers that cluster repeatedly (the location aggregation
+// pipeline, every Recluster round) should hold a Clusterer and reuse its
+// scratch.
+//
+// A nil or empty input yields no clusters. rError must be positive.
+func Cluster(reports []Report, rError float64) []EventCluster {
+	var c Clusterer
+	return c.Cluster(reports, rError)
+}
+
+// Clusterer runs the §3.2 heuristic with persistent scratch: the sorted
+// report copy, per-center member lists, the convergence fingerprint, the
+// center buffers, and the spatial grid survive across calls, so a
+// steady-state Cluster call allocates only the escaping result. A
+// Clusterer is not safe for concurrent use; give each goroutine its own.
+type Clusterer struct {
+	sorted  []Report
+	scratch [][]Report
+	sig     sigScratch
+
+	// seedPts and mergePts alternate as center storage: seedPts carries
+	// the seeded centers into the refinement loop, mergePts the merged
+	// centers between rounds. They must be distinct: assign still reads
+	// one while mergeCenters writes the other.
+	seedPts  []geo.Point
+	mergePts []geo.Point
+	wcs      []wc
+
+	grid     *geo.Grid
+	gridPts  []geo.Point
+	rangeIDs []int
+}
+
+// NewClusterer returns a Clusterer with empty scratch.
+func NewClusterer() *Clusterer { return &Clusterer{} }
+
+// lazyGrid returns the reusable spatial index, allocating it on the first
+// call that reaches grid scale.
+func (c *Clusterer) lazyGrid() *geo.Grid {
+	if c.grid == nil {
+		c.grid = geo.NewGrid()
+	}
+	return c.grid
+}
+
 // Cluster groups event reports into disjoint event clusters of radius
 // rError following §3.2:
 //
@@ -68,9 +130,7 @@ const maxRounds = 64
 // localization error exceeds rError land in separate (typically tiny)
 // clusters, which the subsequent CTI vote throws out — this is the
 // mechanism by which TIBFIT discards badly localized reports.
-//
-// A nil or empty input yields no clusters. rError must be positive.
-func Cluster(reports []Report, rError float64) []EventCluster {
+func (c *Clusterer) Cluster(reports []Report, rError float64) []EventCluster {
 	if len(reports) == 0 {
 		return nil
 	}
@@ -79,28 +139,29 @@ func Cluster(reports []Report, rError float64) []EventCluster {
 	}
 	// Canonicalize processing order so the heuristic's tie-breaks (and
 	// therefore its output) do not depend on report arrival order.
-	sorted := make([]Report, len(reports))
-	copy(sorted, reports)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
-	reports = sorted
-	centers := seedCenters(reports, rError)
+	c.sorted = append(c.sorted[:0], reports...)
+	sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i].Node < c.sorted[j].Node })
+	reports = c.sorted
+	centers := c.seedCenters(reports, rError)
 	var clusters []EventCluster
-	var sig sigScratch
+	c.sig.reset()
 	// Member-list scratch for the refinement rounds: centers never grow
 	// after seeding, so one buffer sized to the seed count serves every
 	// round. The final assignment below allocates fresh lists, because
 	// those escape to the caller.
-	scratch := make([][]Report, len(centers))
+	if cap(c.scratch) < len(centers) {
+		c.scratch = make([][]Report, len(centers))
+	}
 	for round := 0; round < maxRounds; round++ {
-		clusters = assign(reports, centers, scratch)
-		centers = mergeCenters(clusters, rError)
-		if sig.converged(clusters) && len(centers) == len(clusters) {
+		clusters = c.assign(reports, centers, c.scratch)
+		centers = c.mergeCenters(clusters, rError)
+		if c.sig.converged(clusters) && len(centers) == len(clusters) {
 			break
 		}
 	}
 	// Final assignment against the merged centers so that the returned
 	// clusters are consistent with the centers' separation invariant.
-	clusters = assign(reports, centers, nil)
+	clusters = c.assign(reports, centers, nil)
 	for i := range clusters {
 		clusters[i].Center = reportCentroid(clusters[i].Reports)
 	}
@@ -109,29 +170,68 @@ func Cluster(reports []Report, rError float64) []EventCluster {
 }
 
 // seedCenters performs steps 1-2: farthest-pair seeding plus promotion of
-// every report that cannot be covered by an existing center.
-func seedCenters(reports []Report, rError float64) []geo.Point {
+// every report that cannot be covered by an existing center. At grid
+// scale the "is any center within rError" membership test runs against
+// the index over already-promoted centers plus a linear tail of pending
+// ones, re-indexing geometrically; the promote/skip decision per report
+// is the exact brute predicate either way.
+func (c *Clusterer) seedCenters(reports []Report, rError float64) []geo.Point {
 	if len(reports) == 1 {
-		return []geo.Point{reports[0].Loc}
+		c.seedPts = append(c.seedPts[:0], reports[0].Loc)
+		return c.seedPts
 	}
 	ai, bi, maxD2 := farthestPair(reports)
-	if maxD2 <= rError*rError {
+	r2 := rError * rError
+	if maxD2 <= r2 {
 		// All reports are mutually within rError: a single cluster.
-		return []geo.Point{reportCentroid(reports)}
+		c.seedPts = append(c.seedPts[:0], reportCentroid(reports))
+		return c.seedPts
 	}
-	centers := []geo.Point{reports[ai].Loc, reports[bi].Loc}
+	centers := append(c.seedPts[:0], reports[ai].Loc, reports[bi].Loc)
+	if len(reports) < gridMinPoints {
+		for _, r := range reports {
+			if minDist2(r.Loc, centers) > r2 {
+				centers = append(centers, r.Loc)
+			}
+		}
+		c.seedPts = centers
+		return centers
+	}
+	g := c.lazyGrid()
+	built := len(centers)
+	g.Rebuild(centers[:built], rError)
 	for _, r := range reports {
-		if minDist2(r.Loc, centers) > rError*rError {
-			centers = append(centers, r.Loc)
+		covered := g.AnyWithin2(r.Loc, rError)
+		if !covered {
+			for _, p := range centers[built:] {
+				if r.Loc.Dist2(p) <= r2 {
+					covered = true
+					break
+				}
+			}
+		}
+		if covered {
+			continue
+		}
+		centers = append(centers, r.Loc)
+		if len(centers)-built >= 32+built/4 {
+			built = len(centers)
+			g.Rebuild(centers[:built], rError)
 		}
 	}
+	c.seedPts = centers
 	return centers
 }
 
 // farthestPair returns the indices of the two reports with the greatest
-// pairwise distance and that squared distance. O(n²), as in the paper's
-// step 1 which sorts all pairwise distances.
+// pairwise distance and that squared distance — the lexicographically
+// first such pair, as the paper's step 1 sort would list it. Small inputs
+// scan all O(n²) pairs; past hullMinPoints the diameter is taken over the
+// convex hull (the true farthest pair is always hull-to-hull).
 func farthestPair(reports []Report) (ai, bi int, maxD2 float64) {
+	if len(reports) >= hullMinPoints {
+		return farthestPairHull(reports)
+	}
 	for i := range reports {
 		for j := i + 1; j < len(reports); j++ {
 			if d2 := reports[i].Loc.Dist2(reports[j].Loc); d2 > maxD2 {
@@ -142,13 +242,79 @@ func farthestPair(reports []Report) (ai, bi int, maxD2 float64) {
 	return ai, bi, maxD2
 }
 
+// farthestPairHull computes the diameter pair via a monotone-chain convex
+// hull: O(n log n) for the sort, O(h²) over the hull vertices — h is tiny
+// for the uniform fields where n reaches this scale. Ties on the squared
+// distance resolve to the lexicographically smallest index pair.
+func farthestPairHull(reports []Report) (ai, bi int, maxD2 float64) {
+	idx := make([]int, len(reports))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := reports[idx[a]].Loc, reports[idx[b]].Loc
+		//lint:allow floateq total-order sort comparator; exact comparison is the point
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		//lint:allow floateq total-order sort comparator; exact comparison is the point
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return idx[a] < idx[b]
+	})
+	cross := func(o, a, b geo.Point) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	var hull []int
+	// Lower then upper chain; non-left turns (including collinear points)
+	// pop, so only extreme vertices survive.
+	for _, i := range idx {
+		for len(hull) >= 2 &&
+			cross(reports[hull[len(hull)-2]].Loc, reports[hull[len(hull)-1]].Loc, reports[i].Loc) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, i)
+	}
+	lower := len(hull) + 1
+	for k := len(idx) - 2; k >= 0; k-- {
+		i := idx[k]
+		for len(hull) >= lower &&
+			cross(reports[hull[len(hull)-2]].Loc, reports[hull[len(hull)-1]].Loc, reports[i].Loc) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, i)
+	}
+	hull = hull[:len(hull)-1] // last point repeats the first
+	ai, bi, maxD2 = 0, 0, -1
+	for x := 0; x < len(hull); x++ {
+		for y := x + 1; y < len(hull); y++ {
+			i, j := hull[x], hull[y]
+			if i > j {
+				i, j = j, i
+			}
+			d2 := reports[i].Loc.Dist2(reports[j].Loc)
+			//lint:allow floateq deterministic tie-break toward the lexicographically smallest pair
+			if d2 > maxD2 || (d2 == maxD2 && (i < ai || (i == ai && j < bi))) {
+				ai, bi, maxD2 = i, j, d2
+			}
+		}
+	}
+	if maxD2 < 0 {
+		return 0, 0, 0
+	}
+	return ai, bi, maxD2
+}
+
 // assign groups every report with its nearest center (step 4) and sets
 // each cluster's center to the member centroid. Because reports arrive in
 // ascending Node order, each member list is node-sorted by construction.
 // scratch, when large enough, provides reusable member-list storage for
 // rounds whose clusters do not outlive the refinement loop; pass nil when
-// the result escapes.
-func assign(reports []Report, centers []geo.Point, scratch [][]Report) []EventCluster {
+// the result escapes. At grid scale the per-report argmin runs as a
+// nearest query whose (distance², index) comparator is the brute loop's
+// first-strict-min rule exactly.
+func (c *Clusterer) assign(reports []Report, centers []geo.Point, scratch [][]Report) []EventCluster {
 	var members [][]Report
 	if cap(scratch) >= len(centers) {
 		members = scratch[:len(centers)]
@@ -158,14 +324,23 @@ func assign(reports []Report, centers []geo.Point, scratch [][]Report) []EventCl
 	} else {
 		members = make([][]Report, len(centers))
 	}
-	for _, r := range reports {
-		best, bestD2 := 0, r.Loc.Dist2(centers[0])
-		for ci := 1; ci < len(centers); ci++ {
-			if d2 := r.Loc.Dist2(centers[ci]); d2 < bestD2 {
-				best, bestD2 = ci, d2
-			}
+	if len(centers) >= gridMinPoints {
+		g := c.lazyGrid()
+		g.Rebuild(centers, geo.AutoCell(centers))
+		for _, r := range reports {
+			best, _ := g.Nearest(r.Loc)
+			members[best] = append(members[best], r)
 		}
-		members[best] = append(members[best], r)
+	} else {
+		for _, r := range reports {
+			best, bestD2 := 0, r.Loc.Dist2(centers[0])
+			for ci := 1; ci < len(centers); ci++ {
+				if d2 := r.Loc.Dist2(centers[ci]); d2 < bestD2 {
+					best, bestD2 = ci, d2
+				}
+			}
+			members[best] = append(members[best], r)
+		}
 	}
 	clusters := make([]EventCluster, 0, len(centers))
 	for _, m := range members {
@@ -177,45 +352,94 @@ func assign(reports []Report, centers []geo.Point, scratch [][]Report) []EventCl
 	return clusters
 }
 
+// wc is a weighted center during step-5 merging.
+type wc struct {
+	p geo.Point
+	w float64
+}
+
 // mergeCenters implements step 5: while any two centers lie within rError,
-// replace them with their weighted average (weights = member counts).
-func mergeCenters(clusters []EventCluster, rError float64) []geo.Point {
-	type wc struct {
-		p geo.Point
-		w float64
+// replace them with their weighted average (weights = member counts). The
+// historical loop restarts its lexicographic pair scan from the top after
+// every merge; the grid path finds the same first qualifying pair via a
+// range query per center, re-indexing after each merge.
+func (c *Clusterer) mergeCenters(clusters []EventCluster, rError float64) []geo.Point {
+	cs := c.wcs[:0]
+	for _, cl := range clusters {
+		cs = append(cs, wc{p: cl.Center, w: float64(len(cl.Reports))})
 	}
-	cs := make([]wc, len(clusters))
-	for i, c := range clusters {
-		cs[i] = wc{p: c.Center, w: float64(len(c.Reports))}
-	}
-	merged := true
-	for merged {
-		merged = false
-	outer:
-		for i := 0; i < len(cs); i++ {
-			for j := i + 1; j < len(cs); j++ {
-				if cs[i].p.Dist(cs[j].p) <= rError {
-					w := cs[i].w + cs[j].w
-					avg, ok := geo.WeightedCentroid(
-						[]geo.Point{cs[i].p, cs[j].p},
-						[]float64{cs[i].w, cs[j].w})
-					if !ok {
-						avg = cs[i].p
-						w = 1
+	if len(cs) >= gridMinPoints {
+		cs = c.mergeCentersGrid(cs, rError)
+	} else {
+		merged := true
+		for merged {
+			merged = false
+		outer:
+			for i := 0; i < len(cs); i++ {
+				for j := i + 1; j < len(cs); j++ {
+					if cs[i].p.Dist(cs[j].p) <= rError {
+						cs = mergePair(cs, i, j)
+						merged = true
+						break outer
 					}
-					cs[i] = wc{p: avg, w: w}
-					cs = append(cs[:j], cs[j+1:]...)
-					merged = true
-					break outer
 				}
 			}
 		}
 	}
-	out := make([]geo.Point, len(cs))
-	for i, c := range cs {
-		out[i] = c.p
+	c.wcs = cs
+	out := c.mergePts[:0]
+	for _, w := range cs {
+		out = append(out, w.p)
 	}
+	c.mergePts = out
 	return out
+}
+
+// mergeCentersGrid is the grid-indexed pair search: for each center in
+// ascending index order, the range query returns in-range partners in
+// ascending index order, so the first partner with the larger index is
+// the same pair the brute lexicographic scan finds. The query radius and
+// the math.Hypot predicate match the brute comparison bit for bit.
+func (c *Clusterer) mergeCentersGrid(cs []wc, rError float64) []wc {
+	g := c.lazyGrid()
+	for {
+		pts := c.gridPts[:0]
+		for _, w := range cs {
+			pts = append(pts, w.p)
+		}
+		c.gridPts = pts
+		g.Rebuild(pts, rError)
+		merged := false
+	scan:
+		for i := 0; i < len(cs); i++ {
+			c.rangeIDs = g.Range(pts[i], rError, c.rangeIDs)
+			for _, j := range c.rangeIDs {
+				if j <= i {
+					continue
+				}
+				cs = mergePair(cs, i, j)
+				merged = true
+				break scan
+			}
+		}
+		if !merged {
+			return cs
+		}
+	}
+}
+
+// mergePair folds center j into center i (weighted average) and removes j.
+func mergePair(cs []wc, i, j int) []wc {
+	w := cs[i].w + cs[j].w
+	avg, ok := geo.WeightedCentroid(
+		[]geo.Point{cs[i].p, cs[j].p},
+		[]float64{cs[i].w, cs[j].w})
+	if !ok {
+		avg = cs[i].p
+		w = 1
+	}
+	cs[i] = wc{p: avg, w: w}
+	return append(cs[:j], cs[j+1:]...)
 }
 
 // sigScratch detects convergence of the refinement loop by comparing
@@ -230,6 +454,10 @@ type sigScratch struct {
 	cur, prev []int
 	seeded    bool
 }
+
+// reset forgets the previous run's partition so a reused Clusterer cannot
+// see a stale fingerprint as first-round convergence.
+func (s *sigScratch) reset() { s.seeded = false }
 
 // converged folds in the current round's clusters and reports whether the
 // constituency is unchanged from the previous round.

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+// bruteCluster is the pre-grid reference implementation of the §3.2
+// heuristic — the exact historical code path, kept here so the
+// grid-routed Clusterer can be pinned byte-identical to it at scales
+// above gridMinPoints (below it, Clusterer runs these loops itself).
+func bruteCluster(reports []Report, rError float64) []EventCluster {
+	if len(reports) == 0 {
+		return nil
+	}
+	sorted := make([]Report, len(reports))
+	copy(sorted, reports)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	reports = sorted
+	centers := bruteSeed(reports, rError)
+	var clusters []EventCluster
+	var sig sigScratch
+	scratch := make([][]Report, len(centers))
+	for round := 0; round < maxRounds; round++ {
+		clusters = bruteAssign(reports, centers, scratch)
+		centers = bruteMerge(clusters, rError)
+		if sig.converged(clusters) && len(centers) == len(clusters) {
+			break
+		}
+	}
+	clusters = bruteAssign(reports, centers, nil)
+	for i := range clusters {
+		clusters[i].Center = reportCentroid(clusters[i].Reports)
+	}
+	sortClusters(clusters)
+	return clusters
+}
+
+func bruteSeed(reports []Report, rError float64) []geo.Point {
+	if len(reports) == 1 {
+		return []geo.Point{reports[0].Loc}
+	}
+	ai, bi, maxD2 := bruteFarthest(reports)
+	if maxD2 <= rError*rError {
+		return []geo.Point{reportCentroid(reports)}
+	}
+	centers := []geo.Point{reports[ai].Loc, reports[bi].Loc}
+	for _, r := range reports {
+		if minDist2(r.Loc, centers) > rError*rError {
+			centers = append(centers, r.Loc)
+		}
+	}
+	return centers
+}
+
+func bruteFarthest(reports []Report) (ai, bi int, maxD2 float64) {
+	for i := range reports {
+		for j := i + 1; j < len(reports); j++ {
+			if d2 := reports[i].Loc.Dist2(reports[j].Loc); d2 > maxD2 {
+				ai, bi, maxD2 = i, j, d2
+			}
+		}
+	}
+	return ai, bi, maxD2
+}
+
+func bruteAssign(reports []Report, centers []geo.Point, scratch [][]Report) []EventCluster {
+	var members [][]Report
+	if cap(scratch) >= len(centers) {
+		members = scratch[:len(centers)]
+		for i := range members {
+			members[i] = members[i][:0]
+		}
+	} else {
+		members = make([][]Report, len(centers))
+	}
+	for _, r := range reports {
+		best, bestD2 := 0, r.Loc.Dist2(centers[0])
+		for ci := 1; ci < len(centers); ci++ {
+			if d2 := r.Loc.Dist2(centers[ci]); d2 < bestD2 {
+				best, bestD2 = ci, d2
+			}
+		}
+		members[best] = append(members[best], r)
+	}
+	clusters := make([]EventCluster, 0, len(centers))
+	for _, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		clusters = append(clusters, EventCluster{Center: reportCentroid(m), Reports: m})
+	}
+	return clusters
+}
+
+func bruteMerge(clusters []EventCluster, rError float64) []geo.Point {
+	cs := make([]wc, len(clusters))
+	for i, c := range clusters {
+		cs[i] = wc{p: c.Center, w: float64(len(c.Reports))}
+	}
+	merged := true
+	for merged {
+		merged = false
+	outer:
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				if cs[i].p.Dist(cs[j].p) <= rError {
+					cs = mergePair(cs, i, j)
+					merged = true
+					break outer
+				}
+			}
+		}
+	}
+	out := make([]geo.Point, len(cs))
+	for i, c := range cs {
+		out[i] = c.p
+	}
+	return out
+}
+
+// blobField scatters count reports around nblobs event sites plus a
+// sprinkle of uniform stragglers — dense enough that seeding promotes
+// many centers and merging actually fires at grid scale.
+func blobField(src *rng.Source, count, nblobs int, area, spread float64) []Report {
+	sites := make([]geo.Point, nblobs)
+	for i := range sites {
+		sites[i] = geo.Point{X: src.Uniform(0, area), Y: src.Uniform(0, area)}
+	}
+	out := make([]Report, count)
+	for i := range out {
+		var p geo.Point
+		if src.Bernoulli(0.9) {
+			s := sites[src.Intn(nblobs)]
+			p = geo.Point{X: s.X + src.Gaussian(0, spread), Y: s.Y + src.Gaussian(0, spread)}
+		} else {
+			p = geo.Point{X: src.Uniform(0, area), Y: src.Uniform(0, area)}
+		}
+		out[i] = Report{Node: i, Loc: p}
+	}
+	return out
+}
+
+// TestClustererMatchesBruteAtScale pins the grid-routed paths (seeding
+// promotion, nearest-center assignment, pair merging) byte-identical to
+// the historical brute implementation above gridMinPoints.
+func TestClustererMatchesBruteAtScale(t *testing.T) {
+	src := rng.New(99)
+	cl := NewClusterer()
+	for _, tc := range []struct {
+		count, nblobs int
+		area, spread  float64
+		rError        float64
+	}{
+		{count: 60, nblobs: 4, area: 200, spread: 2, rError: 5},
+		{count: 300, nblobs: 12, area: 400, spread: 3, rError: 8},
+		{count: 1000, nblobs: 40, area: 1000, spread: 2, rError: 6},
+		{count: 500, nblobs: 3, area: 50, spread: 4, rError: 5}, // heavy merging
+	} {
+		reports := blobField(src.Split("case"), tc.count, tc.nblobs, tc.area, tc.spread)
+		got := cl.Cluster(reports, tc.rError)
+		want := bruteCluster(reports, tc.rError)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("count=%d nblobs=%d: grid-routed clusters diverge from brute (%d vs %d clusters)",
+				tc.count, tc.nblobs, len(got), len(want))
+		}
+	}
+}
+
+// TestClustererReuseMatchesFresh pins the scratch-reuse behaviour: a
+// Clusterer that has already processed other inputs must produce exactly
+// what a fresh one does.
+func TestClustererReuseMatchesFresh(t *testing.T) {
+	src := rng.New(5)
+	a := blobField(src.Split("a"), 200, 8, 300, 2)
+	b := blobField(src.Split("b"), 30, 2, 60, 3)
+	reused := NewClusterer()
+	reused.Cluster(a, 7)
+	got := reused.Cluster(b, 4)
+	want := Cluster(b, 4)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("reused Clusterer diverges from a fresh one")
+	}
+	gotA := reused.Cluster(a, 7)
+	if !reflect.DeepEqual(gotA, Cluster(a, 7)) {
+		t.Fatal("reused Clusterer diverges on second pass over the same input")
+	}
+}
+
+// TestFarthestPairHullMatchesBrute checks the hull diameter path against
+// the O(n²) scan just below its activation threshold would be too slow;
+// instead both are run on a shared mid-size field.
+func TestFarthestPairHullMatchesBrute(t *testing.T) {
+	src := rng.New(21)
+	for _, n := range []int{5, 64, 500} {
+		reports := blobField(src.Split("f"), n, 6, 500, 4)
+		hai, hbi, hd2 := farthestPairHull(reports)
+		bai, bbi, bd2 := bruteFarthest(reports)
+		if hd2 != bd2 {
+			t.Fatalf("n=%d: hull d2 %v != brute %v", n, hd2, bd2)
+		}
+		if hai != bai || hbi != bbi {
+			// Equal-distance pairs may differ only if the distances tie.
+			if reports[hai].Loc.Dist2(reports[hbi].Loc) != bd2 {
+				t.Fatalf("n=%d: hull pair (%d,%d) != brute (%d,%d)", n, hai, hbi, bai, bbi)
+			}
+		}
+	}
+}

@@ -232,7 +232,7 @@ func TestMergeCentersCombinesClose(t *testing.T) {
 		{Center: geo.Point{X: 4, Y: 0}, Reports: make([]Report, 1)},
 		{Center: geo.Point{X: 50, Y: 0}, Reports: make([]Report, 2)},
 	}
-	centers := mergeCenters(clusters, rError)
+	centers := new(Clusterer).mergeCenters(clusters, rError)
 	if len(centers) != 2 {
 		t.Fatalf("got %d centers, want 2: %v", len(centers), centers)
 	}

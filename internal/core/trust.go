@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/tibfit/tibfit/internal/sparse"
 )
 
 // Default protocol constants from the paper's experiments.
@@ -77,6 +79,12 @@ func (p Params) Validate() error {
 	}
 }
 
+// TrustOf converts a fault accumulator to a trust index under p — the
+// unmemoized §3 mapping, exported for callers needing a one-off
+// conversion without building a Table (e.g. the base station consulting
+// an uploaded trust record during head appointment).
+func (p Params) TrustOf(v float64) float64 { return p.trustOf(v) }
+
 // trustOf converts a fault accumulator to a trust index under p.
 func (p Params) trustOf(v float64) float64 {
 	if v < 0 {
@@ -129,9 +137,15 @@ type Weigher interface {
 // Table is the TIBFIT trust table a cluster head maintains for the nodes in
 // its cluster. It is not safe for concurrent use; the simulator is
 // single-threaded and a real CH is a single mote.
+//
+// Records live in a CSR-style sparse vector (sorted IDs + binary search,
+// internal/sparse) rather than a dense map: memory is O(nodes actually
+// judged), Nodes/IsolatedNodes walk the entries already in ID order with
+// no sort, and a window-close feedback pass over a cluster's members
+// touches each cache line once instead of hashing per report.
 type Table struct {
 	params Params
-	recs   map[int]*Record
+	recs   sparse.Vector[Record]
 	// tiCache memoizes exp(-λ·v) per distinct accumulator value; see
 	// trustOf.
 	tiCache map[float64]float64
@@ -149,7 +163,7 @@ func NewTable(params Params) (*Table, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Table{params: params, recs: make(map[int]*Record)}, nil
+	return &Table{params: params}, nil
 }
 
 // trustOf is the table's memoized view of Params.trustOf. The §3 update
@@ -196,24 +210,19 @@ func (t *Table) Params() Params { return t.params }
 func (t *Table) Name() string { return "tibfit" }
 
 // rec returns the node's record, creating a pristine one on first sight.
-// New nodes start with v=0, i.e. full trust (§3).
+// New nodes start with v=0, i.e. full trust (§3). The pointer is only
+// valid until the next insertion.
 //
 //hot:path
 func (t *Table) rec(node int) *Record {
-	r, ok := t.recs[node]
-	if !ok {
-		//lint:allow hotalloc one record per node for the campaign, not per event
-		r = &Record{}
-		t.recs[node] = r
-	}
-	return r
+	return t.recs.Upsert(node)
 }
 
 // TI returns the node's current trust index. Unknown nodes have TI 1.
 //
 //hot:path
 func (t *Table) TI(node int) float64 {
-	if r, ok := t.recs[node]; ok {
+	if r := t.recs.Find(node); r != nil {
 		return t.trustOf(r.V)
 	}
 	return 1
@@ -224,7 +233,7 @@ func (t *Table) TI(node int) float64 {
 //
 //hot:path
 func (t *Table) Weight(node int) float64 {
-	if r, ok := t.recs[node]; ok {
+	if r := t.recs.Find(node); r != nil {
 		if r.Isolated {
 			return 0
 		}
@@ -235,7 +244,7 @@ func (t *Table) Weight(node int) float64 {
 
 // V returns the node's fault accumulator (0 for unknown nodes).
 func (t *Table) V(node int) float64 {
-	if r, ok := t.recs[node]; ok {
+	if r := t.recs.Find(node); r != nil {
 		return r.V
 	}
 	return 0
@@ -243,7 +252,7 @@ func (t *Table) V(node int) float64 {
 
 // Record returns a copy of the node's record and whether it exists.
 func (t *Table) Record(node int) (Record, bool) {
-	if r, ok := t.recs[node]; ok {
+	if r := t.recs.Find(node); r != nil {
 		return *r, true
 	}
 	return Record{}, false
@@ -291,30 +300,27 @@ func (t *Table) Isolate(node int) { t.rec(node).Isolated = true }
 
 // Isolated implements Weigher.
 func (t *Table) Isolated(node int) bool {
-	r, ok := t.recs[node]
-	return ok && r.Isolated
+	r := t.recs.Find(node)
+	return r != nil && r.Isolated
 }
 
-// IsolatedNodes returns the sorted IDs of all isolated nodes.
+// IsolatedNodes returns the sorted IDs of all isolated nodes. The sparse
+// store iterates in ID order, so no sort is needed.
 func (t *Table) IsolatedNodes() []int {
 	var out []int
-	for id, r := range t.recs {
+	t.recs.Scan(func(id int, r *Record) bool {
 		if r.Isolated {
 			out = append(out, id)
 		}
-	}
-	sort.Ints(out)
+		return true
+	})
 	return out
 }
 
 // Nodes returns the sorted IDs of all nodes the table has seen.
 func (t *Table) Nodes() []int {
-	out := make([]int, 0, len(t.recs))
-	for id := range t.recs {
-		out = append(out, id)
-	}
-	sort.Ints(out)
-	return out
+	out := make([]int, 0, t.recs.Len())
+	return append(out, t.recs.IDs()...)
 }
 
 // CTI returns the cumulative trust index of a set of nodes — the sum of
@@ -329,21 +335,28 @@ func (t *Table) CTI(nodes []int) float64 {
 // cluster head's leadership period ends (§2). The returned map is a deep
 // copy.
 func (t *Table) Snapshot() map[int]Record {
-	out := make(map[int]Record, len(t.recs))
-	for id, r := range t.recs {
+	out := make(map[int]Record, t.recs.Len())
+	t.recs.Scan(func(id int, r *Record) bool {
 		out[id] = *r
-	}
+		return true
+	})
 	return out
 }
 
 // Restore replaces the table contents with a previously exported snapshot,
 // as a newly elected cluster head does after fetching trust state from the
-// base station (§2).
+// base station (§2). Keys are sorted before the rebuild so every insert
+// hits the sparse vector's tail fast path and map range order never
+// reaches the store.
 func (t *Table) Restore(snap map[int]Record) {
-	t.recs = make(map[int]*Record, len(snap))
-	for id, r := range snap {
-		rc := r
-		t.recs[id] = &rc
+	t.recs.Reset()
+	ids := make([]int, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		*t.recs.Upsert(id) = snap[id]
 	}
 }
 

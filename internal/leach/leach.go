@@ -31,6 +31,7 @@ import (
 	"github.com/tibfit/tibfit/internal/node"
 	"github.com/tibfit/tibfit/internal/radio"
 	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/sparse"
 )
 
 // Config parameterizes elections.
@@ -96,7 +97,16 @@ var ErrSnapshotReplay = errors.New("leach: snapshot replayed or stale")
 // persisted state.
 type Station struct {
 	params core.Params
-	trust  map[int]core.Record
+	// trust is the persisted per-node ledger. At field scale the station
+	// sees every node in the deployment, so it lives in a CSR-style
+	// sparse vector (internal/sparse): O(live entries) memory, in-order
+	// iteration, and cluster-filtered exports that binary-search only the
+	// handful of IDs a head actually needs.
+	trust sparse.Vector[core.Record]
+	// mergeIDs/mergeVals are reusable scratch for canonicalizing map
+	// uploads before the sorted merge into trust.
+	mergeIDs  []int
+	mergeVals []core.Record
 
 	// chTrust scores cluster heads, under the same §3 rule as sensing
 	// nodes but with isolation (= quarantine) always enabled.
@@ -122,7 +132,6 @@ func NewStation(params core.Params) (*Station, error) {
 	}
 	return &Station{
 		params:        params,
-		trust:         make(map[int]core.Record),
 		chTrust:       core.MustNewTable(headParams),
 		sealKey:       defaultSealKey,
 		issuedVersion: make(map[int]uint64),
@@ -158,6 +167,17 @@ func (s *Station) Issue(head int) []byte {
 	s.seq++
 	s.issuedVersion[head] = s.seq
 	return core.SealSnapshot(s.sealKey, s.seq, core.RoleIssue, s.Snapshot())
+}
+
+// IssueFor is Issue restricted to the given node IDs — what a head with a
+// known member list is actually owed (§2: the CH "requests the base
+// station for TI information for nodes in its cluster"). Sealing a
+// 10-node cluster's records instead of the whole field keeps handoff
+// O(cluster), and the version bookkeeping is identical to Issue.
+func (s *Station) IssueFor(head int, members []int) []byte {
+	s.seq++
+	s.issuedVersion[head] = s.seq
+	return core.SealSnapshot(s.sealKey, s.seq, core.RoleIssue, s.SnapshotFor(members))
 }
 
 // StoreSealed verifies and merges a retiring head's sealed trust
@@ -203,9 +223,20 @@ func (s *Station) IssuedVersion(head int) uint64 { return s.issuedVersion[head] 
 // information that it has gathered ... to the base station before ending
 // its leadership").
 func (s *Station) StoreSnapshot(snap map[int]core.Record) {
-	for id, r := range snap {
-		s.trust[id] = r
+	if len(snap) == 0 {
+		return
 	}
+	ids := s.mergeIDs[:0]
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sparse.SortIDs(ids)
+	vals := s.mergeVals[:0]
+	for _, id := range ids {
+		vals = append(vals, snap[id])
+	}
+	s.mergeIDs, s.mergeVals = ids, vals
+	s.trust.MergeSorted(ids, vals)
 }
 
 // NewTable builds a trust table for a newly elected cluster head from the
@@ -213,7 +244,7 @@ func (s *Station) StoreSnapshot(snap map[int]core.Record) {
 // TI information for nodes in its cluster").
 func (s *Station) NewTable() *core.Table {
 	t := core.MustNewTable(s.params)
-	t.Restore(s.trust)
+	t.Restore(s.Snapshot())
 	return t
 }
 
@@ -221,19 +252,35 @@ func (s *Station) NewTable() *core.Table {
 // a newly constructed decision scheme (the generalization of NewTable to
 // any trust-carrying scheme).
 func (s *Station) Snapshot() map[int]core.Record {
-	out := make(map[int]core.Record, len(s.trust))
-	for id, r := range s.trust {
-		out[id] = r
+	out := make(map[int]core.Record, s.trust.Len())
+	s.trust.Scan(func(id int, r *core.Record) bool {
+		out[id] = *r
+		return true
+	})
+	return out
+}
+
+// SnapshotFor returns the persisted records for the given node IDs only —
+// the member-filtered export a cluster head actually needs. Restoring a
+// small cluster's scheme from a million-node ledger must not copy the
+// other records; IDs the station has never seen are simply absent (they
+// carry full default trust).
+func (s *Station) SnapshotFor(ids []int) map[int]core.Record {
+	out := make(map[int]core.Record, len(ids))
+	for _, id := range ids {
+		if r := s.trust.Find(id); r != nil {
+			out[id] = *r
+		}
 	}
 	return out
 }
 
 // TI returns the persisted trust index for a node (1 if never reported).
+//
+//hot:path
 func (s *Station) TI(nodeID int) float64 {
-	if r, ok := s.trust[nodeID]; ok {
-		tmp := core.MustNewTable(s.params)
-		tmp.Restore(map[int]core.Record{nodeID: r})
-		return tmp.TI(nodeID)
+	if r := s.trust.Find(nodeID); r != nil {
+		return s.params.TrustOf(r.V)
 	}
 	return 1
 }
@@ -247,7 +294,7 @@ func (s *Station) Eligible(nodeID int, threshold float64) bool {
 	if s.chTrust.Isolated(nodeID) {
 		return false
 	}
-	if r, ok := s.trust[nodeID]; ok && r.Isolated {
+	if r := s.trust.Find(nodeID); r != nil && r.Isolated {
 		return false
 	}
 	return s.TI(nodeID) >= threshold
@@ -298,9 +345,16 @@ type Election struct {
 	channel  *radio.Channel
 	src      *rng.Source
 	nodes    []*node.Node
+	byID     map[int]*node.Node
 	round    int
 	lastled  map[int]int // node ID -> round it last served (1-based)
 	liveness func(int) bool
+
+	// headGrid indexes the advertising heads each round so affiliation is
+	// a range-limited nearest query per member instead of a member×head
+	// pairwise scan; headPts is its reusable position scratch.
+	headGrid *geo.Grid
+	headPts  []geo.Point
 }
 
 // SetLiveness installs a predicate consulted during eligibility checks and
@@ -327,13 +381,19 @@ func NewElection(cfg Config, station *Station, channel *radio.Channel,
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = defaultMaxRetries
 	}
+	byID := make(map[int]*node.Node, len(nodes))
+	for _, n := range nodes {
+		byID[n.ID()] = n
+	}
 	return &Election{
-		cfg:     cfg,
-		station: station,
-		channel: channel,
-		src:     src,
-		nodes:   nodes,
-		lastled: make(map[int]int),
+		cfg:      cfg,
+		station:  station,
+		channel:  channel,
+		src:      src,
+		nodes:    nodes,
+		byID:     byID,
+		lastled:  make(map[int]int),
+		headGrid: geo.NewGrid(),
 	}, nil
 }
 
@@ -470,38 +530,44 @@ func (e *Election) MarkLed(id int) {
 // affiliate assigns every non-head node to the head whose advertisement it
 // receives most strongly (§2: "affiliates itself with a single CH based on
 // the strength of the signal received").
+//
+// The heads are indexed in a spatial grid and each member runs one
+// nearest query keyed by -RSS(distance) — RSS is non-increasing in
+// distance, so minimizing that key over an expanding cell-ring search is
+// the historical member×head argmax scan, bit for bit: the grid breaks
+// equal-key ties (the sub-1-unit RSS clamp, float plateaus of the
+// path-loss log) toward the smaller head index, which is exactly the
+// first-strict-winner rule of the old loop over heads in ascending ID
+// order. This turns O(members × heads) affiliation into
+// O(members × candidate cells) — the difference between hours and
+// seconds on a million-node, ten-thousand-head field.
 func (e *Election) affiliate(heads []int) map[int]int {
-	out := make(map[int]int)
+	out := make(map[int]int, len(e.nodes))
 	if len(heads) == 0 {
 		return out
 	}
-	headPos := make(map[int]geo.Point, len(heads))
+	pts := e.headPts[:0]
 	for _, h := range heads {
-		if n := e.nodeByID(h); n != nil {
-			headPos[h] = n.Pos()
+		var p geo.Point
+		if n := e.byID[h]; n != nil {
+			p = n.Pos()
 		}
+		pts = append(pts, p)
 	}
+	e.headPts = pts
+	e.headGrid.Rebuild(pts, geo.AutoCell(pts))
+	rssKey := func(d float64) float64 { return -e.channel.RSS(d) }
 	for _, n := range e.nodes {
-		if _, isHead := headPos[n.ID()]; isHead {
+		if _, isHead := sort.Find(len(heads), func(i int) int { return n.ID() - heads[i] }); isHead {
 			continue
 		}
-		best, bestRSS := -1, 0.0
-		for _, h := range heads {
-			rss := e.channel.LinkRSS(n.Pos(), headPos[h])
-			if best == -1 || rss > bestRSS {
-				best, bestRSS = h, rss
-			}
+		idx, ok := e.headGrid.NearestByDist(n.Pos(), rssKey)
+		if !ok {
+			continue
 		}
-		out[n.ID()] = best
+		out[n.ID()] = heads[idx]
 	}
 	return out
 }
 
-func (e *Election) nodeByID(id int) *node.Node {
-	for _, n := range e.nodes {
-		if n.ID() == id {
-			return n
-		}
-	}
-	return nil
-}
+func (e *Election) nodeByID(id int) *node.Node { return e.byID[id] }

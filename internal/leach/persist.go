@@ -40,7 +40,7 @@ func (s *Station) Save(w io.Writer) error {
 			RemovalThreshold: s.params.RemovalThreshold,
 			Linear:           s.params.Linear,
 		},
-		Trust: s.trust,
+		Trust: s.Snapshot(),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -71,8 +71,6 @@ func LoadStation(r io.Reader) (*Station, error) {
 	if err != nil {
 		return nil, fmt.Errorf("leach: loaded station has invalid params: %w", err)
 	}
-	if doc.Trust != nil {
-		s.trust = doc.Trust
-	}
+	s.StoreSnapshot(doc.Trust)
 	return s, nil
 }

@@ -18,6 +18,7 @@ import (
 
 	"github.com/tibfit/tibfit/internal/aggregator"
 	"github.com/tibfit/tibfit/internal/chaos"
+	"github.com/tibfit/tibfit/internal/cluster"
 	"github.com/tibfit/tibfit/internal/core"
 	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/energy"
@@ -240,6 +241,21 @@ type Network struct {
 	memberOf map[int]int
 	mesh     *relay.Mesh // non-nil in multihop mode
 
+	// fieldGrid indexes the (static) node positions with cell size =
+	// SenseRadius, so InjectEvent touches only the nodes near the event
+	// instead of scanning the whole field. fieldPts holds positions in
+	// n.nodes slice order — the grid returns ascending indices into it,
+	// which is exactly the old full-scan iteration order. senseScratch is
+	// the reused query result buffer.
+	fieldGrid    *geo.Grid
+	fieldPts     []geo.Point
+	senseScratch []int
+
+	// clusterer is the clustering engine shared by every location
+	// aggregator on this (single-threaded) kernel, so its scratch survives
+	// reclustering and failover rebuilds.
+	clusterer *cluster.Clusterer
+
 	down       map[int]bool   // crash-faulted nodes
 	depleted   map[int]bool   // nodes whose battery death has been traced
 	lastReport map[int]report // per-member buffer for failover re-solicitation
@@ -299,10 +315,17 @@ func New(cfg Config, kernel *sim.Kernel, channel *radio.Channel,
 		depleted:   make(map[int]bool),
 		lastReport: make(map[int]report),
 		byz:        make(map[int]chaos.Behavior),
+		clusterer:  cluster.NewClusterer(),
 	}
 	for _, nd := range nodes {
 		n.byID[nd.ID()] = nd
 	}
+	n.fieldPts = make([]geo.Point, len(nodes))
+	for i, nd := range nodes {
+		n.fieldPts[i] = nd.Pos()
+	}
+	n.fieldGrid = geo.NewGrid()
+	n.fieldGrid.Rebuild(n.fieldPts, cfg.SenseRadius)
 	// Crashed nodes can neither self-elect nor be appointed.
 	election.SetLiveness(func(id int) bool { return !n.down[id] })
 	if cfg.Multihop {
@@ -493,10 +516,15 @@ func (n *Network) storeHandoff(cs *clusterState, upload map[int]core.Record) {
 // CHQuarantine, otherwise a pass-through of the scheme's own
 // arbitration that a compromised head can invert.
 func (n *Network) buildCluster(head int, members []int) (*clusterState, error) {
-	snap := n.station.Snapshot()
+	// Only the members' records travel to the head (§2: the CH "requests
+	// the base station for TI information for nodes in its cluster") —
+	// restoring a small cluster's scheme from a million-node ledger must
+	// not copy the other records. IDs the station has never seen are
+	// absent, which a trust table treats as full default trust.
+	snap := n.station.SnapshotFor(members)
 	cs := &clusterState{head: head, members: members, issuedSnap: snap}
 	if n.cfg.CHQuarantine {
-		cs.issuedBlob = n.station.Issue(head)
+		cs.issuedBlob = n.station.IssueFor(head, members)
 	}
 	var w decision.Scheme
 	if n.cfg.Mode == ModeBinary && n.cfg.CHQuarantine {
@@ -576,6 +604,7 @@ func (n *Network) buildCluster(head int, members []int) (*clusterState, error) {
 			SenseRadius:           n.cfg.SenseRadius,
 			CoincidenceGuard:      n.cfg.CoincidenceGuard,
 			TrustWeightedCentroid: n.cfg.TrustWeightedCentroid,
+			Clusterer:             n.clusterer,
 		},
 		w, n.kernel, pos,
 		func(o aggregator.LocationOutcome) {
@@ -605,10 +634,14 @@ func (n *Network) buildCluster(head int, members []int) (*clusterState, error) {
 // as node-depleted). Each sensing node's report is buffered so a
 // failover can re-solicit it if the head dies before deciding.
 func (n *Network) InjectEvent(eventID int, loc geo.Point) {
-	for _, nd := range n.nodes {
-		if nd.Pos().Dist(loc) > n.cfg.SenseRadius {
-			continue
-		}
+	// The grid hands back exactly the nodes the old full scan kept
+	// (same Dist predicate, bit for bit), in ascending slice-index order —
+	// the full scan's own iteration order — so sensor rng draws are
+	// byte-identical while the scan cost drops from O(field) to
+	// O(neighborhood).
+	n.senseScratch = n.fieldGrid.Range(loc, n.cfg.SenseRadius, n.senseScratch)
+	for _, i := range n.senseScratch {
+		nd := n.nodes[i]
 		id := nd.ID()
 		if n.down[id] {
 			continue
@@ -632,7 +665,7 @@ func (n *Network) InjectEvent(eventID int, loc geo.Point) {
 				continue
 			}
 			rep := report{eventID: eventID, binary: true, at: n.kernel.Now()}
-			n.lastReport[id] = rep
+			n.bufferReport(id, rep)
 			n.transmitReport(id, rep, 0)
 			continue
 		}
@@ -641,7 +674,7 @@ func (n *Network) InjectEvent(eventID int, loc geo.Point) {
 			continue
 		}
 		rep := report{eventID: eventID, off: nd.ReportOffset(locRep), at: n.kernel.Now()}
-		n.lastReport[id] = rep
+		n.bufferReport(id, rep)
 		n.transmitReport(id, rep, 0)
 	}
 	if n.cfg.CHQuarantine {
@@ -649,6 +682,17 @@ func (n *Network) InjectEvent(eventID int, loc geo.Point) {
 		// event really was injected now (the simulation's stand-in for
 		// the spot checks a deployment would run).
 		n.injectLog = append(n.injectLog, n.kernel.Now())
+	}
+}
+
+// bufferReport stores a member's last report for failover
+// re-solicitation. The buffer's only reader is failoverCheck, which can
+// only be scheduled when heartbeat monitoring is on — so with it off the
+// per-report map write (the one per-sensor hashing cost left in the
+// inject path) is skipped entirely.
+func (n *Network) bufferReport(id int, rep report) {
+	if n.cfg.HeartbeatPeriod > 0 {
+		n.lastReport[id] = rep
 	}
 }
 

@@ -45,6 +45,12 @@ type Mesh struct {
 	channel *radio.Channel
 	kernel  *sim.Kernel
 	pos     map[int]geo.Point
+	// adj caches each node's in-range neighbor list (ascending IDs),
+	// built once for the whole mesh via a spatial grid with cell size =
+	// radio range. Before the cache, every BFS visit re-scanned all
+	// positions: O(n² · sinks) for route construction. Now it is one
+	// O(n) grid build plus O(candidate cells) per node.
+	adj map[int][]int
 	// next[sink][node] is the node to forward to when heading for sink.
 	next map[int]map[int]int
 	// hops[sink][node] is the hop distance to sink.
@@ -91,18 +97,45 @@ func NewMesh(cfg Config, channel *radio.Channel, kernel *sim.Kernel, pos map[int
 // order: BFS route construction visits them in return order, so an
 // unsorted list would let map iteration order pick next hops.
 func (m *Mesh) neighbors(id int) []int {
-	var out []int
-	p := m.pos[id]
-	for other, q := range m.pos {
-		if other == id {
-			continue
-		}
-		if m.channel.InRange(p, q) {
-			out = append(out, other)
-		}
+	m.ensureAdj()
+	return m.adj[id]
+}
+
+// ensureAdj builds the neighbor lists once, lazily on first route
+// construction. The grid's range query applies the same math.Hypot
+// distance predicate the old InRange scan did (Dist is symmetric down to
+// the bit), and returns candidates in ascending index order over IDs
+// sorted ascending — so each list is byte-identical to the sorted
+// pairwise scan it replaces.
+func (m *Mesh) ensureAdj() {
+	if m.adj != nil {
+		return
 	}
-	sort.Ints(out)
-	return out
+	ids := make([]int, 0, len(m.pos))
+	for id := range m.pos {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	pts := make([]geo.Point, len(ids))
+	for i, id := range ids {
+		pts[i] = m.pos[id]
+	}
+	r := m.channel.Config().Range
+	g := geo.NewGrid()
+	g.Rebuild(pts, r)
+	m.adj = make(map[int][]int, len(ids))
+	var scratch []int
+	for i, id := range ids {
+		scratch = g.Range(pts[i], r, scratch)
+		nbrs := make([]int, 0, len(scratch))
+		for _, j := range scratch {
+			if j == i {
+				continue
+			}
+			nbrs = append(nbrs, ids[j])
+		}
+		m.adj[id] = nbrs
+	}
 }
 
 // BuildRoutes computes the next-hop table toward sink with BFS (minimum

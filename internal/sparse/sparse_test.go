@@ -1,0 +1,132 @@
+package sparse
+
+import (
+	"slices"
+	"testing"
+
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+func TestVectorMatchesMap(t *testing.T) {
+	src := rng.New(11)
+	var v Vector[float64]
+	ref := map[int]float64{}
+	for op := 0; op < 5000; op++ {
+		id := src.Intn(300)
+		switch src.Intn(3) {
+		case 0: // upsert-write
+			val := src.Float64()
+			*v.Upsert(id) = val
+			ref[id] = val
+		case 1: // find
+			got := v.Find(id)
+			want, ok := ref[id]
+			if ok != (got != nil) {
+				t.Fatalf("op %d: Find(%d) presence %v, want %v", op, id, got != nil, ok)
+			}
+			if ok && *got != want {
+				t.Fatalf("op %d: Find(%d) = %g, want %g", op, id, *got, want)
+			}
+		case 2: // read-modify-write through Upsert
+			*v.Upsert(id) += 1
+			ref[id]++
+		}
+	}
+	if v.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(ref))
+	}
+	ids := v.IDs()
+	if !slices.IsSorted(ids) {
+		t.Fatalf("IDs not sorted: %v", ids)
+	}
+	for i, id := range ids {
+		_, val := v.At(i)
+		if *val != ref[id] {
+			t.Fatalf("At(%d): id %d = %g, want %g", i, id, *val, ref[id])
+		}
+	}
+	seen := 0
+	v.Scan(func(id int, val *float64) bool {
+		if *val != ref[id] {
+			t.Fatalf("Scan: id %d = %g, want %g", id, *val, ref[id])
+		}
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("Scan visited %d entries, want %d", seen, len(ref))
+	}
+}
+
+func TestUpsertTailFastPathDoesNotShift(t *testing.T) {
+	var v Vector[int]
+	for id := 0; id < 1000; id += 2 {
+		*v.Upsert(id) = id * 10
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		// Overwrites of existing tail entries must not grow or shift.
+		*v.Upsert(998) = 7
+	})
+	if allocs != 0 {
+		t.Fatalf("tail overwrite allocates %.0f objects/op, want 0", allocs)
+	}
+	if got := v.Find(996); got == nil || *got != 9960 {
+		t.Fatalf("neighbor entry disturbed: %v", got)
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	var v Vector[string]
+	*v.Upsert(2) = "b"
+	*v.Upsert(5) = "e"
+	*v.Upsert(9) = "i"
+	v.MergeSorted([]int{1, 5, 10}, []string{"A", "E", "J"})
+	wantIDs := []int{1, 2, 5, 9, 10}
+	if !slices.Equal(v.IDs(), wantIDs) {
+		t.Fatalf("merged IDs %v, want %v", v.IDs(), wantIDs)
+	}
+	for i, want := range []string{"A", "b", "E", "i", "J"} {
+		_, val := v.At(i)
+		if *val != want {
+			t.Fatalf("entry %d = %q, want %q", i, *val, want)
+		}
+	}
+	// Tail-append fast path.
+	v.MergeSorted([]int{11, 12}, []string{"K", "L"})
+	if v.Len() != 7 || *v.Find(12) != "L" {
+		t.Fatalf("tail merge failed: len=%d", v.Len())
+	}
+	// Empty merge is a no-op.
+	v.MergeSorted(nil, nil)
+	if v.Len() != 7 {
+		t.Fatalf("empty merge changed len to %d", v.Len())
+	}
+}
+
+func TestMergeSortedRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MergeSorted accepted an unsorted input")
+		}
+	}()
+	var v Vector[int]
+	v.MergeSorted([]int{3, 3}, []int{1, 2})
+}
+
+func TestResetAndClone(t *testing.T) {
+	var v Vector[int]
+	*v.Upsert(4) = 40
+	*v.Upsert(8) = 80
+	c := v.Clone()
+	v.Reset()
+	if v.Len() != 0 {
+		t.Fatalf("Reset left %d entries", v.Len())
+	}
+	if c.Len() != 2 || *c.Find(4) != 40 || *c.Find(8) != 80 {
+		t.Fatal("Clone does not survive Reset of the original")
+	}
+	*v.Upsert(1) = 10
+	if c.Find(1) != nil {
+		t.Fatal("Clone aliases the original's storage")
+	}
+}
