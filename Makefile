@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-schedulers conformance vet lint lint-fix bench bench-report bench-check bench-kernel profile figures validate examples fuzz soak clean
+.PHONY: all build test test-race test-schedulers conformance vet lint lint-fix bench bench-report bench-check bench-kernel profile figures validate examples fuzz soak serve load serve-smoke clean
 
 all: build lint test
 
@@ -93,6 +93,32 @@ SOAK_MODE ?= mixed
 soak:
 	TIBFIT_SOAK_SEED=$(SOAK_SEED) TIBFIT_SOAK_MODE=$(SOAK_MODE) \
 		$(GO) test -race -count=1 -run TestChaosSoak -v ./internal/network/
+
+# Run the online decision daemon (see docs/SERVING.md). Override
+# SERVE_FLAGS to pick a scheme, tenant, unit, or snapshot file.
+SERVE_FLAGS ?= -listen 127.0.0.1:8080 -tenant default
+serve:
+	$(GO) run ./cmd/tibfit-serve $(SERVE_FLAGS)
+
+# Seeded load generator against a running daemon (see docs/SERVING.md).
+LOAD_FLAGS ?= -addr http://127.0.0.1:8080 -tenants 4 -reports 10000
+load:
+	$(GO) run ./cmd/tibfit-load $(LOAD_FLAGS)
+
+# End-to-end serving smoke (CI's serve-smoke job): build both binaries,
+# boot the daemon, push 100k seeded reports across 4 tenants, require
+# decisions on every tenant, roundtrip each tenant's sealed snapshot,
+# and leave the latency histograms in serve-latency.json.
+SMOKE_DIR := /tmp/tibfit-serve-smoke
+serve-smoke:
+	$(GO) build -o $(SMOKE_DIR)/tibfit-serve ./cmd/tibfit-serve
+	$(GO) build -o $(SMOKE_DIR)/tibfit-load ./cmd/tibfit-load
+	@$(SMOKE_DIR)/tibfit-serve -listen 127.0.0.1:18080 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	sleep 1; \
+	$(SMOKE_DIR)/tibfit-load -addr http://127.0.0.1:18080 \
+		-tenants 4 -reports 100000 -nodes 32 -batch 128 -tout 5 \
+		-min-decisions 4 -snapshot-roundtrip -out serve-latency.json
 
 # Brief continuous fuzzing of the fuzz targets (5s each).
 fuzz:

@@ -19,10 +19,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http/httptest"
 	"os"
 	"regexp"
 	"runtime"
@@ -35,10 +38,12 @@ import (
 	"github.com/tibfit/tibfit/internal/cluster"
 	"github.com/tibfit/tibfit/internal/core"
 	"github.com/tibfit/tibfit/internal/decision"
+	"github.com/tibfit/tibfit/internal/engine"
 	"github.com/tibfit/tibfit/internal/experiment"
 	"github.com/tibfit/tibfit/internal/geo"
 	"github.com/tibfit/tibfit/internal/radio"
 	"github.com/tibfit/tibfit/internal/rng"
+	"github.com/tibfit/tibfit/internal/serve"
 	"github.com/tibfit/tibfit/internal/sim"
 )
 
@@ -333,6 +338,17 @@ func suite(scheme string, sf cli.SchemeFlags, quick bool) []benchmark {
 			benchSchemeWindow(b, name)
 		}})
 	}
+	// The serve/ rows price the online engine the daemon ships: the
+	// engine.Instance ingest hot path and full window cycle (the
+	// decision-latency numerator the serve histograms report), the same
+	// batch through the whole HTTP+JSON stack, and the sealed
+	// snapshot/restore roundtrip behind GET/PUT /snapshot.
+	bms = append(bms,
+		benchmark{"serve/instance-ingest", benchServeInstanceIngest},
+		benchmark{"serve/engine-window", benchServeEngineWindow},
+		benchmark{"serve/http-report", benchServeHTTPReport},
+		benchmark{"serve/snapshot-roundtrip", benchServeSnapshotRoundtrip},
+	)
 	for _, id := range []string{"figure2", "figure4", "figure8"} {
 		id := id
 		bms = append(bms, benchmark{"figure/" + id, func(b *testing.B) {
@@ -730,6 +746,144 @@ func benchBinaryWindow(b *testing.B) {
 			agg.Deliver(nodeID)
 		}
 		kernel.RunAll()
+	}
+}
+
+// --- serve benchmarks -----------------------------------------------------
+
+// engineMembers builds the 0..n-1 member set the serve rows share.
+func engineMembers(n int) []int {
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	return members
+}
+
+// benchServeInstanceIngest measures the ReportMany hot path in steady
+// state: one open window, 64-report batches against a 64-member tenant,
+// with the window horizon far enough out that no expiry fires. This is
+// the per-report cost the serve ingest histogram records, minus HTTP.
+func benchServeInstanceIngest(b *testing.B) {
+	clock := engine.NewWallClock(time.Hour)
+	inst, err := engine.New(engine.Config{
+		Scheme:  decision.SchemeTIBFIT,
+		Params:  decision.Params{Trust: core.Params{Lambda: 0.25, FaultRate: 0.1}},
+		Tout:    1e9,
+		Members: engineMembers(64),
+		Clock:   clock,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inst.Close()
+	batch := engineMembers(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.ReportMany(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchServeEngineWindow times one full online decision window through
+// engine.Instance on the sim-kernel clock: 18 of 25 members report, the
+// window expires, the scheme arbitrates, the decision lands in the ring.
+// Against decision/tibfit-window it prices the engine seam itself.
+func benchServeEngineWindow(b *testing.B) {
+	kernel := sim.New()
+	inst, err := engine.New(engine.Config{
+		Scheme:  decision.SchemeTIBFIT,
+		Params:  decision.Params{Trust: core.Params{Lambda: 0.1, FaultRate: 0.05}},
+		Tout:    1,
+		Members: engineMembers(25),
+		Clock:   kernel,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := engineMembers(18)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.ReportMany(batch); err != nil {
+			b.Fatal(err)
+		}
+		kernel.RunAll()
+	}
+}
+
+// benchServeHTTPReport sends the same 64-report batch through the whole
+// HTTP stack — mux, JSON decode, instance ingest, JSON reply — the way
+// tibfit-load drives the daemon. The delta over serve/instance-ingest is
+// the transport tax on one batch.
+func benchServeHTTPReport(b *testing.B) {
+	srv := serve.NewServer(serve.Config{})
+	if err := srv.CreateTenant("bench", serve.TenantConfig{Tout: 1e9, Nodes: 64}); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	body, err := json.Marshal(map[string][]int{"nodes": engineMembers(64)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	url := ts.URL + "/v1/tenants/bench/reports"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// benchServeSnapshotRoundtrip seals the trust namespace of a warmed
+// instance and restores it into a second one — the GET /snapshot →
+// PUT /snapshot migration path. Each op carries a fresh monotonic
+// version, so the restore side always takes the accept path.
+func benchServeSnapshotRoundtrip(b *testing.B) {
+	kernel := sim.New()
+	members := engineMembers(64)
+	params := decision.Params{Trust: core.Params{Lambda: 0.25, FaultRate: 0.1}}
+	src, err := engine.New(engine.Config{
+		Scheme: decision.SchemeTIBFIT, Params: params, Tout: 1, Members: members, Clock: kernel,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := src.ReportMany(members[:48]); err != nil {
+			b.Fatal(err)
+		}
+		kernel.RunAll()
+	}
+	dst, err := engine.New(engine.Config{
+		Scheme: decision.SchemeTIBFIT, Params: params, Tout: 1, Members: members, Clock: sim.New(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := src.SealedSnapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.RestoreSealed(blob); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,303 @@
+// Command tibfit-load is the seeded load generator for tibfit-serve: it
+// creates tenants, streams report batches drawn from a deterministic
+// rng, waits for the decision windows to drain, optionally round-trips
+// every tenant's sealed snapshot, and writes the latency-histogram
+// artifact the CI smoke job uploads.
+//
+// Usage:
+//
+//	tibfit-load [-addr http://127.0.0.1:8080] [-tenants 4] [-tenant load]
+//	            [-scheme tibfit] [-reports 10000] [-nodes 32] [-batch 64]
+//	            [-tout 5] [-seed 7] [-out latency.json]
+//	            [-min-decisions 1] [-snapshot-roundtrip]
+//
+// The report stream is a pure function of -seed: each batch picks a
+// tenant round-robin and draws reporting nodes Bernoulli(0.6) from its
+// member set, so two runs against fresh servers ingest identical
+// streams.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"github.com/tibfit/tibfit/internal/cli"
+	"github.com/tibfit/tibfit/internal/metrics"
+	"github.com/tibfit/tibfit/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tibfit-load:", err)
+		os.Exit(1)
+	}
+}
+
+// reportProb is the per-node probability of joining a batch — high
+// enough that most batches open a window with a solid reporter side.
+const reportProb = 0.6
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("tibfit-load", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "http://127.0.0.1:8080", "tibfit-serve base URL")
+		tenants   = fs.Int("tenants", 4, "tenants to create and spread load across")
+		tenant    = fs.String("tenant", "load", "tenant name prefix (tenants are <prefix>-0..n-1)")
+		reports   = fs.Int("reports", 10000, "total reports to send across all tenants")
+		nodes     = fs.Int("nodes", 32, "members per tenant")
+		batch     = fs.Int("batch", 64, "max reports per ingest request")
+		tout      = fs.Float64("tout", 5, "tenant T_out in the server's virtual units")
+		seed      = fs.Int64("seed", 7, "random seed for the report stream")
+		outPath   = fs.String("out", "", "write the latency-histogram JSON artifact here")
+		minDec    = fs.Int("min-decisions", 1, "fail unless at least this many decisions were made")
+		roundtrip = fs.Bool("snapshot-roundtrip", false, "snapshot and restore every tenant after the run")
+		timeout   = fs.Duration("timeout", 60*time.Second, "overall drain deadline after the last report")
+	)
+	var sf cli.SchemeFlags
+	sf.Register(fs, "tibfit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := sf.Resolve()
+	if err != nil {
+		return err
+	}
+	base, err := url.Parse(*addr)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return fmt.Errorf("invalid -addr %q: need an absolute URL like http://127.0.0.1:8080", *addr)
+	}
+	if err := cli.ValidateTenant(*tenant); err != nil {
+		return err
+	}
+	if *tenants <= 0 {
+		return fmt.Errorf("-tenants must be positive, got %d", *tenants)
+	}
+	if *reports <= 0 {
+		return fmt.Errorf("-reports must be positive, got %d", *reports)
+	}
+	if *nodes <= 0 || *batch <= 0 {
+		return fmt.Errorf("-nodes and -batch must be positive, got %d and %d", *nodes, *batch)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	names := make([]string, *tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d", *tenant, i)
+	}
+	for _, name := range names {
+		cfg := map[string]any{"scheme": scheme, "tout": *tout, "nodes": *nodes}
+		if sf.Lambda > 0 {
+			cfg["lambda"] = sf.Lambda
+		}
+		if sf.FaultRate > 0 {
+			cfg["fault_rate"] = sf.FaultRate
+		}
+		if err := postJSON(client, base, "/v1/tenants/"+name, cfg, nil); err != nil {
+			return fmt.Errorf("creating tenant %s: %v", name, err)
+		}
+	}
+
+	// Stream the seeded batches. Request latency is measured client-side
+	// per ingest call; the server keeps its own per-report view.
+	src := rng.New(*seed)
+	var reqHist metrics.Histogram
+	sent, accepted := 0, 0
+	scratch := make([]int, 0, *nodes)
+	for ti := 0; sent < *reports; ti = (ti + 1) % len(names) {
+		nodesIn := scratch[:0]
+		for id := 0; id < *nodes && sent+len(nodesIn) < *reports && len(nodesIn) < *batch; id++ {
+			if src.Bernoulli(reportProb) {
+				nodesIn = append(nodesIn, id)
+			}
+		}
+		if len(nodesIn) == 0 {
+			nodesIn = append(nodesIn, src.Intn(*nodes))
+		}
+		var ack struct {
+			Accepted int `json:"accepted"`
+		}
+		begin := time.Now()
+		err := postJSON(client, base, "/v1/tenants/"+names[ti]+"/reports",
+			map[string]any{"nodes": nodesIn}, &ack)
+		reqHist.Record(float64(time.Since(begin)))
+		if err != nil {
+			return fmt.Errorf("sending batch to %s: %v", names[ti], err)
+		}
+		sent += len(nodesIn)
+		accepted += ack.Accepted
+	}
+
+	// Drain: poll until every tenant's open window has expired and the
+	// decision count stops moving.
+	deadline := time.Now().Add(*timeout)
+	var stats metricsReply
+	lastDecisions, stable := uint64(0), 0
+	for {
+		if err := getJSON(client, base, "/v1/metrics", &stats); err != nil {
+			return fmt.Errorf("polling metrics: %v", err)
+		}
+		total := uint64(0)
+		for _, t := range stats.PerTenant {
+			total += t.Decisions
+		}
+		if total == lastDecisions && total > 0 {
+			stable++
+		} else {
+			stable = 0
+		}
+		lastDecisions = total
+		if stable >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		pause := 2 * time.Duration(float64(*tout)*float64(stats.UnitNS))
+		if pause < 10*time.Millisecond {
+			pause = 10 * time.Millisecond
+		}
+		time.Sleep(pause)
+	}
+
+	if *roundtrip {
+		for _, name := range names {
+			if err := snapshotRoundtrip(client, base, name); err != nil {
+				return fmt.Errorf("snapshot roundtrip for %s: %v", name, err)
+			}
+		}
+		fmt.Fprintf(out, "tibfit-load: snapshot roundtrip ok for %d tenants\n", len(names))
+	}
+
+	summary := reqHist.Summary()
+	fmt.Fprintf(out, "tibfit-load: sent=%d accepted=%d decisions=%d tenants=%d\n",
+		sent, accepted, lastDecisions, len(names))
+	fmt.Fprintf(out, "tibfit-load: request latency p50=%s p99=%s mean=%s\n",
+		time.Duration(summary.P50), time.Duration(summary.P99), time.Duration(summary.Mean))
+	fmt.Fprintf(out, "tibfit-load: server ingest p50=%s p99=%s decision p50=%s p99=%s\n",
+		time.Duration(stats.IngestNS.P50), time.Duration(stats.IngestNS.P99),
+		time.Duration(stats.DecisionNS.P50), time.Duration(stats.DecisionNS.P99))
+
+	if *outPath != "" {
+		artifact := map[string]any{
+			"schema":      "tibfit-load/v1",
+			"sent":        sent,
+			"accepted":    accepted,
+			"decisions":   lastDecisions,
+			"tenants":     len(names),
+			"request_ns":  summary,
+			"ingest_ns":   stats.IngestNS,
+			"decision_ns": stats.DecisionNS,
+		}
+		buf, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding -out artifact: %v", err)
+		}
+		if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing -out: %v", err)
+		}
+	}
+	if lastDecisions < uint64(*minDec) {
+		return fmt.Errorf("made %d decisions, want at least %d", lastDecisions, *minDec)
+	}
+	return nil
+}
+
+// metricsReply mirrors the server's GET /v1/metrics body (the fields the
+// load generator reads).
+type metricsReply struct {
+	UnitNS     int64                    `json:"unit_ns"`
+	IngestNS   metrics.HistogramSummary `json:"ingest_ns"`
+	DecisionNS metrics.HistogramSummary `json:"decision_ns"`
+	PerTenant  map[string]tenantStats   `json:"per_tenant"`
+}
+
+type tenantStats struct {
+	Reports   uint64 `json:"reports"`
+	Decisions uint64 `json:"decisions"`
+}
+
+// snapshotRoundtrip fetches a tenant's sealed snapshot and immediately
+// restores it, verifying the serve path end to end: seal, checksum
+// verification, version monotonicity.
+func snapshotRoundtrip(client *http.Client, base *url.URL, name string) error {
+	resp, err := client.Get(base.JoinPath("/v1/tenants/" + name + "/snapshot").String())
+	if err != nil {
+		return err
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("snapshot: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(blob))
+	}
+	if len(blob) == 0 {
+		return fmt.Errorf("snapshot: empty blob")
+	}
+	req, err := http.NewRequest(http.MethodPut,
+		base.JoinPath("/v1/tenants/"+name+"/snapshot").String(), bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err = client.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("restore: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// postJSON posts v to path and decodes the response into reply (when
+// non-nil), treating any non-2xx status as an error carrying the body.
+func postJSON(client *http.Client, base *url.URL, path string, v any, reply any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base.JoinPath(path).String(), "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if reply != nil {
+		return json.Unmarshal(body, reply)
+	}
+	return nil
+}
+
+// getJSON fetches path and decodes the JSON response.
+func getJSON(client *http.Client, base *url.URL, path string, reply any) error {
+	resp, err := client.Get(base.JoinPath(path).String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, reply)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/tibfit/tibfit/internal/serve"
+)
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-nope"}},
+		{"bad addr", []string{"-addr", "not a url"}},
+		{"relative addr", []string{"-addr", "127.0.0.1:8080"}},
+		{"bad tenant", []string{"-tenant", "UPPER"}},
+		{"bad scheme", []string{"-scheme", "magic"}},
+		{"zero tenants", []string{"-tenants", "0"}},
+		{"zero reports", []string{"-reports", "0"}},
+		{"zero batch", []string{"-batch", "0"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, os.Stdout); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+// TestRunFlagExactMessages pins the complete user-facing error for each
+// rejected flag value, matching the -scheme/-scheduler error-path
+// contract: the validation layer's message reaches the user verbatim.
+func TestRunFlagExactMessages(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"addr without scheme",
+			[]string{"-addr", "127.0.0.1:8080"},
+			`invalid -addr "127.0.0.1:8080": need an absolute URL like http://127.0.0.1:8080`,
+		},
+		{
+			"tenant with bad characters",
+			[]string{"-tenant", "load/0"},
+			`cli: tenant name may use lowercase letters, digits, '-', '_', '.': "load/0"`,
+		},
+		{
+			"unknown scheme",
+			[]string{"-scheme", "fuzy"},
+			`decision: unknown scheme "fuzy" (did you mean "fuzzy"?); registered: baseline, dynamic-trust, fuzzy, linear, majority, tibfit`,
+		},
+		{
+			"zero tenants",
+			[]string{"-tenants", "0"},
+			"-tenants must be positive, got 0",
+		},
+		{
+			"zero reports",
+			[]string{"-reports", "0"},
+			"-reports must be positive, got 0",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args, os.Stdout)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want %q", tt.args, tt.want)
+			}
+			if err.Error() != tt.want {
+				t.Fatalf("run(%v)\n got: %s\nwant: %s", tt.args, err, tt.want)
+			}
+		})
+	}
+}
+
+// TestRunAgainstServer drives the load generator end to end against an
+// in-process serve handler: the CI smoke job's path, shrunk to unit
+// size, including the snapshot roundtrip and the -out artifact.
+func TestRunAgainstServer(t *testing.T) {
+	srv := serve.NewServer(serve.Config{Unit: 50 * time.Microsecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	outPath := filepath.Join(t.TempDir(), "latency.json")
+	args := []string{
+		"-addr", ts.URL,
+		"-tenants", "2",
+		"-reports", "500",
+		"-nodes", "8",
+		"-batch", "16",
+		"-tout", "20",
+		"-min-decisions", "1",
+		"-snapshot-roundtrip",
+		"-out", outPath,
+	}
+	if err := run(args, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "tibfit-load/v1"`, `"request_ns"`, `"decision_ns"`} {
+		if !bytes.Contains(artifact, []byte(want)) {
+			t.Fatalf("artifact missing %q:\n%s", want, artifact)
+		}
+	}
+}

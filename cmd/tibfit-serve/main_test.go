@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-nope"}},
+		{"bad listen", []string{"-listen", "nohost"}},
+		{"bad tenant", []string{"-tenant", "UPPER"}},
+		{"bad scheme", []string{"-scheme", "magic"}},
+		{"zero tout", []string{"-tout", "0"}},
+		{"zero nodes", []string{"-nodes", "0"}},
+		{"missing snapshot", []string{"-snapshot", "/definitely/not/here.tibs"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, os.Stdout); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+// TestRunFlagExactMessages pins the complete user-facing error for each
+// rejected flag value, the same contract the -scheme and -scheduler
+// flags carry elsewhere: the validation layer's own message reaches the
+// user unwrapped and unrepaired.
+func TestRunFlagExactMessages(t *testing.T) {
+	corrupt := filepath.Join(t.TempDir(), "corrupt.tibs")
+	if err := os.WriteFile(corrupt, []byte("not a sealed snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"listen without port",
+			[]string{"-listen", "nohost"},
+			"invalid -listen address: address nohost: missing port in address",
+		},
+		{
+			"tenant with bad characters",
+			[]string{"-tenant", "team/alpha"},
+			`cli: tenant name may use lowercase letters, digits, '-', '_', '.': "team/alpha"`,
+		},
+		{
+			"tenant starting with separator",
+			[]string{"-tenant", "-alpha"},
+			`cli: tenant name must start with a letter or digit: "-alpha"`,
+		},
+		{
+			"unknown scheme",
+			[]string{"-scheme", "fuzy"},
+			`decision: unknown scheme "fuzy" (did you mean "fuzzy"?); registered: baseline, dynamic-trust, fuzzy, linear, majority, tibfit`,
+		},
+		{
+			"negative tout",
+			[]string{"-tout", "-3"},
+			"-tout must be positive, got -3",
+		},
+		{
+			"corrupt snapshot",
+			[]string{"-snapshot", corrupt},
+			"restoring -snapshot " + corrupt +
+				": engine: verifying snapshot: core: snapshot corrupt: 21 bytes is shorter than any valid snapshot",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args, os.Stdout)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want %q", tt.args, tt.want)
+			}
+			if err.Error() != tt.want {
+				t.Fatalf("run(%v)\n got: %s\nwant: %s", tt.args, err, tt.want)
+			}
+		})
+	}
+}

@@ -106,10 +106,11 @@ type Binary struct {
 	scrNR []int
 }
 
-// NewBinary returns a binary aggregator running the given decision scheme.
-// onDecide is invoked after every completed window; feedback (optional)
-// receives per-node verdicts.
-func NewBinary(cfg BinaryConfig, scheme decision.Scheme, kernel *sim.Kernel,
+// NewBinary returns a binary aggregator running the given decision scheme
+// on the given clock — the simulation kernel in batch runs, a wall-clock
+// driver in the online engine. onDecide is invoked after every completed
+// window; feedback (optional) receives per-node verdicts.
+func NewBinary(cfg BinaryConfig, scheme decision.Scheme, clock Clock,
 	onDecide func(BinaryOutcome), feedback Feedback, tr *trace.Trace) (*Binary, error) {
 	if cfg.Tout <= 0 {
 		return nil, fmt.Errorf("aggregator: Tout must be positive, got %v", cfg.Tout)
@@ -117,8 +118,8 @@ func NewBinary(cfg BinaryConfig, scheme decision.Scheme, kernel *sim.Kernel,
 	if len(cfg.Members) == 0 {
 		return nil, fmt.Errorf("aggregator: binary aggregator needs at least one member")
 	}
-	if scheme == nil || kernel == nil {
-		return nil, fmt.Errorf("aggregator: scheme and kernel are required")
+	if scheme == nil || clock == nil {
+		return nil, fmt.Errorf("aggregator: scheme and clock are required")
 	}
 	members := make([]int, len(cfg.Members))
 	copy(members, cfg.Members)
@@ -130,7 +131,7 @@ func NewBinary(cfg BinaryConfig, scheme decision.Scheme, kernel *sim.Kernel,
 	return &Binary{
 		pipeline: pipeline{
 			scheme:   scheme,
-			kernel:   kernel,
+			clock:    clock,
 			feedback: feedback,
 			tr:       tr,
 		},
@@ -162,7 +163,7 @@ func (b *Binary) Deliver(nodeID int) {
 		b.marked = append(b.marked, pos)
 	}
 	if b.tr.Verbose() {
-		b.tr.Emit(float64(b.kernel.Now()), trace.KindReportDelivered, nodeID, "binary report")
+		b.tr.Emit(float64(b.clock.Now()), trace.KindReportDelivered, nodeID, "binary report")
 	} else {
 		b.tr.Hit(trace.KindReportDelivered)
 	}
@@ -198,11 +199,11 @@ func (b *Binary) closeWindow() {
 	b.decided++
 	out := BinaryOutcome{
 		TriggerTime: b.windowTrigger,
-		DecideTime:  b.kernel.Now(),
+		DecideTime:  b.clock.Now(),
 		Decision:    dec,
 	}
 	if b.tr.Verbose() {
-		b.tr.Emit(float64(b.kernel.Now()), trace.KindDecision, -1, "%v", dec)
+		b.tr.Emit(float64(b.clock.Now()), trace.KindDecision, -1, "%v", dec)
 	} else {
 		b.tr.Hit(trace.KindDecision)
 	}

@@ -175,19 +175,20 @@ func resetBoolSet(m map[int]bool, sizeHint int) map[int]bool {
 }
 
 // NewLocation returns a location aggregator over the given known positions,
-// running the given decision scheme.
-func NewLocation(cfg LocationConfig, scheme decision.Scheme, kernel *sim.Kernel, pos Positions,
+// running the given decision scheme on the given clock (the simulation
+// kernel in batch runs; any other Clock driver online).
+func NewLocation(cfg LocationConfig, scheme decision.Scheme, clock Clock, pos Positions,
 	onDecide func(LocationOutcome), feedback Feedback, tr *trace.Trace) (*Location, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if scheme == nil || kernel == nil || pos == nil {
-		return nil, fmt.Errorf("aggregator: scheme, kernel, and positions are required")
+	if scheme == nil || clock == nil || pos == nil {
+		return nil, fmt.Errorf("aggregator: scheme, clock, and positions are required")
 	}
 	l := &Location{
 		pipeline: pipeline{
 			scheme:   scheme,
-			kernel:   kernel,
+			clock:    clock,
 			feedback: feedback,
 			tr:       tr,
 		},
@@ -222,7 +223,7 @@ func (l *Location) Deliver(nodeID int, off geo.Polar) {
 	}
 	rep := cluster.Report{Node: nodeID, Loc: geo.FromPolar(origin, off)}
 	if l.tr.Verbose() {
-		l.tr.Emit(float64(l.kernel.Now()), trace.KindReportDelivered, nodeID, "loc=%v", rep.Loc)
+		l.tr.Emit(float64(l.clock.Now()), trace.KindReportDelivered, nodeID, "loc=%v", rep.Loc)
 	} else {
 		l.tr.Hit(trace.KindReportDelivered)
 	}
@@ -237,12 +238,12 @@ func (l *Location) Deliver(nodeID int, off geo.Polar) {
 // deliverConcurrent routes the report through the §3.3 circle protocol,
 // scheduling a collection pass at each new circle's deadline.
 func (l *Location) deliverConcurrent(rep cluster.Report) {
-	c, isNew := l.circles.Add(rep, l.kernel.Now())
+	c, isNew := l.circles.Add(rep, l.clock.Now())
 	if isNew {
-		trigger := l.kernel.Now()
+		trigger := l.clock.Now()
 		deadline := c.Deadline
-		l.kernel.After(deadline.Sub(l.kernel.Now()), func() {
-			for _, group := range l.circles.Collect(l.kernel.Now()) {
+		l.clock.AfterFunc(deadline.Sub(l.clock.Now()), func() {
+			for _, group := range l.circles.Collect(l.clock.Now()) {
 				l.decideGroup(group, trigger)
 			}
 		})
@@ -308,13 +309,13 @@ func (l *Location) decideGroup(reports []cluster.Report, trigger sim.Time) {
 		reported[r.Node] = true
 	}
 
-	out := LocationOutcome{TriggerTime: trigger, DecideTime: l.kernel.Now()}
+	out := LocationOutcome{TriggerTime: trigger, DecideTime: l.clock.Now()}
 	verbose := l.tr.Verbose()
 	for _, ec := range clusters {
 		cand := l.decideCandidate(ec, reported)
 		out.Candidates = append(out.Candidates, cand)
 		if verbose {
-			l.tr.Emit(float64(l.kernel.Now()), trace.KindDecision, -1, "%v", cand)
+			l.tr.Emit(float64(l.clock.Now()), trace.KindDecision, -1, "%v", cand)
 		} else {
 			l.tr.Hit(trace.KindDecision)
 		}

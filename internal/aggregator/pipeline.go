@@ -7,8 +7,37 @@ import (
 	"github.com/tibfit/tibfit/internal/trace"
 )
 
+// Clock is the narrow time seam the windowing pipeline runs on: a
+// readable current time and one-shot timers. It is all the decision path
+// knows about time — the pipeline never touches the simulation kernel
+// directly — so the same windowing, arbitration, and feedback code runs
+// batch (driven by *sim.Kernel, which satisfies Clock via AfterFunc) and
+// online (driven by engine.WallClock against real time).
+//
+// The ordering contract callbacks rely on (docs/DETERMINISM.md,
+// invariant 8): callbacks whose deadlines coincide fire in the order
+// they were scheduled — the kernel's (time, seq) total order, which the
+// wall-clock driver reproduces with its own (deadline, seq) heap. A
+// report and a window expiry landing at the same instant therefore
+// resolve in schedule order: a report event enqueued before the window
+// opened is delivered first and joins the closing window, while one
+// enqueued after the expiry was armed arrives second and opens the
+// next window. Both drivers pin this in
+// internal/engine's same-instant regression tests.
+//
+// This is the consumer-side declaration of the seam; internal/engine
+// re-exports the identical interface as engine.Clock next to its clock
+// drivers, keeping the dependency arrow pointing downward.
+type Clock interface {
+	// Now returns the current time in virtual units.
+	Now() sim.Time
+	// AfterFunc schedules fn to run d units from now. Non-positive d
+	// means "at the current instant, after already-scheduled work".
+	AfterFunc(d sim.Duration, fn func())
+}
+
 // pipeline is the windowing-and-feedback machinery shared by the binary
-// and location aggregators: the decision scheme, the simulation kernel,
+// and location aggregators: the decision scheme, the Clock that drives
 // the T_out window lifecycle, the verdict settlement (trust updates plus
 // the overheard decision broadcast), and the lifecycle/accounting state.
 // What differs between the two aggregators — how reports accumulate and
@@ -16,7 +45,7 @@ import (
 // everything downstream of "we have the two sides" lives here.
 type pipeline struct {
 	scheme   decision.Scheme
-	kernel   *sim.Kernel
+	clock    Clock
 	feedback Feedback
 	tr       *trace.Trace
 
@@ -42,8 +71,8 @@ func (p *pipeline) openWindow(tout sim.Duration, expire func()) {
 		return
 	}
 	p.windowOpen = true
-	p.windowTrigger = p.kernel.Now()
-	p.kernel.After(tout, expire)
+	p.windowTrigger = p.clock.Now()
+	p.clock.AfterFunc(tout, expire)
 }
 
 // judge commits one verdict to the scheme and relays it to the feedback

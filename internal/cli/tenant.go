@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"fmt"
+)
+
+// maxTenantLen bounds tenant names; they appear in URL paths and file
+// names, so they stay short and unambiguous.
+const maxTenantLen = 64
+
+// ValidateTenant checks a tenant name as used by tibfit-serve and
+// tibfit-load: 1–64 characters drawn from lowercase letters, digits,
+// '-', '_', and '.', not starting with a separator. The rule keeps
+// names safe as URL path segments and snapshot file stems without any
+// escaping.
+func ValidateTenant(name string) error {
+	if name == "" {
+		return fmt.Errorf("cli: tenant name must not be empty")
+	}
+	if len(name) > maxTenantLen {
+		return fmt.Errorf("cli: tenant name longer than %d characters: %q", maxTenantLen, name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+			if i == 0 {
+				return fmt.Errorf("cli: tenant name must start with a letter or digit: %q", name)
+			}
+		default:
+			return fmt.Errorf("cli: tenant name may use lowercase letters, digits, '-', '_', '.': %q", name)
+		}
+	}
+	return nil
+}

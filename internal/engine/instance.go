@@ -1,0 +1,388 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/tibfit/tibfit/internal/aggregator"
+	"github.com/tibfit/tibfit/internal/core"
+	"github.com/tibfit/tibfit/internal/decision"
+	"github.com/tibfit/tibfit/internal/leach"
+	"github.com/tibfit/tibfit/internal/sim"
+)
+
+// ErrClosed is returned by operations on a closed instance.
+var ErrClosed = errors.New("engine: instance closed")
+
+// ErrUnknownNode is returned when a report names a node outside the
+// instance's member set. It is a sentinel (no per-call formatting): the
+// rejection sits on the ingest hot path, and the serving layer attaches
+// the node ID when it renders the error.
+var ErrUnknownNode = errors.New("engine: report from unknown node")
+
+// ErrSnapshotStale is returned by RestoreSealed for a blob that
+// authenticated fine but carries a version at or below one already
+// restored — the online analogue of the station's replay rejection.
+var ErrSnapshotStale = errors.New("engine: snapshot version already restored")
+
+// defaultDecisionLog is the ring capacity for the decision stream when
+// Config.DecisionLog is zero: enough for a poller a few seconds behind a
+// saturated ingest, small enough to be irrelevant in memory.
+const defaultDecisionLog = 4096
+
+// snapshotHandoff is the pseudo head ID the instance uses when asking
+// its station to seal state. Real head IDs are non-negative node IDs;
+// the instance itself is "head -1".
+const snapshotHandoff = -1
+
+// Config configures one engine instance — one tenant's trust namespace.
+type Config struct {
+	// Scheme is the decision-scheme name, resolved through the
+	// internal/decision registry (tibfit, linear, majority, fuzzy,
+	// dynamic-trust; see docs/SCHEMES.md).
+	Scheme string
+	// Params carries the scheme parameters. Params.Trust must validate
+	// (the station persists trust under it).
+	Params decision.Params
+	// Tout is the aggregation window length T_out, in the clock's
+	// virtual units.
+	Tout sim.Duration
+	// Members is the node population this instance arbitrates over.
+	Members []int
+	// Clock drives window expiry: a *WallClock for live traffic, a
+	// *sim.Kernel for replay and equivalence testing.
+	Clock Clock
+	// DecisionLog bounds the in-memory decision ring exposed through
+	// DecisionsSince. Zero means a default; the ring drops the oldest
+	// entries once full (pollers that fall further behind miss them).
+	DecisionLog int
+	// OnDecision, when non-nil, observes every decision as it is made.
+	// It runs under the instance lock: it must return promptly and must
+	// not call back into the instance.
+	OnDecision func(Decision)
+}
+
+// Decision is one completed arbitration window, as exposed on the
+// decision stream: the aggregator outcome plus a per-instance sequence
+// number pollers resume from.
+type Decision struct {
+	// Seq numbers decisions from 1 in decision order.
+	Seq uint64 `json:"seq"`
+	// Trigger and Decided are the window-open and window-expiry times on
+	// the instance's virtual clock.
+	Trigger float64 `json:"trigger"`
+	Decided float64 `json:"decided"`
+	// Occurred is the arbitration verdict; CTIFor/CTIAgainst the two
+	// cumulative-trust sides it weighed.
+	Occurred   bool    `json:"occurred"`
+	CTIFor     float64 `json:"cti_for"`
+	CTIAgainst float64 `json:"cti_against"`
+	// Reporters and Silent are the two sides of the vote, sorted by ID.
+	Reporters []int `json:"reporters"`
+	Silent    []int `json:"silent"`
+}
+
+// TrustEntry is one row of an instance's trust table.
+type TrustEntry struct {
+	Node     int     `json:"node"`
+	TI       float64 `json:"ti"`
+	Isolated bool    `json:"isolated"`
+}
+
+// Instance is one tenant's online decision engine: a decision scheme
+// from the registry, a binary aggregation pipeline driven by a Clock,
+// and a base-station trust ledger (leach.Station) as the durable home of
+// per-node state — the §2 cluster-head machinery re-hosted behind a
+// service boundary. All methods are safe for concurrent use; window
+// expiries from the clock serialize with ingest through the same lock
+// (the instance installs itself as the WallClock's executor).
+type Instance struct {
+	mu sync.Mutex
+
+	scheme  decision.Scheme
+	station *leach.Station
+	agg     *aggregator.Binary
+	clock   Clock
+
+	members   []int // sorted copy
+	memberSet map[int]struct{}
+
+	onDecision func(Decision)
+
+	// Decision ring: log[(seq-1) % cap] holds decision seq once seq is
+	// within cap of the newest.
+	log     []Decision
+	seq     uint64
+	reports uint64
+
+	restoredVersion uint64
+	closed          bool
+}
+
+// New builds an instance. The scheme is constructed through the decision
+// registry, so unknown names fail with the registry's did-you-mean error.
+func New(cfg Config) (*Instance, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("engine: a Clock is required")
+	}
+	scheme, err := decision.New(cfg.Scheme, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	station, err := leach.NewStation(cfg.Params.Trust)
+	if err != nil {
+		return nil, err
+	}
+	logCap := cfg.DecisionLog
+	if logCap <= 0 {
+		logCap = defaultDecisionLog
+	}
+	in := &Instance{
+		scheme:     scheme,
+		station:    station,
+		clock:      cfg.Clock,
+		onDecision: cfg.OnDecision,
+		log:        make([]Decision, 0, logCap),
+	}
+	agg, err := aggregator.NewBinary(aggregator.BinaryConfig{
+		Tout:    cfg.Tout,
+		Members: cfg.Members,
+	}, scheme, cfg.Clock, in.onDecide, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	in.agg = agg
+	in.members = append([]int(nil), cfg.Members...)
+	sort.Ints(in.members)
+	in.memberSet = make(map[int]struct{}, len(in.members))
+	for _, id := range in.members {
+		in.memberSet[id] = struct{}{}
+	}
+	// On a wall clock, expiries must not race ingest: route them through
+	// the instance lock. The sim kernel is single-threaded by contract,
+	// so it has no executor to install.
+	if es, ok := cfg.Clock.(interface{ SetExec(func(func())) }); ok {
+		es.SetExec(in.run)
+	}
+	return in, nil
+}
+
+// run executes a clock callback under the instance lock — the WallClock
+// executor that serializes window expiries with report ingest.
+func (in *Instance) run(fn func()) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return
+	}
+	fn()
+}
+
+// onDecide records a completed window on the decision ring. It runs with
+// the instance lock held: ingest calls it synchronously when a delivery
+// closes a window, and expiries arrive through run.
+func (in *Instance) onDecide(o aggregator.BinaryOutcome) {
+	in.seq++
+	d := Decision{
+		Seq:        in.seq,
+		Trigger:    float64(o.TriggerTime),
+		Decided:    float64(o.DecideTime),
+		Occurred:   o.Decision.Occurred,
+		CTIFor:     o.Decision.CTIFor,
+		CTIAgainst: o.Decision.CTIAgainst,
+		Reporters:  append([]int(nil), o.Decision.Reporters...),
+		Silent:     append([]int(nil), o.Decision.Silent...),
+	}
+	if len(in.log) < cap(in.log) {
+		in.log = append(in.log, d)
+	} else {
+		in.log[int((d.Seq-1)%uint64(cap(in.log)))] = d
+	}
+	if in.onDecision != nil {
+		in.onDecision(d)
+	}
+}
+
+// Report ingests one event report. The first report opens a T_out
+// window; the expiry arbitrates. Reports from nodes outside the member
+// set are rejected with ErrUnknownNode.
+//
+//hot:path
+func (in *Instance) Report(node int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.reportLocked(node)
+}
+
+// ReportMany ingests a batch under one lock acquisition — the bulk
+// ingest path the HTTP layer uses. It stops at the first unknown node,
+// returning how many reports were accepted alongside the error.
+//
+//hot:path
+func (in *Instance) ReportMany(nodes []int) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, node := range nodes {
+		if err := in.reportLocked(node); err != nil {
+			return i, err
+		}
+	}
+	return len(nodes), nil
+}
+
+//hot:path
+func (in *Instance) reportLocked(node int) error {
+	if in.closed {
+		return ErrClosed
+	}
+	if _, ok := in.memberSet[node]; !ok {
+		return ErrUnknownNode
+	}
+	in.agg.Deliver(node)
+	in.reports++
+	return nil
+}
+
+// SealedSnapshot captures the tenant's trust state as a sealed blob —
+// core.SealSnapshot under the station's key, RoleIssue, a fresh
+// monotonic version — suitable for RestoreSealed into a later instance.
+// The scheme's live state is flushed into the station ledger first, so
+// the blob reflects every decision made so far.
+func (in *Instance) SealedSnapshot() ([]byte, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return nil, ErrClosed
+	}
+	if st, ok := in.scheme.(decision.Stateful); ok {
+		in.station.StoreSnapshot(st.Snapshot())
+	}
+	return in.station.IssueFor(snapshotHandoff, in.members), nil
+}
+
+// RestoreSealed verifies a sealed blob and merges its trust records into
+// the instance: checksum and role are checked first (tampered or
+// truncated blobs fail with core.ErrSnapshotCorrupt; a term-end upload
+// blob is not restorable state), then the version must exceed any
+// already restored (ErrSnapshotStale). On success the station ledger
+// absorbs the records and the scheme's live state is rebuilt from it.
+func (in *Instance) RestoreSealed(blob []byte) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	version, role, recs, err := core.OpenSnapshot(in.station.SealKey(), blob)
+	if err != nil {
+		return fmt.Errorf("engine: verifying snapshot: %w", err)
+	}
+	if role != core.RoleIssue {
+		return fmt.Errorf("engine: restore needs station-issued state, got a term-end upload: %w",
+			leach.ErrSnapshotReplay)
+	}
+	if version <= in.restoredVersion {
+		return fmt.Errorf("engine: blob version %d, already restored %d: %w",
+			version, in.restoredVersion, ErrSnapshotStale)
+	}
+	in.restoredVersion = version
+	in.station.StoreSnapshot(recs)
+	if st, ok := in.scheme.(decision.Stateful); ok {
+		st.Restore(in.station.SnapshotFor(in.members))
+	}
+	return nil
+}
+
+// DecisionsSince returns decisions with Seq > since, oldest first. The
+// ring is bounded (Config.DecisionLog): a poller more than the ring
+// capacity behind silently misses the overwritten entries and should
+// resume from the first Seq it receives.
+func (in *Instance) DecisionsSince(since uint64) []Decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.seq <= since {
+		return nil
+	}
+	first := uint64(1)
+	if cap(in.log) > 0 && in.seq > uint64(cap(in.log)) {
+		first = in.seq - uint64(cap(in.log)) + 1
+	}
+	if since+1 > first {
+		first = since + 1
+	}
+	out := make([]Decision, 0, in.seq-first+1)
+	for s := first; s <= in.seq; s++ {
+		out = append(out, in.log[int((s-1)%uint64(cap(in.log)))])
+	}
+	return out
+}
+
+// DecisionCount returns how many decisions the instance has made.
+func (in *Instance) DecisionCount() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seq
+}
+
+// ReportCount returns how many reports the instance has accepted.
+func (in *Instance) ReportCount() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.reports
+}
+
+// Members returns the instance's member IDs, sorted ascending. The
+// slice is shared and must not be mutated.
+func (in *Instance) Members() []int { return in.members }
+
+// SchemeName returns the canonical name of the instance's scheme.
+func (in *Instance) SchemeName() string { return in.scheme.Name() }
+
+// TI returns the scheme's current trust index for a node.
+func (in *Instance) TI(node int) float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.scheme.TI(node)
+}
+
+// IsolatedNodes returns the sorted IDs of all isolated nodes.
+func (in *Instance) IsolatedNodes() []int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.scheme.IsolatedNodes()
+}
+
+// TrustTable returns one row per member, sorted by node ID — the
+// tenant's live trust state as the HTTP layer serves it.
+func (in *Instance) TrustTable() []TrustEntry {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]TrustEntry, len(in.members))
+	isolated := make(map[int]struct{})
+	for _, id := range in.scheme.IsolatedNodes() {
+		isolated[id] = struct{}{}
+	}
+	for i, id := range in.members {
+		_, iso := isolated[id]
+		out[i] = TrustEntry{Node: id, TI: in.scheme.TI(id), Isolated: iso}
+	}
+	return out
+}
+
+// Close shuts the instance down: pending windows die, further reports
+// fail with ErrClosed. Close is idempotent. It closes a *WallClock
+// clock; a shared sim kernel is left to its owner.
+func (in *Instance) Close() {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.closed = true
+	in.agg.Close()
+	in.mu.Unlock()
+	if wc, ok := in.clock.(*WallClock); ok {
+		wc.Close()
+	}
+}

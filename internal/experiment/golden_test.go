@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"github.com/tibfit/tibfit/internal/sim"
@@ -18,11 +20,15 @@ import (
 //	    -only figure2,figure8
 //	cp /tmp/g/figure{2,8}.csv internal/experiment/testdata/golden-...
 //
-// Each golden is checked under every event-queue implementation: the CSVs
-// were captured on the heap scheduler, so the calendar queue reproducing
-// them byte-for-byte is the end-to-end proof of the (time, seq) dispatch
-// contract.
+// Each golden is checked under every event-queue implementation and at
+// several -parallel worker counts: the CSVs were captured on the heap
+// scheduler with one worker, so the calendar queue and the parallel
+// sweep reproducing them byte-for-byte is the end-to-end proof of the
+// (time, seq) dispatch contract — now routed through the aggregator's
+// Clock seam (internal/engine), so this is also the refactor's
+// byte-identity gate for the batch path.
 func TestGoldenFigures(t *testing.T) {
+	parallels := []int{1, 2, runtime.GOMAXPROCS(0)}
 	for _, tc := range []struct {
 		id     string
 		golden string
@@ -35,14 +41,18 @@ func TestGoldenFigures(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, sched := range sim.Schedulers() {
-			opts := FigureOptions{Runs: 2, Events: 40, Seed: 5, Parallel: 1, Scheduler: sched}
-			fig, err := Generate(tc.id, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := fig.CSV(); got != string(want) {
-				t.Errorf("%s (%s) drifted from the pre-refactor golden output:\ngot:\n%s\nwant:\n%s",
-					tc.id, sched, got, want)
+			for _, par := range parallels {
+				t.Run(fmt.Sprintf("%s/%s/parallel-%d", tc.id, sched, par), func(t *testing.T) {
+					opts := FigureOptions{Runs: 2, Events: 40, Seed: 5, Parallel: par, Scheduler: sched}
+					fig, err := Generate(tc.id, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := fig.CSV(); got != string(want) {
+						t.Errorf("%s (%s, parallel %d) drifted from the pre-refactor golden output:\ngot:\n%s\nwant:\n%s",
+							tc.id, sched, par, got, want)
+					}
+				})
 			}
 		}
 	}

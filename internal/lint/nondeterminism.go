@@ -40,9 +40,14 @@ var globalRandFuncs = map[string]bool{
 
 // nondetTimeExempt lists simulation packages allowed to touch the wall
 // clock: internal/trace stamps emitted trace records with real time for
-// operator convenience (the stamps are not simulation inputs).
+// operator convenience (the stamps are not simulation inputs);
+// internal/engine hosts the real-time WallClock driver (the batch path
+// never routes through it — the sim kernel is its own Clock); and
+// internal/serve measures request latency for the serving histograms.
 var nondetTimeExempt = map[string]bool{
-	ModulePath + "/internal/trace": true,
+	ModulePath + "/internal/trace":  true,
+	ModulePath + "/internal/engine": true,
+	ModulePath + "/internal/serve":  true,
 }
 
 // nondetRandExempt lists simulation packages allowed to reference

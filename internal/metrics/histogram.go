@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+)
+
+// histBuckets is the fixed bucket count of Histogram: one power-of-two
+// bucket per float64 exponent from 2^0 up, which spans sub-nanosecond to
+// ~584 years when values are nanoseconds.
+const histBuckets = 64
+
+// Histogram is a fixed-size log-bucketed latency histogram: bucket i
+// counts values in [2^(i-1), 2^i) (bucket 0 absorbs everything below 1).
+// Recording is allocation-free and O(1), so it sits on the serving hot
+// path; quantiles are approximate (linear interpolation within a
+// power-of-two bucket, so the relative error is bounded by the bucket
+// width) while count, sum, min, and max are exact.
+//
+// The zero value is ready to use. Histogram is not safe for concurrent
+// use; callers lock around it (internal/serve) or merge per-worker
+// histograms afterwards (Merge).
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// bucketOf maps a value to its bucket index via the float64 exponent.
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	_, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	if exp > histBuckets {
+		exp = histBuckets
+	}
+	return exp - 1
+}
+
+// Record adds one observation. NaN is ignored; negative values clamp to
+// zero (a latency below the clock's resolution, not an error).
+//
+//hot:path
+func (h *Histogram) Record(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of recorded observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the exact extremes (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest recorded observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns the q-quantile (q in [0, 1]) by linear interpolation
+// within the containing bucket, clamped to the exact observed extremes.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo, hi := bucketBounds(i)
+			v := lo + (hi-lo)*(rank-cum)/float64(n)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// bucketBounds returns bucket i's value range [lo, hi).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return math.Ldexp(1, i-1), math.Ldexp(1, i)
+}
+
+// Merge folds other's observations into h — how per-worker histograms
+// combine into one report without sharing a lock on the hot path.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// HistogramSummary is the JSON shape of a histogram: the p50/p99/mean
+// triple the serving layer and the bench matrix report, plus exact
+// count and extremes.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Summary snapshots the histogram's summary statistics.
+func (h *Histogram) Summary() HistogramSummary {
+	return HistogramSummary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		Min:   h.min,
+		Max:   h.max,
+	}
+}

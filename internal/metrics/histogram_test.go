@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Summary()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{10, 20, 30, 40} {
+		h.Record(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("Mean = %v, want 25", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("Min/Max = %v/%v, want 10/40", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(float64(i))
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	// Power-of-two buckets bound the relative error by 2x; the exact
+	// quantiles are 500 and 990.
+	if p50 < 250 || p50 > 1000 {
+		t.Fatalf("p50 = %v, want within a bucket of 500", p50)
+	}
+	if p99 < 495 || p99 > 1000 {
+		t.Fatalf("p99 = %v, want within a bucket of 990", p99)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatalf("extreme quantiles %v/%v, want %v/%v",
+			h.Quantile(0), h.Quantile(1), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(5000)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 5000 {
+			t.Fatalf("Quantile(%v) = %v, want 5000", q, got)
+		}
+	}
+}
+
+func TestHistogramRejectsNaNClampsNegative(t *testing.T) {
+	var h Histogram
+	h.Record(math.NaN())
+	if h.Count() != 0 {
+		t.Fatal("NaN recorded")
+	}
+	h.Record(-50)
+	if h.Count() != 1 || h.Min() != 0 {
+		t.Fatalf("negative clamp: count=%d min=%v, want 1/0", h.Count(), h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(100)
+		b.Record(1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Min() != 100 || a.Max() != 1000 {
+		t.Fatalf("merged min/max = %v/%v, want 100/1000", a.Min(), a.Max())
+	}
+	if mean := a.Mean(); mean != 550 {
+		t.Fatalf("merged mean = %v, want 550", mean)
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 200 {
+		t.Fatal("nil merge changed state")
+	}
+}
+
+func TestHistogramHugeValues(t *testing.T) {
+	var h Histogram
+	h.Record(math.MaxFloat64)
+	h.Record(1)
+	if h.Count() != 2 || h.Max() != math.MaxFloat64 {
+		t.Fatalf("huge value mishandled: count=%d max=%v", h.Count(), h.Max())
+	}
+	if got := h.Quantile(0.99); math.IsNaN(got) || got < 1 {
+		t.Fatalf("Quantile on huge values = %v", got)
+	}
+}

@@ -293,6 +293,16 @@ func (k *Kernel) After(d Duration, fn Handler) *Timer {
 	return t
 }
 
+// AfterFunc schedules fn to run d time units from now, like After, but
+// discards the Timer handle. Its signature is exactly the Clock seam the
+// decision pipeline runs on (internal/aggregator, internal/engine), which
+// makes the kernel itself the simulation-backed Clock implementation: the
+// batch sim drives the same windowing code the online engine does, with
+// zero adaptation layers in between.
+//
+//hot:path
+func (k *Kernel) AfterFunc(d Duration, fn func()) { k.After(d, fn) }
+
 // Stop halts the run loop after the currently dispatching event returns.
 func (k *Kernel) Stop() { k.stopped = true }
 
