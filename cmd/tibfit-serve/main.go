@@ -120,7 +120,13 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("draining: %v", err)
 	}
 	if *save != "" {
-		inst, _ := srv.Tenant(*tenant)
+		inst, ok := srv.Tenant(*tenant)
+		if !ok {
+			// The boot tenant was deleted over the API during the run;
+			// there is no state to save.
+			fmt.Fprintf(out, "tibfit-serve: tenant %q no longer exists, skipping -save\n", *tenant)
+			return nil
+		}
 		blob, err := inst.SealedSnapshot()
 		if err != nil {
 			return fmt.Errorf("sealing shutdown snapshot: %v", err)

@@ -37,6 +37,7 @@ type WallClock struct {
 	events []wallEvent // min-heap ordered by (at, seq)
 	seq    uint64
 	timer  *time.Timer
+	firing bool // a drain is active; at most one goroutine runs fire's loop
 	closed bool
 }
 
@@ -133,7 +134,10 @@ func (w *WallClock) pending() int {
 // deadline replaced the one it was armed for) is harmless: fire
 // re-checks dueness under the lock and re-arms.
 func (w *WallClock) rearmLocked() {
-	if !w.arm || len(w.events) == 0 {
+	if !w.arm || w.firing || len(w.events) == 0 {
+		// While a drain is active, re-arming would race a second timer
+		// goroutine against it; the drain re-checks the heap top before
+		// exiting and re-arms then.
 		return
 	}
 	deadline := w.start.Add(time.Duration(float64(w.events[0].at) * float64(w.unit)))
@@ -155,15 +159,29 @@ func (w *WallClock) rearmLocked() {
 // is re-evaluated from the heap top each iteration, so callbacks a
 // firing schedules for the current instant run in this same drain, in
 // order.
+//
+// The firing flag keeps the drain single-threaded: a timer goroutine
+// that fires while another drain is mid-callback (a Reset in AfterFunc
+// can race an already-fired timer) bails out immediately instead of
+// popping events concurrently, which would let coinciding-deadline
+// callbacks interleave out of (deadline, seq) order. The active drain
+// re-checks the heap before exiting, so no due event is stranded.
 func (w *WallClock) fire() {
+	w.mu.Lock()
+	if w.firing {
+		w.mu.Unlock()
+		return
+	}
+	w.firing = true
 	for {
-		w.mu.Lock()
 		if w.closed || len(w.events) == 0 {
+			w.firing = false
 			w.mu.Unlock()
 			return
 		}
 		head := w.events[0]
 		if head.at > w.nowLocked() {
+			w.firing = false
 			w.rearmLocked()
 			w.mu.Unlock()
 			return
@@ -176,6 +194,7 @@ func (w *WallClock) fire() {
 		} else {
 			head.fn()
 		}
+		w.mu.Lock()
 	}
 }
 

@@ -139,6 +139,41 @@ func TestWallClockNegativeDelayClampsToNow(t *testing.T) {
 	}
 }
 
+// TestWallClockSingleDrain pins the firing guard: a second fire racing
+// an active drain (an armed timer firing while a Reset with a nearer
+// deadline spawns another timer goroutine) must bail out instead of
+// popping events concurrently, so coinciding-deadline callbacks never
+// interleave out of (deadline, seq) order — invariant 8.
+func TestWallClockSingleDrain(t *testing.T) {
+	w, advance := stubClock()
+	defer w.Close()
+	var order []string
+	w.AfterFunc(5, func() {
+		order = append(order, "A")
+		// Simulate a raced timer goroutine firing mid-drain, outside
+		// the heap lock: it must not pop B out from under this drain.
+		w.fire()
+		order = append(order, "A-done")
+	})
+	w.AfterFunc(5, func() { order = append(order, "B") })
+	advance(5)
+	w.fire()
+	want := "A,A-done,B"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += ","
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("drain order %s, want %s (nested fire must not drain concurrently)", got, want)
+	}
+	if w.pending() != 0 {
+		t.Fatalf("pending = %d after drain, want 0", w.pending())
+	}
+}
+
 // TestWallClockRealTimer is the one test that exercises the armed OS
 // timer end to end: a real NewWallClock must dispatch a callback close
 // to its deadline without manual fire calls.

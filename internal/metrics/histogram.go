@@ -10,7 +10,8 @@ import (
 const histBuckets = 64
 
 // Histogram is a fixed-size log-bucketed latency histogram: bucket i
-// counts values in [2^(i-1), 2^i) (bucket 0 absorbs everything below 1).
+// counts values in [2^i, 2^(i+1)) for i > 0 (bucket 0 absorbs
+// everything below 2, the last bucket everything at or above 2^63).
 // Recording is allocation-free and O(1), so it sits on the serving hot
 // path; quantiles are approximate (linear interpolation within a
 // power-of-two bucket, so the relative error is bounded by the bucket
@@ -113,12 +114,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
-// bucketBounds returns bucket i's value range [lo, hi).
+// bucketBounds returns bucket i's value range [lo, hi), matching
+// bucketOf: values v with frexp exponent exp (v in [2^(exp-1), 2^exp))
+// land in bucket exp-1, i.e. bucket i holds [2^i, 2^(i+1)).
 func bucketBounds(i int) (lo, hi float64) {
 	if i == 0 {
-		return 0, 1
+		return 0, 2
 	}
-	return math.Ldexp(1, i-1), math.Ldexp(1, i)
+	return math.Ldexp(1, i), math.Ldexp(1, i+1)
 }
 
 // Merge folds other's observations into h — how per-worker histograms

@@ -40,6 +40,10 @@ const maxBodyBytes = 1 << 20
 // read as milliseconds.
 const DefaultUnit = time.Millisecond
 
+// ErrTenantExists is reported (wrapped) by CreateTenant when the tenant
+// name is already taken; the HTTP layer maps it to 409 Conflict.
+var ErrTenantExists = errors.New("tenant already exists")
+
 // Config configures a Server.
 type Config struct {
 	// Unit is the wall duration of one virtual time unit on tenant
@@ -151,7 +155,7 @@ func (s *Server) CreateTenant(name string, cfg TenantConfig) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.tenants[name]; ok {
-		return fmt.Errorf("serve: tenant %q already exists", name)
+		return fmt.Errorf("serve: tenant %q: %w", name, ErrTenantExists)
 	}
 	clock := engine.NewWallClock(s.unit)
 	unitNS := float64(s.unit)
@@ -359,6 +363,9 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.CreateTenant(name, cfg); err != nil {
 		status := http.StatusBadRequest
+		if errors.Is(err, ErrTenantExists) {
+			status = http.StatusConflict
+		}
 		writeError(w, status, "%v", err)
 		return
 	}

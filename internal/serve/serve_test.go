@@ -193,10 +193,10 @@ func TestServeTenantLifecycleAndErrors(t *testing.T) {
 	_, ts := testServer(t)
 	mustCreate(t, ts, "alpha", `{}`)
 
-	// Duplicate create.
+	// Duplicate create is a conflict, not a malformed request.
 	status, body := do(t, http.MethodPost, ts.URL+"/v1/tenants/alpha", []byte(`{}`))
-	if status != http.StatusBadRequest || !strings.Contains(string(body), "already exists") {
-		t.Fatalf("duplicate create: HTTP %d: %s", status, body)
+	if status != http.StatusConflict || !strings.Contains(string(body), "already exists") {
+		t.Fatalf("duplicate create: HTTP %d: %s, want 409", status, body)
 	}
 	// Invalid name.
 	status, body = do(t, http.MethodPost, ts.URL+"/v1/tenants/Bad!Name", []byte(`{}`))
