@@ -2,7 +2,9 @@
 // repo's benchmark suite (figure regenerations, experiment campaigns, and
 // the kernel/aggregator/trust micro-benchmarks) through testing.Benchmark,
 // measures the campaign-parallelism speedup of -parallel N over
-// -parallel 1, and emits one machine-readable JSON report per run.
+// -parallel 1, sweeps the serve daemon's sustained ingest throughput
+// across worker counts, and emits one machine-readable JSON report per
+// run.
 //
 // Usage:
 //
@@ -25,11 +27,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"regexp"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -41,6 +46,7 @@ import (
 	"github.com/tibfit/tibfit/internal/engine"
 	"github.com/tibfit/tibfit/internal/experiment"
 	"github.com/tibfit/tibfit/internal/geo"
+	"github.com/tibfit/tibfit/internal/metrics"
 	"github.com/tibfit/tibfit/internal/radio"
 	"github.com/tibfit/tibfit/internal/rng"
 	"github.com/tibfit/tibfit/internal/serve"
@@ -81,16 +87,42 @@ type Campaign struct {
 	Points       []CampaignPoint `json:"points"`
 }
 
+// ThroughputPoint is one worker count of the sustained serve-ingest
+// sweep: closed-loop workers driving the line-format batch endpoint
+// over real HTTP, with request-latency quantiles from the merged
+// per-worker histograms and speedup relative to the 1-worker point.
+type ThroughputPoint struct {
+	Workers       int     `json:"workers"`
+	Procs         int     `json:"procs"`
+	Ns            int64   `json:"ns"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	P50Ns         float64 `json:"p50_ns"`
+	P99Ns         float64 `json:"p99_ns"`
+}
+
+// Throughput reports the sustained serve-ingest sweep configuration and
+// its per-worker-count points.
+type Throughput struct {
+	Wire    string            `json:"wire"`
+	Tenants int               `json:"tenants"`
+	Shards  int               `json:"shards"`
+	Batch   int               `json:"batch"`
+	Reports int               `json:"reports"`
+	Points  []ThroughputPoint `json:"points"`
+}
+
 // Report is the BENCH_<date>.json schema.
 type Report struct {
-	Schema     string    `json:"schema"`
-	Date       string    `json:"date"`
-	Go         string    `json:"go"`
-	GOOS       string    `json:"goos"`
-	GOARCH     string    `json:"goarch"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	Benchmarks []Result  `json:"benchmarks"`
-	Campaign   *Campaign `json:"campaign,omitempty"`
+	Schema     string      `json:"schema"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Result    `json:"benchmarks"`
+	Campaign   *Campaign   `json:"campaign,omitempty"`
+	Throughput *Throughput `json:"throughput,omitempty"`
 }
 
 func main() {
@@ -110,6 +142,7 @@ func run(args []string) error {
 		threshold  = fs.Float64("threshold", 25, "regression threshold in percent (with -baseline)")
 		enforce    = fs.Bool("enforce", false, "exit non-zero when a regression exceeds the threshold")
 		skipCamp   = fs.Bool("nocampaign", false, "skip the parallel-campaign speedup measurement")
+		skipTput   = fs.Bool("nothroughput", false, "skip the sustained serve-throughput sweep")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run")
 		memprofile = fs.String("memprofile", "", "write a heap profile after the benchmark run")
 	)
@@ -195,6 +228,31 @@ func run(args []string) error {
 		for _, p := range c.Points {
 			fmt.Printf("campaign %s: %2d workers %6.2fs  speedup %.2fx\n",
 				c.Figure, p.Workers, float64(p.Ns)/1e9, p.Speedup)
+		}
+	}
+
+	if !*skipTput && (filter == nil || filter.MatchString("serve/throughput")) {
+		tp, rows, err := measureServeThroughput(*quick)
+		if err != nil {
+			return err
+		}
+		rep.Throughput = &tp
+		rep.Benchmarks = append(rep.Benchmarks, rows...)
+		best := 0.0
+		for i, p := range tp.Points {
+			fmt.Printf("%-28s %12.0f ns/op  %9.0f reports/sec  speedup %.2fx  p50 %s p99 %s\n",
+				rows[i].Name, rows[i].NsPerOp, p.ReportsPerSec, p.Speedup,
+				time.Duration(p.P50Ns), time.Duration(p.P99Ns))
+			if p.Speedup > best {
+				best = p.Speedup
+			}
+		}
+		// Advisory only: on a single-proc host the sweep physically cannot
+		// scale, and even multi-proc CI runners share cores; the number is
+		// published either way and the gate stays a log line.
+		if runtime.GOMAXPROCS(0) > 1 && best < 1.5 {
+			fmt.Printf("advisory: serve throughput peaked at %.2fx with %d procs, below the 1.5x scaling target\n",
+				best, runtime.GOMAXPROCS(0))
 		}
 	}
 
@@ -340,13 +398,18 @@ func suite(scheme string, sf cli.SchemeFlags, quick bool) []benchmark {
 	}
 	// The serve/ rows price the online engine the daemon ships: the
 	// engine.Instance ingest hot path and full window cycle (the
-	// decision-latency numerator the serve histograms report), the same
-	// batch through the whole HTTP+JSON stack, and the sealed
-	// snapshot/restore roundtrip behind GET/PUT /snapshot.
+	// decision-latency numerator the serve histograms report), the HTTP
+	// handler itself — serve/http-report drives the mux+JSON ingest path
+	// handler-direct (no socket), serve/http-socket adds the loopback TCP
+	// tax, serve/http-batch-256 is the line-format hot path whose ns/op
+	// amortizes over 256 reports — and the sealed snapshot/restore
+	// roundtrip behind GET/PUT /snapshot.
 	bms = append(bms,
 		benchmark{"serve/instance-ingest", benchServeInstanceIngest},
 		benchmark{"serve/engine-window", benchServeEngineWindow},
 		benchmark{"serve/http-report", benchServeHTTPReport},
+		benchmark{"serve/http-socket", benchServeHTTPSocket},
+		benchmark{"serve/http-batch-256", benchServeHTTPBatch256},
 		benchmark{"serve/snapshot-roundtrip", benchServeSnapshotRoundtrip},
 	)
 	for _, id := range []string{"figure2", "figure4", "figure8"} {
@@ -451,6 +514,146 @@ func measureCampaign(quick bool) (Campaign, error) {
 		c.Workers, c.ParallelNs, c.Speedup = w, ns, p.Speedup
 	}
 	return c, nil
+}
+
+// measureServeThroughput is the sustained-throughput harness: for each
+// worker count in {1, 2, GOMAXPROCS} (deduplicated ascending) it boots a
+// fresh in-process daemon with 4 tenants of 4 shards each, then drives
+// closed-loop workers over loopback HTTP posting 256-report line-format
+// batches until the report budget is spent. Wall clock over the whole
+// send phase yields reports/sec; per-request latencies merge into the
+// p50/p99 columns. Each point also lands in the benchmarks array as
+// serve/throughput/<w>-workers with NsPerOp = wall ns per report, so
+// the baseline comparison and the CI regression gate see it.
+func measureServeThroughput(quick bool) (Throughput, []Result, error) {
+	const (
+		nTenants = 4
+		nShards  = 4
+		nNodes   = 64
+		batchLen = 256
+	)
+	reports := 1_000_000
+	if quick {
+		reports = 200_000
+	}
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for _, w := range []int{2, max} {
+		if w > counts[len(counts)-1] {
+			counts = append(counts, w)
+		}
+	}
+	tp := Throughput{Wire: "batch", Tenants: nTenants, Shards: nShards, Batch: batchLen, Reports: reports}
+	var rows []Result
+	for _, w := range counts {
+		p, err := runThroughputPoint(w, reports, nTenants, nShards, nNodes, batchLen)
+		if err != nil {
+			return Throughput{}, nil, err
+		}
+		if len(tp.Points) > 0 && p.Ns > 0 {
+			p.Speedup = float64(tp.Points[0].Ns) / float64(p.Ns)
+		} else if p.Ns > 0 {
+			p.Speedup = 1
+		}
+		tp.Points = append(tp.Points, p)
+		rows = append(rows, Result{
+			Name:       fmt.Sprintf("serve/throughput/%d-workers", w),
+			Iterations: reports,
+			NsPerOp:    float64(p.Ns) / float64(reports),
+		})
+	}
+	return tp, rows, nil
+}
+
+// runThroughputPoint measures one worker count: fresh server, fresh
+// tenants, the budget split across workers, every worker in its own
+// closed loop with a private rng and latency histogram.
+func runThroughputPoint(workers, reports, nTenants, nShards, nNodes, batchLen int) (ThroughputPoint, error) {
+	srv := serve.NewServer(serve.Config{})
+	names := make([]string, nTenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("tput-%d", i)
+		// Tout far beyond the run horizon: the point prices ingest, not
+		// window arbitration — decision latency has its own rows.
+		cfg := serve.TenantConfig{Tout: 1e9, Nodes: nNodes, Shards: nShards}
+		if err := srv.CreateTenant(names[i], cfg); err != nil {
+			return ThroughputPoint{}, err
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        workers + 4,
+			MaxIdleConnsPerHost: workers + 4,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	errs := make([]error, workers)
+	hists := make([]metrics.Histogram, workers)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < workers; w++ {
+		budget := reports / workers
+		if w < reports%workers {
+			budget++
+		}
+		wg.Add(1)
+		go func(w, budget int) {
+			defer wg.Done()
+			src := rng.New(int64(1 + w))
+			body := make([]byte, 0, 4*batchLen)
+			for ti := w % len(names); budget > 0; ti = (ti + 1) % len(names) {
+				n := batchLen
+				if n > budget {
+					n = budget
+				}
+				body = body[:0]
+				for j := 0; j < n; j++ {
+					body = strconv.AppendInt(body, int64(src.Intn(nNodes)), 10)
+					body = append(body, '\n')
+				}
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/tenants/"+names[ti]+"/reports/batch",
+					"text/plain", bytes.NewReader(body))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				_, cerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				hists[w].Record(float64(time.Since(t0)))
+				if cerr != nil {
+					errs[w] = cerr
+					return
+				}
+				if resp.StatusCode != 200 {
+					errs[w] = fmt.Errorf("throughput ingest: HTTP %d", resp.StatusCode)
+					return
+				}
+				budget -= n
+			}
+		}(w, budget)
+	}
+	wg.Wait()
+	wall := time.Since(begin)
+	var merged metrics.Histogram
+	for w := range hists {
+		if errs[w] != nil {
+			return ThroughputPoint{}, fmt.Errorf("throughput worker %d: %w", w, errs[w])
+		}
+		merged.Merge(&hists[w])
+	}
+	return ThroughputPoint{
+		Workers:       workers,
+		Procs:         runtime.GOMAXPROCS(0),
+		Ns:            wall.Nanoseconds(),
+		ReportsPerSec: float64(reports) / wall.Seconds(),
+		P50Ns:         merged.Quantile(0.50),
+		P99Ns:         merged.Quantile(0.99),
+	}, nil
 }
 
 // --- micro-benchmarks -----------------------------------------------------
@@ -781,8 +984,8 @@ func benchServeInstanceIngest(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := inst.ReportMany(batch); err != nil {
-			b.Fatal(err)
+		if res := inst.ReportMany(batch); res.Err != nil {
+			b.Fatal(res.Err)
 		}
 	}
 }
@@ -807,18 +1010,89 @@ func benchServeEngineWindow(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := inst.ReportMany(batch); err != nil {
-			b.Fatal(err)
+		if res := inst.ReportMany(batch); res.Err != nil {
+			b.Fatal(res.Err)
 		}
 		kernel.RunAll()
 	}
 }
 
-// benchServeHTTPReport sends the same 64-report batch through the whole
-// HTTP stack — mux, JSON decode, instance ingest, JSON reply — the way
-// tibfit-load drives the daemon. The delta over serve/instance-ingest is
-// the transport tax on one batch.
+// discardResponseWriter is the handler-direct sink: headers land in a
+// reusable map, the body is counted and dropped.
+type discardResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardResponseWriter) Header() http.Header         { return w.h }
+func (w *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardResponseWriter) WriteHeader(status int)      { w.status = status }
+
+// benchHandlerDirect drives one pre-built request straight into the
+// serve mux — no socket, no client — rewinding the shared body reader
+// each op. What remains is the handler's own cost: routing, decode,
+// ingest, reply rendering.
+func benchHandlerDirect(b *testing.B, handler http.Handler, method, target, contentType string, body []byte) {
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest(method, target, rd)
+	req.Header.Set("Content-Type", contentType)
+	w := &discardResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.Seek(0, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		w.status = 0
+		handler.ServeHTTP(w, req)
+		if w.status != 0 && w.status != 200 {
+			b.Fatalf("status %d", w.status)
+		}
+	}
+}
+
+// benchServeHTTPReport sends a 64-report JSON batch handler-direct: mux
+// routing, JSON decode, instance ingest, JSON reply, with the socket
+// factored out. The delta over serve/instance-ingest is the encode and
+// routing tax on one batch; serve/http-socket adds the wire back.
 func benchServeHTTPReport(b *testing.B) {
+	srv := serve.NewServer(serve.Config{})
+	if err := srv.CreateTenant("bench", serve.TenantConfig{Tout: 1e9, Nodes: 64}); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	body, err := json.Marshal(map[string][]int{"nodes": engineMembers(64)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchHandlerDirect(b, srv.Handler(), http.MethodPost,
+		"http://bench/v1/tenants/bench/reports", "application/json", body)
+}
+
+// benchServeHTTPBatch256 sends a 256-report line-format batch through
+// the zero-alloc endpoint, handler-direct. Divide ns/op by 256 for the
+// amortized per-report cost — the figure the sustained-throughput sweep
+// should approach once the socket amortizes away.
+func benchServeHTTPBatch256(b *testing.B) {
+	srv := serve.NewServer(serve.Config{})
+	if err := srv.CreateTenant("bench", serve.TenantConfig{Tout: 1e9, Nodes: 256}); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	var body []byte
+	for _, id := range engineMembers(256) {
+		body = strconv.AppendInt(body, int64(id), 10)
+		body = append(body, '\n')
+	}
+	benchHandlerDirect(b, srv.Handler(), http.MethodPost,
+		"http://bench/v1/tenants/bench/reports/batch", "text/plain", body)
+}
+
+// benchServeHTTPSocket sends the same 64-report JSON batch through the
+// whole stack — loopback TCP, client, mux, decode, ingest, reply — the
+// way tibfit-load drives the daemon. The delta over serve/http-report
+// is the socket tax on one request.
+func benchServeHTTPSocket(b *testing.B) {
 	srv := serve.NewServer(serve.Config{})
 	if err := srv.CreateTenant("bench", serve.TenantConfig{Tout: 1e9, Nodes: 64}); err != nil {
 		b.Fatal(err)
@@ -863,8 +1137,8 @@ func benchServeSnapshotRoundtrip(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < 20; i++ {
-		if _, err := src.ReportMany(members[:48]); err != nil {
-			b.Fatal(err)
+		if res := src.ReportMany(members[:48]); res.Err != nil {
+			b.Fatal(res.Err)
 		}
 		kernel.RunAll()
 	}

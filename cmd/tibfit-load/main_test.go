@@ -24,6 +24,9 @@ func TestRunErrors(t *testing.T) {
 		{"zero tenants", []string{"-tenants", "0"}},
 		{"zero reports", []string{"-reports", "0"}},
 		{"zero batch", []string{"-batch", "0"}},
+		{"zero workers", []string{"-workers", "0"}},
+		{"bad wire", []string{"-wire", "grpc"}},
+		{"zero shards", []string{"-shards", "0"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -68,6 +71,16 @@ func TestRunFlagExactMessages(t *testing.T) {
 			[]string{"-reports", "0"},
 			"-reports must be positive, got 0",
 		},
+		{
+			"zero workers",
+			[]string{"-workers", "0"},
+			"-workers must be positive, got 0",
+		},
+		{
+			"unknown wire",
+			[]string{"-wire", "grpc"},
+			`-wire must be "json" or "batch", got "grpc"`,
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -109,7 +122,63 @@ func TestRunAgainstServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"schema": "tibfit-load/v1"`, `"request_ns"`, `"decision_ns"`} {
+	for _, want := range []string{
+		`"schema": "tibfit-load/v2"`, `"request_ns"`, `"decision_ns"`,
+		`"reports_per_sec"`, `"wire": "json"`,
+	} {
+		if !bytes.Contains(artifact, []byte(want)) {
+			t.Fatalf("artifact missing %q:\n%s", want, artifact)
+		}
+	}
+}
+
+// TestRunBatchWireWorkers drives the worker fleet over the line-format
+// hot path against sharded tenants: the sustained-throughput harness
+// configuration, shrunk to unit size.
+func TestRunBatchWireWorkers(t *testing.T) {
+	srv := serve.NewServer(serve.Config{Unit: 50 * time.Microsecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	outPath := filepath.Join(t.TempDir(), "latency.json")
+	args := []string{
+		"-addr", ts.URL,
+		"-tenants", "2",
+		"-reports", "500",
+		"-nodes", "8",
+		"-batch", "16",
+		"-workers", "3",
+		"-wire", "batch",
+		"-shards", "4",
+		"-tout", "20",
+		"-min-decisions", "1",
+		"-out", outPath,
+	}
+	var buf bytes.Buffer
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run(args, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buf.ReadFrom(out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("reports/sec")) {
+		t.Fatalf("run output missing throughput line:\n%s", buf.Bytes())
+	}
+	artifact, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"schema": "tibfit-load/v2"`, `"wire": "batch"`, `"workers": 3`, `"shards": 4`,
+	} {
 		if !bytes.Contains(artifact, []byte(want)) {
 			t.Fatalf("artifact missing %q:\n%s", want, artifact)
 		}

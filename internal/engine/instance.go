@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tibfit/tibfit/internal/aggregator"
 	"github.com/tibfit/tibfit/internal/core"
 	"github.com/tibfit/tibfit/internal/decision"
 	"github.com/tibfit/tibfit/internal/leach"
 	"github.com/tibfit/tibfit/internal/sim"
+	"github.com/tibfit/tibfit/internal/sparse"
 )
 
 // ErrClosed is returned by operations on a closed instance.
@@ -51,6 +53,13 @@ type Config struct {
 	Tout sim.Duration
 	// Members is the node population this instance arbitrates over.
 	Members []int
+	// Shards partitions the members into that many event locations, each
+	// a single-writer shard with its own lock and aggregation window
+	// (ShardMembers defines the assignment), so concurrent ingest at
+	// different locations never contends. Values outside [1,
+	// len(Members)] are clamped; zero means 1, the legacy single-lock
+	// single-window instance.
+	Shards int
 	// Clock drives window expiry: a *WallClock for live traffic, a
 	// *sim.Kernel for replay and equivalence testing.
 	Clock Clock
@@ -59,8 +68,9 @@ type Config struct {
 	// entries once full (pollers that fall further behind miss them).
 	DecisionLog int
 	// OnDecision, when non-nil, observes every decision as it is made.
-	// It runs under the instance lock: it must return promptly and must
-	// not call back into the instance.
+	// Calls are serialized by the clock's drain (never concurrent); the
+	// callback must return promptly and must not call back into the
+	// instance.
 	OnDecision func(Decision)
 }
 
@@ -68,7 +78,9 @@ type Config struct {
 // decision stream: the aggregator outcome plus a per-instance sequence
 // number pollers resume from.
 type Decision struct {
-	// Seq numbers decisions from 1 in decision order.
+	// Seq numbers decisions from 1 in decision order: the (deadline,
+	// seq) order the tenant clock fires window expiries in, across all
+	// shards.
 	Seq uint64 `json:"seq"`
 	// Trigger and Decided are the window-open and window-expiry times on
 	// the instance's virtual clock.
@@ -91,34 +103,58 @@ type TrustEntry struct {
 	Isolated bool    `json:"isolated"`
 }
 
+// BatchResult is the per-item outcome of a ReportMany batch: how many
+// reports were accepted, and — when not all were — where acceptance
+// first failed. A batch keeps going past unknown nodes (each is one bad
+// row, not a poisoned batch) and stops only at ErrClosed, so Accepted
+// counts every valid report regardless of where the bad rows sat.
+type BatchResult struct {
+	// Accepted is how many reports the instance ingested.
+	Accepted int
+	// FirstErr is the index of the first rejected report, -1 when every
+	// report was accepted.
+	FirstErr int
+	// Err is the rejection at FirstErr: ErrUnknownNode or ErrClosed.
+	Err error
+}
+
 // Instance is one tenant's online decision engine: a decision scheme
 // from the registry, a binary aggregation pipeline driven by a Clock,
 // and a base-station trust ledger (leach.Station) as the durable home of
 // per-node state — the §2 cluster-head machinery re-hosted behind a
-// service boundary. All methods are safe for concurrent use; window
-// expiries from the clock serialize with ingest through the same lock
-// (the instance installs itself as the WallClock's executor).
+// service boundary.
+//
+// The member population is partitioned into Config.Shards event
+// locations (paper §3: aggregation windows close per location), each a
+// single-writer shard owning its own scheme state, window, and lock.
+// Reports route to their node's shard by binary search and contend only
+// with reports for the same location; window expiries fire through the
+// tenant's one clock, whose single-drain (deadline, seq) order is what
+// fans all shards' decisions into one totally-ordered ring. All methods
+// are safe for concurrent use.
 type Instance struct {
-	mu sync.Mutex
-
-	scheme  decision.Scheme
-	station *leach.Station
-	agg     *aggregator.Binary
+	shards  []*shard
+	shardOf sparse.Vector[int32] // member ID -> shard index
 	clock   Clock
 
-	members   []int // sorted copy
-	memberSet map[int]struct{}
+	members []int // sorted copy of the full population
 
+	// stateMu serializes snapshot/restore against each other; each walks
+	// the shards in index order under stateMu -> shard.mu.
+	stateMu         sync.Mutex
+	station         *leach.Station
+	restoredVersion uint64
+
+	// ringMu guards the decision ring. Appends happen only inside clock
+	// drains (windows close only at expiry), which are single-threaded,
+	// so the lock exists for reader visibility, not append ordering.
+	ringMu     sync.Mutex
+	log        []Decision
+	seq        uint64
 	onDecision func(Decision)
 
-	// Decision ring: log[(seq-1) % cap] holds decision seq once seq is
-	// within cap of the newest.
-	log     []Decision
-	seq     uint64
-	reports uint64
-
-	restoredVersion uint64
-	closed          bool
+	reports atomic.Uint64
+	closed  atomic.Bool
 }
 
 // New builds an instance. The scheme is constructed through the decision
@@ -126,10 +162,6 @@ type Instance struct {
 func New(cfg Config) (*Instance, error) {
 	if cfg.Clock == nil {
 		return nil, fmt.Errorf("engine: a Clock is required")
-	}
-	scheme, err := decision.New(cfg.Scheme, cfg.Params)
-	if err != nil {
-		return nil, err
 	}
 	station, err := leach.NewStation(cfg.Params.Trust)
 	if err != nil {
@@ -140,50 +172,44 @@ func New(cfg Config) (*Instance, error) {
 		logCap = defaultDecisionLog
 	}
 	in := &Instance{
-		scheme:     scheme,
-		station:    station,
 		clock:      cfg.Clock,
+		station:    station,
 		onDecision: cfg.OnDecision,
 		log:        make([]Decision, 0, logCap),
 	}
-	agg, err := aggregator.NewBinary(aggregator.BinaryConfig{
-		Tout:    cfg.Tout,
-		Members: cfg.Members,
-	}, scheme, cfg.Clock, in.onDecide, nil, nil)
-	if err != nil {
-		return nil, err
+	parts := ShardMembers(cfg.Members, cfg.Shards)
+	in.shards = make([]*shard, len(parts))
+	for s, part := range parts {
+		scheme, err := decision.New(cfg.Scheme, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{scheme: scheme, members: part}
+		agg, err := aggregator.NewBinary(aggregator.BinaryConfig{
+			Tout:    cfg.Tout,
+			Members: part,
+		}, scheme, shardClock{in: in, sh: sh}, in.recordDecision, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		sh.agg = agg
+		in.shards[s] = sh
 	}
-	in.agg = agg
 	in.members = append([]int(nil), cfg.Members...)
 	sort.Ints(in.members)
-	in.memberSet = make(map[int]struct{}, len(in.members))
-	for _, id := range in.members {
-		in.memberSet[id] = struct{}{}
-	}
-	// On a wall clock, expiries must not race ingest: route them through
-	// the instance lock. The sim kernel is single-threaded by contract,
-	// so it has no executor to install.
-	if es, ok := cfg.Clock.(interface{ SetExec(func(func())) }); ok {
-		es.SetExec(in.run)
+	for i, id := range in.members {
+		*in.shardOf.Upsert(id) = int32(i % len(in.shards))
 	}
 	return in, nil
 }
 
-// run executes a clock callback under the instance lock — the WallClock
-// executor that serializes window expiries with report ingest.
-func (in *Instance) run(fn func()) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.closed {
-		return
-	}
-	fn()
-}
-
-// onDecide records a completed window on the decision ring. It runs with
-// the instance lock held: ingest calls it synchronously when a delivery
-// closes a window, and expiries arrive through run.
-func (in *Instance) onDecide(o aggregator.BinaryOutcome) {
+// recordDecision appends a completed window to the decision ring. It runs
+// inside a clock drain with the owning shard's lock held; drains are
+// single-threaded (WallClock's firing guard, the sim kernel's thread), so
+// appends arrive already in (deadline, seq) order and ringMu only
+// publishes them to concurrent readers.
+func (in *Instance) recordDecision(o aggregator.BinaryOutcome) {
+	in.ringMu.Lock()
 	in.seq++
 	d := Decision{
 		Seq:        in.seq,
@@ -200,64 +226,108 @@ func (in *Instance) onDecide(o aggregator.BinaryOutcome) {
 	} else {
 		in.log[int((d.Seq-1)%uint64(cap(in.log)))] = d
 	}
+	in.ringMu.Unlock()
 	if in.onDecision != nil {
 		in.onDecision(d)
 	}
 }
 
-// Report ingests one event report. The first report opens a T_out
-// window; the expiry arbitrates. Reports from nodes outside the member
-// set are rejected with ErrUnknownNode.
+// Report ingests one event report, routed to the reporting node's shard.
+// The shard's first report opens its T_out window; the expiry arbitrates.
+// Reports from nodes outside the member set are rejected with
+// ErrUnknownNode.
 //
 //hot:path
 func (in *Instance) Report(node int) error {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.reportLocked(node)
-}
-
-// ReportMany ingests a batch under one lock acquisition — the bulk
-// ingest path the HTTP layer uses. It stops at the first unknown node,
-// returning how many reports were accepted alongside the error.
-//
-//hot:path
-func (in *Instance) ReportMany(nodes []int) (int, error) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	for i, node := range nodes {
-		if err := in.reportLocked(node); err != nil {
-			return i, err
+	s, ok := in.shardOf.Get(node)
+	if !ok {
+		if in.closed.Load() {
+			return ErrClosed
 		}
-	}
-	return len(nodes), nil
-}
-
-//hot:path
-func (in *Instance) reportLocked(node int) error {
-	if in.closed {
-		return ErrClosed
-	}
-	if _, ok := in.memberSet[node]; !ok {
 		return ErrUnknownNode
 	}
-	in.agg.Deliver(node)
-	in.reports++
+	sh := in.shards[s]
+	sh.mu.Lock()
+	if in.closed.Load() {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	sh.agg.Deliver(node)
+	sh.mu.Unlock()
+	in.reports.Add(1)
 	return nil
+}
+
+// ReportMany ingests a batch — the bulk path the HTTP layer uses. Runs of
+// consecutive same-shard reports share one lock acquisition, so a batch
+// costs O(runs) lock operations rather than O(len). Unknown nodes are
+// skipped (the batch continues; the serving layer returns partial
+// accept); a closed instance aborts the remainder. The result carries
+// the accepted count and the first rejection.
+//
+//hot:path
+func (in *Instance) ReportMany(nodes []int) BatchResult {
+	res := BatchResult{FirstErr: -1}
+	i := 0
+	for i < len(nodes) {
+		s, ok := in.shardOf.Get(nodes[i])
+		if !ok {
+			if in.closed.Load() {
+				if res.Err == nil {
+					res.FirstErr, res.Err = i, ErrClosed
+				}
+				break
+			}
+			if res.Err == nil {
+				res.FirstErr, res.Err = i, ErrUnknownNode
+			}
+			i++
+			continue
+		}
+		sh := in.shards[s]
+		sh.mu.Lock()
+		if in.closed.Load() {
+			sh.mu.Unlock()
+			if res.Err == nil {
+				res.FirstErr, res.Err = i, ErrClosed
+			}
+			break
+		}
+		for i < len(nodes) {
+			s2, ok2 := in.shardOf.Get(nodes[i])
+			if !ok2 || s2 != s {
+				break
+			}
+			sh.agg.Deliver(nodes[i])
+			res.Accepted++
+			i++
+		}
+		sh.mu.Unlock()
+	}
+	if res.Accepted > 0 {
+		in.reports.Add(uint64(res.Accepted))
+	}
+	return res
 }
 
 // SealedSnapshot captures the tenant's trust state as a sealed blob —
 // core.SealSnapshot under the station's key, RoleIssue, a fresh
 // monotonic version — suitable for RestoreSealed into a later instance.
-// The scheme's live state is flushed into the station ledger first, so
-// the blob reflects every decision made so far.
+// Each shard's live scheme state is flushed into the station ledger
+// first, walking shards in index order, so the blob reflects every
+// decision made so far across the whole population.
 func (in *Instance) SealedSnapshot() ([]byte, error) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.closed {
+	in.stateMu.Lock()
+	defer in.stateMu.Unlock()
+	if in.closed.Load() {
 		return nil, ErrClosed
 	}
-	if st, ok := in.scheme.(decision.Stateful); ok {
-		in.station.StoreSnapshot(st.Snapshot())
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		if st, ok := sh.scheme.(decision.Stateful); ok {
+			in.station.StoreSnapshot(st.Snapshot())
+		}
+		sh.mu.Unlock()
 	}
 	return in.station.IssueFor(snapshotHandoff, in.members), nil
 }
@@ -267,11 +337,12 @@ func (in *Instance) SealedSnapshot() ([]byte, error) {
 // truncated blobs fail with core.ErrSnapshotCorrupt; a term-end upload
 // blob is not restorable state), then the version must exceed any
 // already restored (ErrSnapshotStale). On success the station ledger
-// absorbs the records and the scheme's live state is rebuilt from it.
+// absorbs the records and each shard's live scheme state is rebuilt from
+// its members' slice of the ledger.
 func (in *Instance) RestoreSealed(blob []byte) error {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.closed {
+	in.stateMu.Lock()
+	defer in.stateMu.Unlock()
+	if in.closed.Load() {
 		return ErrClosed
 	}
 	version, role, recs, err := core.OpenSnapshot(in.station.SealKey(), blob)
@@ -288,8 +359,12 @@ func (in *Instance) RestoreSealed(blob []byte) error {
 	}
 	in.restoredVersion = version
 	in.station.StoreSnapshot(recs)
-	if st, ok := in.scheme.(decision.Stateful); ok {
-		st.Restore(in.station.SnapshotFor(in.members))
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		if st, ok := sh.scheme.(decision.Stateful); ok {
+			st.Restore(in.station.SnapshotFor(sh.members))
+		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -299,8 +374,8 @@ func (in *Instance) RestoreSealed(blob []byte) error {
 // capacity behind silently misses the overwritten entries and should
 // resume from the first Seq it receives.
 func (in *Instance) DecisionsSince(since uint64) []Decision {
-	in.mu.Lock()
-	defer in.mu.Unlock()
+	in.ringMu.Lock()
+	defer in.ringMu.Unlock()
 	if in.seq <= since {
 		return nil
 	}
@@ -320,52 +395,69 @@ func (in *Instance) DecisionsSince(since uint64) []Decision {
 
 // DecisionCount returns how many decisions the instance has made.
 func (in *Instance) DecisionCount() uint64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
+	in.ringMu.Lock()
+	defer in.ringMu.Unlock()
 	return in.seq
 }
 
 // ReportCount returns how many reports the instance has accepted.
-func (in *Instance) ReportCount() uint64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.reports
-}
+func (in *Instance) ReportCount() uint64 { return in.reports.Load() }
 
 // Members returns the instance's member IDs, sorted ascending. The
 // slice is shared and must not be mutated.
 func (in *Instance) Members() []int { return in.members }
 
-// SchemeName returns the canonical name of the instance's scheme.
-func (in *Instance) SchemeName() string { return in.scheme.Name() }
+// Shards returns how many single-writer shards the population is
+// partitioned into.
+func (in *Instance) Shards() int { return len(in.shards) }
 
-// TI returns the scheme's current trust index for a node.
+// SchemeName returns the canonical name of the instance's scheme.
+func (in *Instance) SchemeName() string { return in.shards[0].scheme.Name() }
+
+// TI returns the scheme's current trust index for a node. A node outside
+// the member set reads through an arbitrary shard's scheme, which — all
+// schemes holding per-node state only — answers the default trust, the
+// same value the single-lock instance reported.
 func (in *Instance) TI(node int) float64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.scheme.TI(node)
+	sh := in.shards[0]
+	if s, ok := in.shardOf.Get(node); ok {
+		sh = in.shards[s]
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.scheme.TI(node)
 }
 
 // IsolatedNodes returns the sorted IDs of all isolated nodes.
 func (in *Instance) IsolatedNodes() []int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.scheme.IsolatedNodes()
+	var out []int
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		out = append(out, sh.scheme.IsolatedNodes()...)
+		sh.mu.Unlock()
+	}
+	sort.Ints(out)
+	return out
 }
 
 // TrustTable returns one row per member, sorted by node ID — the
-// tenant's live trust state as the HTTP layer serves it.
+// tenant's live trust state as the HTTP layer serves it. Each shard is
+// locked once; shard s's k-th member is the globally-sorted member
+// k*S+s (the ShardMembers round-robin inverse), so rows land in place
+// without a sort.
 func (in *Instance) TrustTable() []TrustEntry {
-	in.mu.Lock()
-	defer in.mu.Unlock()
 	out := make([]TrustEntry, len(in.members))
-	isolated := make(map[int]struct{})
-	for _, id := range in.scheme.IsolatedNodes() {
-		isolated[id] = struct{}{}
-	}
-	for i, id := range in.members {
-		_, iso := isolated[id]
-		out[i] = TrustEntry{Node: id, TI: in.scheme.TI(id), Isolated: iso}
+	nShards := len(in.shards)
+	for s, sh := range in.shards {
+		sh.mu.Lock()
+		for k, id := range sh.members {
+			out[k*nShards+s] = TrustEntry{
+				Node:     id,
+				TI:       sh.scheme.TI(id),
+				Isolated: sh.scheme.Isolated(id),
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -374,14 +466,14 @@ func (in *Instance) TrustTable() []TrustEntry {
 // fail with ErrClosed. Close is idempotent. It closes a *WallClock
 // clock; a shared sim kernel is left to its owner.
 func (in *Instance) Close() {
-	in.mu.Lock()
-	if in.closed {
-		in.mu.Unlock()
+	if in.closed.Swap(true) {
 		return
 	}
-	in.closed = true
-	in.agg.Close()
-	in.mu.Unlock()
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		sh.agg.Close()
+		sh.mu.Unlock()
+	}
 	if wc, ok := in.clock.(*WallClock); ok {
 		wc.Close()
 	}

@@ -355,13 +355,22 @@ func TestInstanceRejectsUnknownNodeAndClosed(t *testing.T) {
 	if err := inst.Report(99); !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("unknown node: err = %v, want ErrUnknownNode", err)
 	}
-	if n, err := inst.ReportMany([]int{0, 1, 99, 2}); n != 2 || !errors.Is(err, ErrUnknownNode) {
-		t.Fatalf("ReportMany = (%d, %v), want (2, ErrUnknownNode)", n, err)
+	// A batch keeps going past unknown nodes: 99 is one bad row, not a
+	// poisoned batch, so 0, 1, and 2 all land.
+	if res := inst.ReportMany([]int{0, 1, 99, 2}); res.Accepted != 3 ||
+		res.FirstErr != 2 || !errors.Is(res.Err, ErrUnknownNode) {
+		t.Fatalf("ReportMany = %+v, want Accepted 3, FirstErr 2, ErrUnknownNode", res)
+	}
+	if res := inst.ReportMany([]int{0, 1, 2}); res.Accepted != 3 || res.FirstErr != -1 || res.Err != nil {
+		t.Fatalf("clean batch: ReportMany = %+v, want Accepted 3, FirstErr -1, nil error", res)
 	}
 	inst.Close()
 	inst.Close() // idempotent
 	if err := inst.Report(0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("closed: err = %v, want ErrClosed", err)
+	}
+	if res := inst.ReportMany([]int{0, 1}); res.Accepted != 0 || !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("closed batch: ReportMany = %+v, want Accepted 0, ErrClosed", res)
 	}
 	if _, err := inst.SealedSnapshot(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("closed snapshot: err = %v, want ErrClosed", err)
@@ -461,8 +470,8 @@ func TestInstanceDecisionRing(t *testing.T) {
 	// Both members report every window: everyone is judged correct, so
 	// nobody decays into isolation and all ten windows open.
 	for i := 0; i < 10; i++ {
-		if _, err := inst.ReportMany([]int{0, 1}); err != nil {
-			t.Fatal(err)
+		if res := inst.ReportMany([]int{0, 1}); res.Err != nil {
+			t.Fatal(res.Err)
 		}
 		k.RunAll()
 	}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 )
 
 // histBuckets is the fixed bucket count of Histogram: one power-of-two
@@ -9,23 +10,35 @@ import (
 // ~584 years when values are nanoseconds.
 const histBuckets = 64
 
+// histReservoir is the exact-sample capacity: histograms at or below
+// this count answer quantiles from the sorted samples themselves rather
+// than by bucket interpolation. Octave buckets collapse at small counts
+// — a few hundred values in one power-of-two bucket interpolate to the
+// bucket's geometry, not the data's, which is how serve-latency.json
+// once reported p50 == p99 == max at count 356 — so small counts keep
+// every observation.
+const histReservoir = 512
+
 // Histogram is a fixed-size log-bucketed latency histogram: bucket i
 // counts values in [2^i, 2^(i+1)) for i > 0 (bucket 0 absorbs
 // everything below 2, the last bucket everything at or above 2^63).
 // Recording is allocation-free and O(1), so it sits on the serving hot
-// path; quantiles are approximate (linear interpolation within a
+// path. Count, sum, min, and max are exact at any size; quantiles are
+// exact up to histReservoir observations (an in-struct reservoir keeps
+// every sample) and approximate above it (linear interpolation within a
 // power-of-two bucket, so the relative error is bounded by the bucket
-// width) while count, sum, min, and max are exact.
+// width).
 //
 // The zero value is ready to use. Histogram is not safe for concurrent
 // use; callers lock around it (internal/serve) or merge per-worker
 // histograms afterwards (Merge).
 type Histogram struct {
-	buckets [histBuckets]uint64
-	count   uint64
-	sum     float64
-	min     float64
-	max     float64
+	buckets   [histBuckets]uint64
+	reservoir [histReservoir]float64
+	count     uint64
+	sum       float64
+	min       float64
+	max       float64
 }
 
 // bucketOf maps a value to its bucket index via the float64 exponent.
@@ -57,9 +70,38 @@ func (h *Histogram) Record(v float64) {
 	if v > h.max {
 		h.max = v
 	}
+	if h.count < histReservoir {
+		h.reservoir[h.count] = v
+	}
 	h.buckets[bucketOf(v)]++
 	h.count++
 	h.sum += v
+}
+
+// RecordN adds n identical observations in O(1) — the amortized form
+// batch ingest uses: one wall-clock measurement per batch, attributed to
+// every report it covered, without n lock-held Record calls.
+//
+//hot:path
+func (h *Histogram) RecordN(v float64, n uint64) {
+	if n == 0 || math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	for i := h.count; i < histReservoir && i < h.count+n; i++ {
+		h.reservoir[i] = v
+	}
+	h.buckets[bucketOf(v)] += n
+	h.count += n
+	h.sum += v * float64(n)
 }
 
 // Count returns the number of recorded observations.
@@ -79,8 +121,10 @@ func (h *Histogram) Min() float64 { return h.min }
 // Max returns the largest recorded observation (0 when empty).
 func (h *Histogram) Max() float64 { return h.max }
 
-// Quantile returns the q-quantile (q in [0, 1]) by linear interpolation
-// within the containing bucket, clamped to the exact observed extremes.
+// Quantile returns the q-quantile (q in [0, 1]): exact (linear
+// interpolation between order statistics) while every observation still
+// fits the reservoir, bucket interpolation clamped to the exact observed
+// extremes above that.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -90,6 +134,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	if q >= 1 {
 		return h.max
+	}
+	if h.count <= histReservoir {
+		return h.exactQuantile(q)
 	}
 	rank := q * float64(h.count)
 	var cum float64
@@ -114,6 +161,25 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// exactQuantile answers from the sorted reservoir: the standard
+// order-statistic estimate interpolating between the two samples
+// straddling rank q·(n-1). Callers guarantee 0 < q < 1 and
+// 0 < count <= histReservoir. Not a hot path: quantiles are read at
+// summary time, not per report.
+func (h *Histogram) exactQuantile(q float64) float64 {
+	n := int(h.count)
+	sorted := make([]float64, n)
+	copy(sorted, h.reservoir[:n])
+	sort.Float64s(sorted)
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i] + (sorted[i+1]-sorted[i])*frac
+}
+
 // bucketBounds returns bucket i's value range [lo, hi), matching
 // bucketOf: values v with frexp exponent exp (v in [2^(exp-1), 2^exp))
 // land in bucket exp-1, i.e. bucket i holds [2^i, 2^(i+1)).
@@ -125,7 +191,9 @@ func bucketBounds(i int) (lo, hi float64) {
 }
 
 // Merge folds other's observations into h — how per-worker histograms
-// combine into one report without sharing a lock on the hot path.
+// combine into one report without sharing a lock on the hot path. While
+// the combined count fits the reservoir the merge keeps exact samples,
+// so quantiles of merged small histograms stay exact too.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.count == 0 {
 		return
@@ -135,6 +203,9 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 	if other.max > h.max {
 		h.max = other.max
+	}
+	if h.count < histReservoir {
+		copy(h.reservoir[h.count:], other.reservoir[:min(other.count, histReservoir)])
 	}
 	for i, n := range other.buckets {
 		h.buckets[i] += n

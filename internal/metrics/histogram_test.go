@@ -100,6 +100,95 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramSmallCountExactQuantiles pins the serve-latency.json
+// regression: 356 decision latencies clustered just above a power-of-two
+// bucket floor all land in one octave bucket, and bucket interpolation
+// overshoots past max so every quantile clamps to it — p50 == p99 == max.
+// With the exact reservoir, small counts must report true order-statistic
+// quantiles instead.
+func TestHistogramSmallCountExactQuantiles(t *testing.T) {
+	var h Histogram
+	const n = 356
+	// All values sit in bucket [2^31, 2^32) — ~2.2e9ns decision latencies.
+	for i := 0; i < n; i++ {
+		h.Record(2.2e9 + float64(i)*1e5)
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	max := h.Max()
+	if !(p50 < p99 && p99 < max) {
+		t.Fatalf("small-count quantiles collapsed: p50=%v p99=%v max=%v", p50, p99, max)
+	}
+	// Exact order statistics: pos = q*(n-1), linear interpolation.
+	wantP50 := 2.2e9 + 0.50*float64(n-1)*1e5
+	wantP99 := 2.2e9 + 0.99*float64(n-1)*1e5
+	if math.Abs(p50-wantP50) > 1 {
+		t.Fatalf("p50 = %v, want %v", p50, wantP50)
+	}
+	if math.Abs(p99-wantP99) > 1 {
+		t.Fatalf("p99 = %v, want %v", p99, wantP99)
+	}
+}
+
+// TestHistogramReservoirToBucketTransition walks the count across the
+// reservoir capacity and checks quantiles stay sane on both sides.
+func TestHistogramReservoirToBucketTransition(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= histReservoir; i++ {
+		h.Record(float64(i))
+	}
+	// Exactly at capacity: still exact.
+	wantP50 := 0.50 * float64(histReservoir-1)
+	if got := h.Quantile(0.50); math.Abs(got-(1+wantP50)) > 1e-9 {
+		t.Fatalf("at-capacity p50 = %v, want %v", got, 1+wantP50)
+	}
+	// One past capacity: bucket path, must stay ordered and in range.
+	h.Record(float64(histReservoir + 1))
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < h.Min() || p99 > h.Max() || p99 < p50 {
+		t.Fatalf("bucket-path quantiles out of order: p50=%v p99=%v min=%v max=%v",
+			p50, p99, h.Min(), h.Max())
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Record(250)
+	}
+	a.Record(900)
+	b.RecordN(250, 10)
+	b.RecordN(900, 1)
+	if a.Count() != b.Count() || a.Mean() != b.Mean() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("RecordN diverges from repeated Record: %+v vs %+v", a.Summary(), b.Summary())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("Quantile(%v): Record=%v RecordN=%v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	b.RecordN(500, 0) // no-op
+	if b.Count() != 11 {
+		t.Fatal("RecordN(_, 0) changed state")
+	}
+}
+
+// TestHistogramMergeKeepsExactSamples checks that merging two small
+// histograms preserves exact quantiles when the union still fits the
+// reservoir — the per-worker merge path in tibfit-load.
+func TestHistogramMergeKeepsExactSamples(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(2.2e9 + float64(i)*1e5)  // worker 1's cluster
+		b.Record(2.25e9 + float64(i)*1e5) // worker 2's, interleaved octave
+	}
+	a.Merge(&b)
+	p50, p99 := a.Quantile(0.50), a.Quantile(0.99)
+	if !(p50 < p99 && p99 < a.Max()) {
+		t.Fatalf("merged small-count quantiles collapsed: p50=%v p99=%v max=%v", p50, p99, a.Max())
+	}
+}
+
 func TestHistogramHugeValues(t *testing.T) {
 	var h Histogram
 	h.Record(math.MaxFloat64)

@@ -64,6 +64,11 @@ type TenantConfig struct {
 	// generates members 0..Nodes-1 (default 16).
 	Members []int `json:"members,omitempty"`
 	Nodes   int   `json:"nodes,omitempty"`
+	// Shards partitions the tenant's members into that many single-writer
+	// event-location shards (engine.ShardMembers); concurrent ingest for
+	// different locations never contends. Default 1, the single-lock
+	// single-window engine; values above the member count are clamped.
+	Shards int `json:"shards,omitempty"`
 	// Lambda, FaultRate, and RemovalThreshold override the §3 trust
 	// parameters (defaults 0.25, 0.1, 0.3 — the Table-2-like values the
 	// batch experiments use).
@@ -100,6 +105,9 @@ func (c TenantConfig) withDefaults() TenantConfig {
 	//lint:allow floateq zero is the literal "unset" sentinel, never a computed value
 	if c.RemovalThreshold == 0 {
 		c.RemovalThreshold = 0.3
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -168,6 +176,7 @@ func (s *Server) CreateTenant(name string, cfg TenantConfig) error {
 		}},
 		Tout:    sim.Duration(cfg.Tout),
 		Members: cfg.Members,
+		Shards:  cfg.Shards,
 		Clock:   clock,
 		OnDecision: func(d engine.Decision) {
 			s.histMu.Lock()
@@ -241,6 +250,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/tenants/{tenant}", s.handleCreateTenant)
 	mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleDropTenant)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/reports", s.handleReports)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/reports/batch", s.handleReportsBatch)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/decisions", s.handleDecisions)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/trust", s.handleTrust)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/snapshot", s.handleSnapshot)
@@ -299,6 +309,7 @@ type tenantStatView struct {
 	Scheme    string  `json:"scheme"`
 	Tout      float64 `json:"tout"`
 	Members   int     `json:"members"`
+	Shards    int     `json:"shards"`
 	Reports   uint64  `json:"reports"`
 	Decisions uint64  `json:"decisions"`
 	Isolated  int     `json:"isolated"`
@@ -309,6 +320,7 @@ func (s *Server) tenantView(t *tenant) tenantStatView {
 		Scheme:    t.inst.SchemeName(),
 		Tout:      t.cfg.Tout,
 		Members:   len(t.inst.Members()),
+		Shards:    t.inst.Shards(),
 		Reports:   t.inst.ReportCount(),
 		Decisions: t.inst.DecisionCount(),
 		Isolated:  len(t.inst.IsolatedNodes()),
@@ -388,15 +400,56 @@ type reportRequest struct {
 	Nodes []int `json:"nodes"`
 }
 
-// reportReply acknowledges an ingest batch.
+// reportReply acknowledges an ingest batch. A batch with bad rows is a
+// partial accept: Rejected counts the skipped reports, FirstErrorIndex
+// points at the first one (-1 when the whole batch landed), and Error
+// explains it.
 type reportReply struct {
-	Accepted  int    `json:"accepted"`
-	Decisions uint64 `json:"decisions"`
+	Accepted        int    `json:"accepted"`
+	Rejected        int    `json:"rejected,omitempty"`
+	FirstErrorIndex int    `json:"first_error_index"`
+	Error           string `json:"error,omitempty"`
+	Decisions       uint64 `json:"decisions"`
 }
 
-// handleReports is the ingest hot path: decode the batch, hand it to
-// the tenant's instance under one lock acquisition, record the wall
-// cost per report.
+// ingestOutcome records a batch's wall cost amortized per accepted
+// report and renders the per-item outcome: 200 with partial-accept
+// bookkeeping when anything landed, 400 (409 when the tenant is closing)
+// when nothing did.
+//
+//hot:path
+func (s *Server) ingestOutcome(w http.ResponseWriter, t *tenant, res engine.BatchResult, total int, elapsed time.Duration) {
+	if res.Accepted > 0 {
+		perReport := float64(elapsed) / float64(res.Accepted)
+		s.histMu.Lock()
+		s.ingest.RecordN(perReport, uint64(res.Accepted))
+		s.histMu.Unlock()
+	}
+	if res.Err != nil && res.Accepted == 0 {
+		status := http.StatusBadRequest
+		if errors.Is(res.Err, engine.ErrClosed) {
+			status = http.StatusConflict
+		}
+		//lint:allow hotalloc error path: one response per rejected batch, never per report
+		writeError(w, status, "report %d of %d: %v", res.FirstErr, total, res.Err)
+		return
+	}
+	reply := reportReply{
+		Accepted:        res.Accepted,
+		Rejected:        total - res.Accepted,
+		FirstErrorIndex: -1,
+		Decisions:       t.inst.DecisionCount(),
+	}
+	if res.Err != nil {
+		reply.FirstErrorIndex = res.FirstErr
+		reply.Error = res.Err.Error()
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handleReports is the JSON ingest path: decode the batch, hand it to
+// the tenant's instance, record the wall cost per report. Bad rows do
+// not poison the batch — the reply carries the per-item outcome.
 //
 //hot:path
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
@@ -415,26 +468,8 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	begin := time.Now()
-	accepted, err := t.inst.ReportMany(req.Nodes)
-	elapsed := time.Since(begin)
-	if accepted > 0 {
-		perReport := float64(elapsed) / float64(accepted)
-		s.histMu.Lock()
-		for i := 0; i < accepted; i++ {
-			s.ingest.Record(perReport)
-		}
-		s.histMu.Unlock()
-	}
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, engine.ErrClosed) {
-			status = http.StatusConflict
-		}
-		//lint:allow hotalloc error path: one response per rejected batch, never per report
-		writeError(w, status, "report %d of %d: %v", accepted, len(req.Nodes), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, reportReply{Accepted: accepted, Decisions: t.inst.DecisionCount()})
+	res := t.inst.ReportMany(req.Nodes)
+	s.ingestOutcome(w, t, res, len(req.Nodes), time.Since(begin))
 }
 
 // decisionsReply is the decision-stream page: decisions after ?since,

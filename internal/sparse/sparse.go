@@ -53,6 +53,21 @@ func (v *Vector[V]) Find(id int) *V {
 	return nil
 }
 
+// Get returns the value stored for id by value, with a presence flag —
+// the read-only lookup concurrent readers use (Find's pointer would
+// alias the vector's storage; a copied value cannot). The vector itself
+// must still be immutable or externally synchronized while Get runs.
+//
+//hot:path
+func (v *Vector[V]) Get(id int) (V, bool) {
+	i := v.search(id)
+	if i < len(v.ids) && v.ids[i] == id {
+		return v.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
 // Upsert returns a pointer to the value stored for id, inserting a zero
 // value first when absent. Appending in ascending ID order hits the O(1)
 // tail fast path; out-of-order inserts shift the tail. The pointer is

@@ -58,6 +58,26 @@ func TestVectorMatchesMap(t *testing.T) {
 	}
 }
 
+func TestGetMatchesFind(t *testing.T) {
+	var v Vector[int32]
+	for _, id := range []int{4, 9, 1, 100, 42} {
+		*v.Upsert(id) = int32(id * 10)
+	}
+	for id := 0; id <= 110; id++ {
+		got, ok := v.Get(id)
+		p := v.Find(id)
+		if ok != (p != nil) {
+			t.Fatalf("Get(%d) presence %v disagrees with Find %v", id, ok, p)
+		}
+		if ok && got != *p {
+			t.Fatalf("Get(%d) = %d, Find = %d", id, got, *p)
+		}
+		if !ok && got != 0 {
+			t.Fatalf("Get(%d) miss = %d, want zero value", id, got)
+		}
+	}
+}
+
 func TestUpsertTailFastPathDoesNotShift(t *testing.T) {
 	var v Vector[int]
 	for id := 0; id < 1000; id += 2 {
